@@ -1,0 +1,52 @@
+//! E1: search term → data block latency at increasing path depth.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfad_bench::setup::{build_hfad, build_hierfs};
+use hfad_core::HfadConfig;
+use hfad_hierfs::HierConfig;
+use hfad_workload::Item;
+
+fn corpus(depth: usize, n: usize) -> Vec<Item> {
+    (0..n)
+        .map(|i| {
+            let mut path = String::new();
+            for level in 0..depth {
+                path.push_str(&format!("/level{level}"));
+            }
+            path.push_str(&format!("/file-{i:05}.txt"));
+            Item {
+                path,
+                text: format!("marker{i:05} payload words"),
+                size: 4096,
+                tags: vec![],
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_traversals");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for depth in [2usize, 6] {
+        let items = corpus(depth, 60);
+        let term = "marker00030";
+        let (hier, idx) = build_hierfs(&items, HierConfig::noatime());
+        group.bench_with_input(BenchmarkId::new("hierfs_search_read", depth), &depth, |b, _| {
+            b.iter(|| idx.search_and_read(&hier, &[term], 4096).unwrap())
+        });
+        let (hfad, _) = build_hfad(&items, HfadConfig::eager());
+        group.bench_with_input(BenchmarkId::new("hfad_search_read", depth), &depth, |b, _| {
+            b.iter(|| {
+                let hits = hfad.search_text(&[term]).unwrap();
+                hfad.read(hits[0], 0, 4096).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

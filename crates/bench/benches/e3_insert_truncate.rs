@@ -1,0 +1,47 @@
+//! E3: mid-file insert — extent splice vs read-modify-rewrite.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfad_bench::setup::build_hierfs;
+use hfad_core::{Hfad, HfadConfig};
+use hfad_hierfs::HierConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_insert_truncate");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let payload = vec![0xA5u8; 4096];
+    for size_kib in [256u64, 1024] {
+        let body = vec![0x5Au8; (size_kib * 1024) as usize];
+
+        let fs = Hfad::in_memory(256 * 1024 * 1024, HfadConfig::eager()).unwrap();
+        let oid = fs.create(&[]).unwrap();
+        fs.write(oid, 0, &body).unwrap();
+        group.bench_with_input(BenchmarkId::new("hfad_insert_mid", size_kib), &size_kib, |b, _| {
+            b.iter(|| {
+                fs.insert(oid, size_kib * 512, &payload).unwrap();
+                fs.truncate_range(oid, size_kib * 512, payload.len() as u64).unwrap();
+            })
+        });
+
+        let (hier, _) = build_hierfs(&[], HierConfig::noatime());
+        hier.create_file("/victim").unwrap();
+        hier.write("/victim", 0, &body).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("hierfs_insert_rewrite", size_kib),
+            &size_kib,
+            |b, _| {
+                b.iter(|| {
+                    hier.insert_via_rewrite("/victim", size_kib * 512, &payload).unwrap();
+                    hier.remove_range_via_rewrite("/victim", size_kib * 512, payload.len() as u64)
+                        .unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E4: full-text query latency and ingest throughput.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hfad_bench::setup::build_hfad;
+use hfad_core::HfadConfig;
+use hfad_workload::mail_store;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_fulltext");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for n in [200usize, 1000] {
+        let items = mail_store(n, 5);
+        let (fs, _) = build_hfad(&items, HfadConfig::eager());
+        group.bench_with_input(BenchmarkId::new("query_1_term", n), &n, |b, _| {
+            b.iter(|| fs.search_text(&["storage"]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("query_3_terms", n), &n, |b, _| {
+            b.iter(|| fs.search_text(&["storage", "index", "system"]).unwrap())
+        });
+    }
+    // Ingest throughput (eager), measured as documents per second.
+    let items = mail_store(200, 7);
+    group.throughput(Throughput::Elements(items.len() as u64));
+    group.bench_function("eager_ingest_200_docs", |b| {
+        b.iter(|| build_hfad(&items, HfadConfig::eager()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

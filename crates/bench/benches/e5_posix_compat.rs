@@ -1,0 +1,37 @@
+//! E5: POSIX metadata operations — veneer vs hierarchical baseline.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfad_bench::setup::{build_hierfs, build_posix};
+use hfad_core::HfadConfig;
+use hfad_hierfs::HierConfig;
+use hfad_workload::{documents, CorpusConfig};
+
+fn bench(c: &mut Criterion) {
+    let items = documents(&CorpusConfig {
+        items: 200,
+        dir_depth: 2,
+        ..Default::default()
+    });
+    let posix = build_posix(&items, HfadConfig::eager());
+    let (hier, _) = build_hierfs(&items, HierConfig::default());
+    let probe = items[100].path.clone();
+    let probe_dir = probe.rsplit_once('/').unwrap().0.to_string();
+
+    let mut group = c.benchmark_group("e5_posix_compat");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.bench_function("posix_veneer_stat", |b| b.iter(|| posix.stat(&probe).unwrap()));
+    group.bench_function("hierfs_stat", |b| b.iter(|| hier.stat(&probe).unwrap()));
+    group.bench_function("posix_veneer_readdir", |b| {
+        b.iter(|| posix.readdir(&probe_dir).unwrap())
+    });
+    group.bench_function("hierfs_readdir", |b| {
+        b.iter(|| hier.readdir(&probe_dir).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

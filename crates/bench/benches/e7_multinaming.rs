@@ -1,0 +1,45 @@
+//! E7: one object in N collections — tags vs copies.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfad_bench::setup::build_hierfs;
+use hfad_core::{Hfad, HfadConfig, TagValue};
+use hfad_hierfs::HierConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_multinaming");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let body = vec![0x33u8; 64 * 1024];
+    for n in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("hfad_add_tags", n), &n, |b, &n| {
+            b.iter(|| {
+                let fs = Hfad::in_memory(64 * 1024 * 1024, HfadConfig::eager()).unwrap();
+                let oid = fs.create(&[]).unwrap();
+                fs.write(oid, 0, &body).unwrap();
+                for c in 0..n {
+                    fs.add_tags(oid, &[TagValue::udef(format!("collection-{c}"))]).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hierfs_copies", n), &n, |b, &n| {
+            b.iter(|| {
+                let (hier, _) = build_hierfs(&[], HierConfig::noatime());
+                hier.create_file("/original").unwrap();
+                hier.write("/original", 0, &body).unwrap();
+                for c in 0..n {
+                    let dir = format!("/collection-{c}");
+                    hier.mkdir_all(&dir).unwrap();
+                    let copy = format!("{dir}/member");
+                    hier.create_file(&copy).unwrap();
+                    hier.write(&copy, 0, &body).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! F1: layering overhead — native hFAD naming vs the POSIX veneer vs the
+//! hierarchical baseline for a path lookup + 4 KiB read.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfad_bench::setup::{build_hfad, build_hierfs, build_posix};
+use hfad_core::{HfadConfig, TagValue};
+use hfad_hierfs::HierConfig;
+use hfad_workload::{documents, CorpusConfig};
+
+fn bench(c: &mut Criterion) {
+    let items = documents(&CorpusConfig {
+        items: 300,
+        dir_depth: 3,
+        ..Default::default()
+    });
+    let probe = items[150].path.clone();
+    let (hfad, oids) = build_hfad(&items, HfadConfig::eager());
+    let posix = build_posix(&items, HfadConfig::eager());
+    let (hier, _) = build_hierfs(&items, HierConfig::default());
+    let probe_oid = oids[150];
+
+    let mut group = c.benchmark_group("f1_layering");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    group.bench_function("hfad_native_lookup", |b| {
+        b.iter(|| hfad.lookup(&[TagValue::posix(probe.clone())]).unwrap())
+    });
+    group.bench_function("hfad_native_read4k", |b| {
+        b.iter(|| hfad.read(probe_oid, 0, 4096).unwrap())
+    });
+    group.bench_function("posix_veneer_read4k", |b| {
+        b.iter(|| posix.read(&probe, 0, 4096).unwrap())
+    });
+    group.bench_function("hierfs_read4k", |b| {
+        b.iter(|| hier.read(&probe, 0, 4096).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! T1: lookup latency for every tag class of Table 1.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hfad_bench::setup::build_hfad;
+use hfad_core::{HfadConfig, Tag, TagValue};
+use hfad_workload::photo_library;
+
+fn bench(c: &mut Criterion) {
+    let items = photo_library(500, 11);
+    let (fs, oids) = build_hfad(&items, HfadConfig::eager());
+    let probe_oid = oids[250];
+    let probe_path = items[250].path.clone();
+
+    let mut group = c.benchmark_group("t1_tag_classes");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    let cases = vec![
+        ("posix", TagValue::posix(probe_path)),
+        ("fulltext", TagValue::fulltext("photo")),
+        ("udef", TagValue::udef("beach")),
+        ("user", TagValue::user("margo")),
+        ("app", TagValue::app("photo-manager")),
+        ("id_fastpath", TagValue::new(Tag::Id, probe_oid.as_u64().to_string())),
+    ];
+    for (name, tv) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| fs.lookup(std::slice::from_ref(&tv)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

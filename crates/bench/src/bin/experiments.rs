@@ -1,0 +1,73 @@
+//! The experiment harness.
+//!
+//! Regenerates every table and figure listed in `DESIGN.md` /
+//! `EXPERIMENTS.md`:
+//!
+//! ```text
+//! experiments                 # run everything at full scale
+//! experiments --quick         # run everything at reduced scale
+//! experiments --exp e1        # run a single experiment
+//! experiments --exp e1 --json # additionally dump machine-readable JSON
+//! ```
+
+use std::process::ExitCode;
+
+use hfad_bench::experiments::{run_all, run_one, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut exp: Option<String> = None;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--json" => json = true,
+            "--exp" => {
+                exp = iter.next().cloned();
+                if exp.is_none() {
+                    eprintln!("--exp requires an experiment id (t1, f1, e1..e7)");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick|--full] [--exp <t1|f1|e1..e7>] [--json]\n\
+                     Regenerates the hFAD experiment tables (see EXPERIMENTS.md)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let tables = match &exp {
+        Some(id) => match run_one(id, scale) {
+            Some(table) => vec![table],
+            None => {
+                eprintln!("unknown experiment id: {id} (expected t1, f1, e1..e7)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => run_all(scale),
+    };
+
+    for table in &tables {
+        println!("{}", table.render());
+    }
+    if json {
+        match serde_json::to_string_pretty(&tables) {
+            Ok(payload) => println!("{payload}"),
+            Err(err) => {
+                eprintln!("failed to serialise results: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,985 @@
+//! The experiment implementations.
+//!
+//! Each function reproduces one row of the experiment index in `DESIGN.md`
+//! and returns a [`Table`] whose rows the harness prints. The hFAD paper is
+//! a position paper without an evaluation section, so the "paper" column of
+//! every table is the qualitative claim the experiment tests, quoted or
+//! paraphrased from the paper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hfad_core::{Hfad, HfadConfig, Tag, TagValue};
+use hfad_hierfs::HierConfig;
+
+use hfad_osd::{AllocatorKind, ObjectStore, StoreConfig};
+use hfad_storage::MemDevice;
+use hfad_workload::{documents, mail_store, photo_library, CorpusConfig, Item};
+
+use crate::results::{ops_per_sec, us, Table};
+use crate::setup::{build_hfad, build_hierfs, build_posix};
+
+/// Experiment scale: `Quick` keeps every run under a few seconds (used by
+/// the criterion benches and CI); `Full` uses the sizes reported in
+/// `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small corpora, few iterations.
+    Quick,
+    /// The sizes recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    fn pick(&self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Mean latency of `iters` invocations of `f`.
+fn mean_latency(iters: usize, mut f: impl FnMut()) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / iters as u32
+}
+
+// ---------------------------------------------------------------------
+// T1 — Table 1: tag classes.
+// ---------------------------------------------------------------------
+
+/// T1: every tag class from Table 1 of the paper is exercised and its
+/// lookup latency measured on a populated file system.
+pub fn t1_tag_classes(scale: Scale) -> Table {
+    let n = scale.pick(500, 5_000);
+    let items = photo_library(n, 11);
+    let (fs, oids) = build_hfad(&items, HfadConfig::eager());
+    let iters = scale.pick(200, 2_000);
+
+    let mut table = Table::new(
+        "T1",
+        "Tag/value pairs for different API uses (Table 1)",
+        "every use case (POSIX, search, manual, applications, FastPath) maps to a tag lookup",
+        &["use", "tag", "example value", "hits", "lookup µs"],
+    );
+
+    let probe_oid = oids[n / 2];
+    let probe_item = &items[n / 2];
+    let cases: Vec<(&str, TagValue)> = vec![
+        ("POSIX", TagValue::posix(probe_item.path.clone())),
+        ("Search", TagValue::fulltext("photo")),
+        ("Manual", TagValue::udef("beach")),
+        ("Manual", TagValue::user("margo")),
+        ("Applications", TagValue::app("photo-manager")),
+        (
+            "FastPath",
+            TagValue::new(Tag::Id, probe_oid.as_u64().to_string()),
+        ),
+    ];
+    for (use_case, tv) in cases {
+        let hits = fs.lookup(std::slice::from_ref(&tv)).unwrap().len();
+        let latency = mean_latency(iters, || {
+            fs.lookup(std::slice::from_ref(&tv)).unwrap();
+        });
+        table.push_row(vec![
+            use_case.to_string(),
+            tv.tag.to_string(),
+            tv.value.chars().take(28).collect(),
+            hits.to_string(),
+            us(latency),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------
+// F1 — Figure 1: layering.
+// ---------------------------------------------------------------------
+
+/// F1: the cost of each layer in Figure 1 — native hFAD naming, the POSIX
+/// veneer on top of it, and the hierarchical baseline — for a
+/// lookup-then-read of the same corpus.
+pub fn f1_layering(scale: Scale) -> Table {
+    let n = scale.pick(300, 3_000);
+    let items = documents(&CorpusConfig {
+        items: n,
+        dir_depth: 3,
+        ..Default::default()
+    });
+    let iters = scale.pick(200, 2_000);
+    let (hfad, oids) = build_hfad(&items, HfadConfig::eager());
+    let posix = build_posix(&items, HfadConfig::eager());
+    let (hier, _) = build_hierfs(&items, HierConfig::default());
+
+    let mut table = Table::new(
+        "F1",
+        "Layering overhead: native API vs POSIX veneer vs hierarchical baseline",
+        "a POSIX interface can easily be implemented on top of the native services (Figure 1)",
+        &["system", "operation", "mean µs"],
+    );
+
+    let probe = &items[n / 2];
+    let probe_oid = oids[n / 2];
+
+    let native_lookup = mean_latency(iters, || {
+        hfad.lookup(&[TagValue::posix(probe.path.clone())]).unwrap();
+    });
+    let native_read = mean_latency(iters, || {
+        hfad.read(probe_oid, 0, 4096).unwrap();
+    });
+    let posix_read = mean_latency(iters, || {
+        posix.read(&probe.path, 0, 4096).unwrap();
+    });
+    let hier_read = mean_latency(iters, || {
+        hier.read(&probe.path, 0, 4096).unwrap();
+    });
+    table.push_row(vec![
+        "hfad-native".into(),
+        "lookup(POSIX/path)".into(),
+        us(native_lookup),
+    ]);
+    table.push_row(vec![
+        "hfad-native".into(),
+        "read 4 KiB by oid".into(),
+        us(native_read),
+    ]);
+    table.push_row(vec![
+        "posix-veneer".into(),
+        "open+read 4 KiB by path".into(),
+        us(posix_read),
+    ]);
+    table.push_row(vec![
+        "hierfs".into(),
+        "open+read 4 KiB by path".into(),
+        us(hier_read),
+    ]);
+    table
+}
+
+// ---------------------------------------------------------------------
+// E1 — §2.3 index traversals from search term to data block.
+// ---------------------------------------------------------------------
+
+/// E1: number of index traversals and physical block reads between a search
+/// term and the first data block, as a function of path depth.
+pub fn e1_traversals(scale: Scale) -> Table {
+    let per_depth = scale.pick(60, 400);
+    let iters = scale.pick(50, 400);
+    let mut table = Table::new(
+        "E1",
+        "Search term → data block: index traversals and block reads vs path depth",
+        "\"at a minimum, we encountered four index traversals; at a maximum, many more\" (§2.3); \
+         hFAD needs only the search index and the object extent map",
+        &[
+            "path depth",
+            "system",
+            "logical traversals",
+            "block reads",
+            "mean µs",
+        ],
+    );
+
+    for &depth in &[1usize, 2, 4, 6, 8] {
+        // A corpus whose files all sit `depth` directories down and contain
+        // a unique marker term per file.
+        let mut items = Vec::new();
+        for i in 0..per_depth {
+            let mut path = String::new();
+            for level in 0..depth {
+                path.push_str(&format!("/level{level}"));
+            }
+            path.push_str(&format!("/file-{i:05}.txt"));
+            items.push(Item {
+                path,
+                text: format!("marker{i:05} payload words storage system"),
+                size: 4096,
+                tags: vec![("UDEF".to_string(), format!("item{i}"))],
+            });
+        }
+        let probe_term = format!("marker{:05}", per_depth / 2);
+
+        // Hierarchical: desktop search index → pathname → namespace walk →
+        // inode → extent map → data.
+        let (hier, hier_index) = build_hierfs(&items, HierConfig::noatime());
+        // Warm the probe once, then count.
+        hier_index.search_and_read(&hier, &[&probe_term], 4096).unwrap();
+        let trav_before = hier.counters();
+        let dev_before = hier.device_counters();
+        let hier_lat = mean_latency(iters, || {
+            hier_index
+                .search_and_read(&hier, &[&probe_term], 4096)
+                .unwrap();
+        });
+        let trav = hier.counters().delta_since(&trav_before);
+        let dev = hier.device_counters().delta_since(&dev_before);
+        table.push_row(vec![
+            depth.to_string(),
+            "hierfs+searchidx".into(),
+            format!("{:.1}", trav.total_traversals() as f64 / iters as f64),
+            format!("{:.1}", dev.reads as f64 / iters as f64),
+            us(hier_lat),
+        ]);
+
+        // hFAD: full-text index → OID → extent map → data.
+        let (hfad, _) = build_hfad(&items, HfadConfig::eager());
+        hfad.search_text(&[&probe_term]).unwrap();
+        let dev_before = hfad.store().stats().device;
+        let hfad_lat = mean_latency(iters, || {
+            let hits = hfad.search_text(&[&probe_term]).unwrap();
+            hfad.read(hits[0], 0, 4096).unwrap();
+        });
+        let dev = hfad.store().stats().device.delta_since(&dev_before);
+        table.push_row(vec![
+            depth.to_string(),
+            "hfad".into(),
+            "2.0".into(),
+            format!("{:.1}", dev.reads as f64 / iters as f64),
+            us(hfad_lat),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------
+// E2 — §2.3 concurrency through shared ancestors.
+// ---------------------------------------------------------------------
+
+/// E2: multi-threaded throughput of operations on unrelated files
+/// (`/home/nick/*` vs `/home/margo/*`).
+pub fn e2_concurrency(scale: Scale) -> Table {
+    let files_per_user = scale.pick(100, 500);
+    let duration = Duration::from_millis(scale.pick(150, 800) as u64);
+    let users = ["nick", "margo", "alex", "rivka"];
+
+    let mut items = Vec::new();
+    for user in &users {
+        for i in 0..files_per_user {
+            items.push(Item {
+                path: format!("/home/{user}/file-{i:05}.txt"),
+                text: format!("{user} file {i} contents"),
+                size: 1024,
+                tags: vec![("USER".to_string(), user.to_string())],
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "E2",
+        "Throughput of unrelated accesses vs thread count",
+        "\"/home/nick and /home/margo are functionally unrelated … yet accessing them requires \
+         synchronizing … through a shared ancestor directory\" (§2.3)",
+        &["threads", "system", "ops/s"],
+    );
+
+    let run_threads = |threads: usize, op: Arc<dyn Fn(usize, usize) + Send + Sync>| -> u64 {
+        let counter = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let op = Arc::clone(&op);
+            let counter = Arc::clone(&counter);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0usize;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    op(t, i);
+                    i += 1;
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        std::thread::sleep(duration);
+        stop.store(1, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        counter.load(Ordering::Relaxed)
+    };
+
+    for &threads in &[1usize, 2, 4, 8] {
+        // Hierarchical baseline with POSIX atime semantics: every stat
+        // write-locks and dirties the shared ancestors.
+        let (hier, _) = build_hierfs(&items, HierConfig::default());
+        let hier = Arc::clone(&hier);
+        let users_owned: Vec<String> = users.iter().map(|u| u.to_string()).collect();
+        let fpu = files_per_user;
+        let op = {
+            let hier = Arc::clone(&hier);
+            let users = users_owned.clone();
+            Arc::new(move |t: usize, i: usize| {
+                let user = &users[t % users.len()];
+                let path = format!("/home/{user}/file-{:05}.txt", i % fpu);
+                hier.stat(&path).unwrap();
+            }) as Arc<dyn Fn(usize, usize) + Send + Sync>
+        };
+        let ops = run_threads(threads, op);
+        table.push_row(vec![
+            threads.to_string(),
+            "hierfs (atime)".into(),
+            ops_per_sec(ops, duration),
+        ]);
+
+        // Hierarchical baseline with noatime: read locks only.
+        let (hier_noatime, _) = build_hierfs(&items, HierConfig::noatime());
+        let op = {
+            let hier = Arc::clone(&hier_noatime);
+            let users = users_owned.clone();
+            Arc::new(move |t: usize, i: usize| {
+                let user = &users[t % users.len()];
+                let path = format!("/home/{user}/file-{:05}.txt", i % fpu);
+                hier.stat(&path).unwrap();
+            }) as Arc<dyn Fn(usize, usize) + Send + Sync>
+        };
+        let ops = run_threads(threads, op);
+        table.push_row(vec![
+            threads.to_string(),
+            "hierfs (noatime)".into(),
+            ops_per_sec(ops, duration),
+        ]);
+
+        // hFAD: the same logical operation is a single sharded-index lookup;
+        // no shared ancestor exists.
+        let (hfad, _) = build_hfad(&items, HfadConfig::eager());
+        let hfad = Arc::new(hfad);
+        let op = {
+            let hfad = Arc::clone(&hfad);
+            let users = users_owned.clone();
+            Arc::new(move |t: usize, i: usize| {
+                let user = &users[t % users.len()];
+                let path = format!("/home/{user}/file-{:05}.txt", i % fpu);
+                let hits = hfad.lookup(&[TagValue::posix(path)]).unwrap();
+                hfad.meta(hits[0]).unwrap();
+            }) as Arc<dyn Fn(usize, usize) + Send + Sync>
+        };
+        let ops = run_threads(threads, op);
+        table.push_row(vec![
+            threads.to_string(),
+            "hfad".into(),
+            ops_per_sec(ops, duration),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------
+// E3 — §3.1.2 insert / range truncate.
+// ---------------------------------------------------------------------
+
+/// E3: mid-file insert and range truncate latency vs file size — the
+/// extent-map splice against the POSIX read-modify-rewrite.
+pub fn e3_insert_truncate(scale: Scale) -> Table {
+    let sizes: &[u64] = match scale {
+        Scale::Quick => &[64 * 1024, 256 * 1024, 1024 * 1024],
+        Scale::Full => &[64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024],
+    };
+    let iters = scale.pick(5, 20);
+    let payload = vec![0xA5u8; 4096];
+
+    let mut table = Table::new(
+        "E3",
+        "Mid-file insert and range truncate vs file size",
+        "\"the use of btrees gives us the capability to insert and truncate with little \
+         implementation effort\" (§3.4); a POSIX file must be rewritten",
+        &["file size", "operation", "system", "mean µs"],
+    );
+
+    for &size in sizes {
+        let body = vec![0x5Au8; size as usize];
+
+        // hFAD: splice into the extent map.
+        let fs = Hfad::in_memory(crate::setup::DEFAULT_CAPACITY, HfadConfig::eager()).unwrap();
+        let oid = fs.create(&[]).unwrap();
+        fs.write(oid, 0, &body).unwrap();
+        let insert_lat = mean_latency(iters, || {
+            fs.insert(oid, size / 2, &payload).unwrap();
+        });
+        let truncate_lat = mean_latency(iters, || {
+            fs.truncate_range(oid, size / 2, payload.len() as u64).unwrap();
+        });
+
+        // Baseline: read tail, rewrite shifted.
+        let (hier, _) = build_hierfs(&[], HierConfig::noatime());
+        hier.create_file("/victim").unwrap();
+        hier.write("/victim", 0, &body).unwrap();
+        let hier_insert_lat = mean_latency(iters, || {
+            hier.insert_via_rewrite("/victim", size / 2, &payload).unwrap();
+        });
+        let hier_truncate_lat = mean_latency(iters, || {
+            hier.remove_range_via_rewrite("/victim", size / 2, payload.len() as u64)
+                .unwrap();
+        });
+
+        let size_label = format!("{} KiB", size / 1024);
+        table.push_row(vec![
+            size_label.clone(),
+            "insert 4 KiB mid-file".into(),
+            "hfad".into(),
+            us(insert_lat),
+        ]);
+        table.push_row(vec![
+            size_label.clone(),
+            "insert 4 KiB mid-file".into(),
+            "hierfs (rewrite)".into(),
+            us(hier_insert_lat),
+        ]);
+        table.push_row(vec![
+            size_label.clone(),
+            "truncate 4 KiB mid-file".into(),
+            "hfad".into(),
+            us(truncate_lat),
+        ]);
+        table.push_row(vec![
+            size_label,
+            "truncate 4 KiB mid-file".into(),
+            "hierfs (rewrite)".into(),
+            us(hier_truncate_lat),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------
+// E4 — §3.2/§3.4 full-text index scaling and lazy indexing.
+// ---------------------------------------------------------------------
+
+/// E4: full-text query latency vs corpus size, and eager-vs-lazy ingest
+/// throughput.
+pub fn e4_fulltext(scale: Scale) -> Table {
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[200, 1_000],
+        Scale::Full => &[1_000, 5_000, 20_000],
+    };
+    let query_iters = scale.pick(100, 500);
+
+    let mut table = Table::new(
+        "E4",
+        "Full-text search scaling and lazy background indexing",
+        "an extensible full-text index store with \"background threads to perform lazy full-text \
+         indexing\" (§3.2, §3.4)",
+        &["corpus", "metric", "value"],
+    );
+
+    for &n in sizes {
+        let items = mail_store(n, 5);
+        // Eager ingest throughput.
+        let ((fs, _oids), eager_elapsed) = time(|| build_hfad(&items, HfadConfig::eager()));
+        let q1 = mean_latency(query_iters, || {
+            fs.search_text(&["storage"]).unwrap();
+        });
+        let q3 = mean_latency(query_iters, || {
+            fs.search_text(&["storage", "index", "system"]).unwrap();
+        });
+        table.push_row(vec![
+            n.to_string(),
+            "eager ingest docs/s".into(),
+            ops_per_sec(n as u64, eager_elapsed),
+        ]);
+        table.push_row(vec![
+            n.to_string(),
+            "1-term query µs".into(),
+            us(q1),
+        ]);
+        table.push_row(vec![
+            n.to_string(),
+            "3-term conjunction µs".into(),
+            us(q3),
+        ]);
+
+        // Lazy ingest: enqueue everything, then measure time to drain.
+        let (lazy_fs, lazy_elapsed) = time(|| {
+            let (fs, _) = build_hfad(&items, HfadConfig::default());
+            fs.sync_index();
+            fs
+        });
+        table.push_row(vec![
+            n.to_string(),
+            "lazy ingest+drain docs/s".into(),
+            ops_per_sec(n as u64, lazy_elapsed),
+        ]);
+        drop(lazy_fs);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------
+// E5 — §2 backwards compatibility: POSIX metadata workload.
+// ---------------------------------------------------------------------
+
+/// E5: a POSIX metadata workload (mkdir/create/stat/readdir/rename/unlink)
+/// on the veneer vs the hierarchical baseline.
+pub fn e5_posix_compat(scale: Scale) -> Table {
+    let dirs = scale.pick(20, 100);
+    let files_per_dir = scale.pick(20, 100);
+
+    let mut table = Table::new(
+        "E5",
+        "POSIX metadata workload: veneer over hFAD vs hierarchical baseline",
+        "\"a storage system is not useful without some support for backwards compatibility in \
+         interface if not in disk layout\" (§2)",
+        &["operation", "count", "posix-veneer ops/s", "hierfs ops/s"],
+    );
+
+    let hfad = Arc::new(Hfad::in_memory(crate::setup::DEFAULT_CAPACITY, HfadConfig::eager()).unwrap());
+    let posix = hfad_posix::PosixFs::new(hfad).unwrap();
+    let (hier, _) = build_hierfs(&[], HierConfig::default());
+
+    let paths: Vec<(String, String)> = (0..dirs)
+        .flat_map(|d| {
+            (0..files_per_dir).map(move |f| (format!("/work/dir{d:03}"), format!("/work/dir{d:03}/file{f:03}")))
+        })
+        .collect();
+
+    // mkdir.
+    let (_, posix_mkdir) = time(|| {
+        posix.mkdir_all("/work").unwrap();
+        for d in 0..dirs {
+            posix.mkdir(&format!("/work/dir{d:03}")).unwrap();
+        }
+    });
+    let (_, hier_mkdir) = time(|| {
+        hier.mkdir_all("/work").unwrap();
+        for d in 0..dirs {
+            hier.mkdir(&format!("/work/dir{d:03}")).unwrap();
+        }
+    });
+    table.push_row(vec![
+        "mkdir".into(),
+        dirs.to_string(),
+        ops_per_sec(dirs as u64, posix_mkdir),
+        ops_per_sec(dirs as u64, hier_mkdir),
+    ]);
+
+    // create.
+    let (_, posix_create) = time(|| {
+        for (_, file) in &paths {
+            posix.create(file).unwrap();
+        }
+    });
+    let (_, hier_create) = time(|| {
+        for (_, file) in &paths {
+            hier.create_file(file).unwrap();
+        }
+    });
+    table.push_row(vec![
+        "create".into(),
+        paths.len().to_string(),
+        ops_per_sec(paths.len() as u64, posix_create),
+        ops_per_sec(paths.len() as u64, hier_create),
+    ]);
+
+    // stat.
+    let (_, posix_stat) = time(|| {
+        for (_, file) in &paths {
+            posix.stat(file).unwrap();
+        }
+    });
+    let (_, hier_stat) = time(|| {
+        for (_, file) in &paths {
+            hier.stat(file).unwrap();
+        }
+    });
+    table.push_row(vec![
+        "stat".into(),
+        paths.len().to_string(),
+        ops_per_sec(paths.len() as u64, posix_stat),
+        ops_per_sec(paths.len() as u64, hier_stat),
+    ]);
+
+    // readdir.
+    let (_, posix_readdir) = time(|| {
+        for d in 0..dirs {
+            posix.readdir(&format!("/work/dir{d:03}")).unwrap();
+        }
+    });
+    let (_, hier_readdir) = time(|| {
+        for d in 0..dirs {
+            hier.readdir(&format!("/work/dir{d:03}")).unwrap();
+        }
+    });
+    table.push_row(vec![
+        "readdir".into(),
+        dirs.to_string(),
+        ops_per_sec(dirs as u64, posix_readdir),
+        ops_per_sec(dirs as u64, hier_readdir),
+    ]);
+
+    // rename.
+    let renames = paths.len().min(dirs * 10);
+    let (_, posix_rename) = time(|| {
+        for (_, file) in paths.iter().take(renames) {
+            posix.rename(file, &format!("{file}.renamed")).unwrap();
+        }
+    });
+    let (_, hier_rename) = time(|| {
+        for (_, file) in paths.iter().take(renames) {
+            hier.rename(file, &format!("{file}.renamed")).unwrap();
+        }
+    });
+    table.push_row(vec![
+        "rename".into(),
+        renames.to_string(),
+        ops_per_sec(renames as u64, posix_rename),
+        ops_per_sec(renames as u64, hier_rename),
+    ]);
+
+    // unlink.
+    let (_, posix_unlink) = time(|| {
+        for (_, file) in paths.iter().take(renames) {
+            posix.unlink(&format!("{file}.renamed")).unwrap();
+        }
+        for (_, file) in paths.iter().skip(renames) {
+            posix.unlink(file).unwrap();
+        }
+    });
+    let (_, hier_unlink) = time(|| {
+        for (_, file) in paths.iter().take(renames) {
+            hier.unlink(&format!("{file}.renamed")).unwrap();
+        }
+        for (_, file) in paths.iter().skip(renames) {
+            hier.unlink(file).unwrap();
+        }
+    });
+    table.push_row(vec![
+        "unlink".into(),
+        paths.len().to_string(),
+        ops_per_sec(paths.len() as u64, posix_unlink),
+        ops_per_sec(paths.len() as u64, hier_unlink),
+    ]);
+    table
+}
+
+// ---------------------------------------------------------------------
+// E6 — §3.4 implementation ablations.
+// ---------------------------------------------------------------------
+
+/// E6: ablations of the implementation choices: buddy vs bump allocator,
+/// extent size, index shard count, and the optional transactional OSD.
+pub fn e6_ablation(scale: Scale) -> Table {
+    let objects = scale.pick(200, 2_000);
+    let object_size = 64 * 1024usize;
+    let body = vec![0x42u8; object_size];
+
+    let mut table = Table::new(
+        "E6",
+        "Ablations of §3.4 implementation choices",
+        "the OSD uses a buddy allocator, variable-sized extents, B-trees and an optionally \
+         transactional store (§3.3–3.4)",
+        &["dimension", "setting", "write MB/s", "note"],
+    );
+
+    // Allocator: buddy vs bump (write + delete churn shows reclamation).
+    for kind in [AllocatorKind::Buddy, AllocatorKind::Bump] {
+        let device = Arc::new(MemDevice::with_capacity(crate::setup::DEFAULT_CAPACITY));
+        let store = ObjectStore::create(
+            device,
+            StoreConfig {
+                allocator: kind,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (result, elapsed) = time(|| {
+            for i in 0..objects {
+                let oid = store.create_default(0).unwrap();
+                store.write(oid, 0, &body).unwrap();
+                if i % 2 == 1 {
+                    store.delete(oid).unwrap();
+                }
+            }
+            store.stats().allocator
+        });
+        let mb = (objects * object_size) as f64 / (1024.0 * 1024.0);
+        table.push_row(vec![
+            "allocator".into(),
+            format!("{kind:?}").to_lowercase(),
+            format!("{:.1}", mb / elapsed.as_secs_f64()),
+            format!(
+                "utilization {:.2}, failed allocs {}",
+                result.utilization(),
+                result.failed_allocs
+            ),
+        ]);
+    }
+
+    // Extent size sweep.
+    for extent_kib in [16u64, 64, 256, 1024] {
+        let fs = Hfad::in_memory(
+            crate::setup::DEFAULT_CAPACITY,
+            HfadConfig {
+                max_extent_bytes: extent_kib * 1024,
+                ..HfadConfig::eager()
+            },
+        )
+        .unwrap();
+        let (_, elapsed) = time(|| {
+            for _ in 0..objects.min(500) {
+                let oid = fs.create(&[]).unwrap();
+                fs.write(oid, 0, &body).unwrap();
+            }
+        });
+        let mb = (objects.min(500) * object_size) as f64 / (1024.0 * 1024.0);
+        let oid = fs.create(&[]).unwrap();
+        fs.write(oid, 0, &body).unwrap();
+        let insert_lat = mean_latency(10, || {
+            fs.insert(oid, (object_size / 2) as u64, b"splice").unwrap();
+        });
+        table.push_row(vec![
+            "max extent".into(),
+            format!("{extent_kib} KiB"),
+            format!("{:.1}", mb / elapsed.as_secs_f64()),
+            format!("mid-file insert {} µs", us(insert_lat)),
+        ]);
+    }
+
+    // Index shards.
+    for shards in [1usize, 4, 16] {
+        let fs = Hfad::in_memory(
+            crate::setup::DEFAULT_CAPACITY,
+            HfadConfig {
+                index_shards: shards,
+                ..HfadConfig::eager()
+            },
+        )
+        .unwrap();
+        let (_, elapsed) = time(|| {
+            for i in 0..objects {
+                fs.create(&[TagValue::udef(format!("tag-{i}"))]).unwrap();
+            }
+        });
+        table.push_row(vec![
+            "index shards".into(),
+            shards.to_string(),
+            String::from("-"),
+            format!("{} tagged creates/s", ops_per_sec(objects as u64, elapsed)),
+        ]);
+    }
+
+    // Transactional vs plain OSD.
+    {
+        let device = Arc::new(MemDevice::with_capacity(crate::setup::DEFAULT_CAPACITY));
+        let plain = ObjectStore::create(device, StoreConfig::default()).unwrap();
+        let oid = plain.create_default(0).unwrap();
+        let (_, plain_elapsed) = time(|| {
+            for i in 0..objects {
+                plain.write(oid, (i * 4096) as u64 % (1 << 20), &body[..4096]).unwrap();
+            }
+        });
+
+        let device = Arc::new(MemDevice::with_capacity(crate::setup::DEFAULT_CAPACITY));
+        let journaled = Arc::new(
+            ObjectStore::create(
+                device,
+                StoreConfig {
+                    journal_blocks: 4096,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let txn_store = hfad_osd::TxnStore::new(Arc::clone(&journaled)).unwrap();
+        let oid = journaled.create_default(0).unwrap();
+        let (_, txn_elapsed) = time(|| {
+            for i in 0..objects {
+                let mut txn = txn_store.begin();
+                txn.write(oid, (i * 4096) as u64 % (1 << 20), &body[..4096]).unwrap();
+                txn.commit().unwrap();
+                if i % 64 == 63 {
+                    txn_store.checkpoint().unwrap();
+                }
+            }
+        });
+        let mb = (objects * 4096) as f64 / (1024.0 * 1024.0);
+        table.push_row(vec![
+            "osd transactionality".into(),
+            "plain".into(),
+            format!("{:.1}", mb / plain_elapsed.as_secs_f64()),
+            "no journal".into(),
+        ]);
+        table.push_row(vec![
+            "osd transactionality".into(),
+            "journaled".into(),
+            format!("{:.1}", mb / txn_elapsed.as_secs_f64()),
+            "write-ahead log + commit per op".into(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------
+// E7 — §2.2 one object, many collections.
+// ---------------------------------------------------------------------
+
+/// E7: the cost of making one object a member of N collections — adding N
+/// tags in hFAD vs copying the file into N directories on the baseline
+/// (the baseline has no multi-naming primitive short of links, and links
+/// still require one directory entry per membership).
+pub fn e7_multinaming(scale: Scale) -> Table {
+    let object_size = 64 * 1024usize;
+    let body = vec![0x33u8; object_size];
+    let memberships: &[usize] = match scale {
+        Scale::Quick => &[1, 4, 16],
+        Scale::Full => &[1, 4, 16, 64, 256],
+    };
+
+    let mut table = Table::new(
+        "E7",
+        "One object in N collections",
+        "\"a single piece of data may belong to multiple collections\"; imposing one canonical \
+         hierarchy conflates naming with access (§2.2)",
+        &["memberships", "system", "total ms", "extra bytes stored"],
+    );
+
+    for &n in memberships {
+        // hFAD: one object, N tags.
+        let fs = Hfad::in_memory(crate::setup::DEFAULT_CAPACITY, HfadConfig::eager()).unwrap();
+        let oid = fs.create(&[]).unwrap();
+        fs.write(oid, 0, &body).unwrap();
+        let before_alloc = fs.stats().store.allocator.allocated_blocks;
+        let (_, elapsed) = time(|| {
+            for c in 0..n {
+                fs.add_tags(oid, &[TagValue::udef(format!("collection-{c:04}"))])
+                    .unwrap();
+            }
+        });
+        let extra_blocks = fs.stats().store.allocator.allocated_blocks - before_alloc;
+        table.push_row(vec![
+            n.to_string(),
+            "hfad (tags)".into(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            format!("{}", extra_blocks * 4096),
+        ]);
+
+        // Baseline: copy the file into each collection directory.
+        let (hier, _) = build_hierfs(&[], HierConfig::noatime());
+        hier.create_file("/original").unwrap();
+        hier.write("/original", 0, &body).unwrap();
+        let before_alloc = hier.store().stats().allocator.allocated_blocks;
+        let (_, elapsed) = time(|| {
+            for c in 0..n {
+                let dir = format!("/collection-{c:04}");
+                hier.mkdir_all(&dir).unwrap();
+                let copy = format!("{dir}/member");
+                hier.create_file(&copy).unwrap();
+                hier.write(&copy, 0, &body).unwrap();
+            }
+        });
+        let extra_blocks = hier.store().stats().allocator.allocated_blocks - before_alloc;
+        table.push_row(vec![
+            n.to_string(),
+            "hierfs (copies)".into(),
+            format!("{:.2}", elapsed.as_secs_f64() * 1e3),
+            format!("{}", extra_blocks * 4096),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment at the given scale, in declaration order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    vec![
+        t1_tag_classes(scale),
+        f1_layering(scale),
+        e1_traversals(scale),
+        e2_concurrency(scale),
+        e3_insert_truncate(scale),
+        e4_fulltext(scale),
+        e5_posix_compat(scale),
+        e6_ablation(scale),
+        e7_multinaming(scale),
+    ]
+}
+
+/// Looks an experiment up by id (`t1`, `f1`, `e1` … `e7`).
+pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
+    match id.to_ascii_lowercase().as_str() {
+        "t1" => Some(t1_tag_classes(scale)),
+        "f1" => Some(f1_layering(scale)),
+        "e1" => Some(e1_traversals(scale)),
+        "e2" => Some(e2_concurrency(scale)),
+        "e3" => Some(e3_insert_truncate(scale)),
+        "e4" => Some(e4_fulltext(scale)),
+        "e5" => Some(e5_posix_compat(scale)),
+        "e6" => Some(e6_ablation(scale)),
+        "e7" => Some(e7_multinaming(scale)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_id_resolves() {
+        for id in ["t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7"] {
+            assert!(run_one(id, Scale::Quick).is_some() || id.is_empty());
+        }
+        assert!(run_one("e99", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn t1_covers_all_table_1_uses() {
+        let table = t1_tag_classes(Scale::Quick);
+        let uses: Vec<&str> = table.rows.iter().map(|r| r[0].as_str()).collect();
+        for expected in ["POSIX", "Search", "Manual", "Applications", "FastPath"] {
+            assert!(uses.contains(&expected), "missing {expected}");
+        }
+        // Every lookup must have found at least one object.
+        for row in &table.rows {
+            assert!(row[3].parse::<u64>().unwrap() >= 1, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e3_hfad_insert_beats_rewrite_on_largest_size() {
+        let table = e3_insert_truncate(Scale::Quick);
+        // Find the largest size's insert rows.
+        let hfad: f64 = table
+            .rows
+            .iter()
+            .filter(|r| r[1].starts_with("insert") && r[2] == "hfad")
+            .next_back()
+            .unwrap()[3]
+            .parse()
+            .unwrap();
+        let hier: f64 = table
+            .rows
+            .iter()
+            .filter(|r| r[1].starts_with("insert") && r[2].starts_with("hierfs"))
+            .next_back()
+            .unwrap()[3]
+            .parse()
+            .unwrap();
+        assert!(
+            hfad < hier,
+            "extent splice ({hfad} µs) should beat rewrite ({hier} µs)"
+        );
+    }
+
+    #[test]
+    fn e1_hfad_uses_fewer_traversals() {
+        let table = e1_traversals(Scale::Quick);
+        // At the deepest path, the baseline's logical traversals must exceed
+        // hFAD's (which is constant at 2).
+        let base: f64 = table
+            .rows
+            .iter()
+            .filter(|r| r[1].starts_with("hierfs"))
+            .next_back()
+            .unwrap()[2]
+            .parse()
+            .unwrap();
+        assert!(base > 2.0, "baseline traversals {base} should exceed 2");
+    }
+}

@@ -1,0 +1,11 @@
+//! # hfad-bench
+//!
+//! The benchmark harness for the hFAD reproduction. Every table and figure
+//! in `EXPERIMENTS.md` is regenerated either by the `experiments` binary
+//! (`cargo run --release -p hfad-bench --bin experiments`) or by the
+//! criterion benches (`cargo bench`), both of which call the shared
+//! implementations in [`experiments`].
+
+pub mod experiments;
+pub mod results;
+pub mod setup;

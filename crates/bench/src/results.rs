@@ -1,0 +1,102 @@
+//! Result tables printed by the experiment harness.
+
+use serde::Serialize;
+
+/// A single experiment result table (one per paper table/figure/claim).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. "E1").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The paper's qualitative prediction for this experiment.
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, paper_claim: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_claim: paper_claim.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        out.push_str(&format!("paper: {}\n", self.paper_claim));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in microseconds with three significant decimals.
+pub fn us(duration: std::time::Duration) -> String {
+    format!("{:.2}", duration.as_secs_f64() * 1e6)
+}
+
+/// Formats an operations-per-second rate.
+pub fn ops_per_sec(ops: u64, elapsed: std::time::Duration) -> String {
+    format!("{:.0}", ops as f64 / elapsed.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("E9", "demo", "claim text", &["a", "metric"]);
+        t.push_row(vec!["x".into(), "1".into()]);
+        t.push_row(vec!["longer".into(), "2".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("E9: demo"));
+        assert!(rendered.contains("claim text"));
+        assert!(rendered.lines().count() >= 6);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(std::time::Duration::from_micros(1500)), "1500.00");
+        assert_eq!(
+            ops_per_sec(1000, std::time::Duration::from_secs(2)),
+            "500"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared fixtures: populated hFAD / hierarchical / POSIX instances.
+
+use std::sync::Arc;
+
+use hfad_core::{Hfad, HfadConfig, ObjectId, Tag, TagValue};
+use hfad_hierfs::{HierConfig, HierFs, SearchIndex};
+use hfad_posix::PosixFs;
+use hfad_workload::Item;
+
+/// Default backing-store capacity for experiment instances.
+pub const DEFAULT_CAPACITY: u64 = 512 * 1024 * 1024;
+
+/// Converts a corpus item's `(tag, value)` pairs into hFAD tag values,
+/// including the item's POSIX path.
+pub fn item_tags(item: &Item) -> Vec<TagValue> {
+    let mut tags = vec![TagValue::posix(item.path.clone())];
+    for (tag, value) in &item.tags {
+        tags.push(TagValue::new(Tag::parse(tag), value.clone()));
+    }
+    tags
+}
+
+/// Builds an hFAD instance populated with `items`. Returns the instance and
+/// the object id assigned to each item (in order).
+pub fn build_hfad(items: &[Item], config: HfadConfig) -> (Arc<Hfad>, Vec<ObjectId>) {
+    let fs = Arc::new(Hfad::in_memory(DEFAULT_CAPACITY, config).expect("create hfad"));
+    let mut oids = Vec::with_capacity(items.len());
+    for item in items {
+        let oid = fs
+            .create_with_content(&item_tags(item), &item.content())
+            .expect("create item");
+        oids.push(oid);
+    }
+    fs.sync_index();
+    (fs, oids)
+}
+
+/// Builds a hierarchical baseline populated with `items` (directories are
+/// created as needed) plus a desktop-search index over their contents.
+pub fn build_hierfs(items: &[Item], config: HierConfig) -> (Arc<HierFs>, SearchIndex) {
+    let fs = Arc::new(HierFs::in_memory(DEFAULT_CAPACITY, config).expect("create hierfs"));
+    for dir in hfad_workload::directories(items) {
+        fs.mkdir_all(&dir).expect("mkdir");
+    }
+    let index = SearchIndex::new(&fs).expect("search index");
+    for item in items {
+        fs.create_file(&item.path).expect("create file");
+        fs.write(&item.path, 0, &item.content()).expect("write");
+        index.index_file(&fs, &item.path).expect("index file");
+    }
+    (fs, index)
+}
+
+/// Builds a POSIX veneer over a fresh hFAD instance populated with `items`.
+pub fn build_posix(items: &[Item], config: HfadConfig) -> PosixFs {
+    let fs = Arc::new(Hfad::in_memory(DEFAULT_CAPACITY, config).expect("create hfad"));
+    let posix = PosixFs::new(fs).expect("posix veneer");
+    for dir in hfad_workload::directories(items) {
+        posix.mkdir_all(&dir).expect("mkdir");
+    }
+    for item in items {
+        posix.create(&item.path).expect("create");
+        posix.write(&item.path, 0, &item.content()).expect("write");
+    }
+    posix
+}
+
+#[cfg(test)]
+mod tests {
+    use hfad_workload::CorpusConfig;
+
+    use super::*;
+
+    fn small_corpus() -> Vec<Item> {
+        hfad_workload::documents(&CorpusConfig {
+            items: 30,
+            words_per_item: 10,
+            dir_depth: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn hfad_fixture_is_searchable() {
+        let items = small_corpus();
+        let (fs, oids) = build_hfad(&items, HfadConfig::eager());
+        assert_eq!(oids.len(), items.len());
+        assert_eq!(fs.object_count(), items.len() as u64);
+        // Every item is reachable through its POSIX tag.
+        for (item, oid) in items.iter().zip(&oids) {
+            assert_eq!(
+                fs.lookup(&[TagValue::posix(item.path.clone())]).unwrap(),
+                vec![*oid]
+            );
+        }
+    }
+
+    #[test]
+    fn hierfs_fixture_matches_corpus() {
+        let items = small_corpus();
+        let (fs, index) = build_hierfs(&items, HierConfig::default());
+        for item in &items {
+            assert_eq!(fs.read_all(&item.path).unwrap(), item.content());
+        }
+        assert!(index.posting_count().unwrap() > 0);
+    }
+
+    #[test]
+    fn posix_fixture_matches_corpus() {
+        let items = small_corpus();
+        let posix = build_posix(&items, HfadConfig::eager());
+        for item in &items {
+            assert_eq!(posix.read_all(&item.path).unwrap(), item.content());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Order-preserving key encodings.
+//!
+//! The OSD stores extent maps keyed by file offset and the index stores use
+//! composite `tag:value` string keys; both need encodings whose raw byte
+//! order matches the logical order so that B-tree range scans work.
+
+/// Encodes a `u64` so that byte-wise comparison matches numeric comparison.
+pub fn encode_u64(v: u64) -> [u8; 8] {
+    v.to_be_bytes()
+}
+
+/// Decodes a key produced by [`encode_u64`].
+///
+/// Returns `None` if the slice is not exactly 8 bytes.
+pub fn decode_u64(bytes: &[u8]) -> Option<u64> {
+    let arr: [u8; 8] = bytes.try_into().ok()?;
+    Some(u64::from_be_bytes(arr))
+}
+
+/// Encodes a `(prefix, suffix)` composite key.
+///
+/// The prefix is terminated by a `0x00` byte; any `0x00` inside the prefix
+/// is escaped as `0x00 0xFF` so the terminator is unambiguous and ordering
+/// is preserved. The suffix is appended raw.
+pub fn encode_composite(prefix: &[u8], suffix: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(prefix.len() + suffix.len() + 2);
+    for &b in prefix {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.extend_from_slice(suffix);
+    out
+}
+
+/// Splits a composite key back into `(prefix, suffix)`.
+///
+/// Returns `None` if the key has no terminator.
+pub fn decode_composite(key: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+    let mut prefix = Vec::new();
+    let mut i = 0;
+    while i < key.len() {
+        if key[i] == 0x00 {
+            if i + 1 < key.len() && key[i + 1] == 0xFF {
+                prefix.push(0x00);
+                i += 2;
+                continue;
+            }
+            // Terminator found.
+            return Some((prefix, key[i + 1..].to_vec()));
+        }
+        prefix.push(key[i]);
+        i += 1;
+    }
+    None
+}
+
+/// Returns the smallest key that is strictly greater than every key with
+/// the given prefix (for exclusive range upper bounds). Returns `None` when
+/// the prefix is all `0xFF` bytes, in which case the range extends to the
+/// end of the tree.
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut bound = prefix.to_vec();
+    while let Some(&last) = bound.last() {
+        if last == 0xFF {
+            bound.pop();
+        } else {
+            *bound.last_mut().expect("non-empty") = last + 1;
+            return Some(bound);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_and_order() {
+        for (a, b) in [(0u64, 1u64), (255, 256), (1 << 32, (1 << 32) + 1)] {
+            assert!(encode_u64(a) < encode_u64(b));
+            assert_eq!(decode_u64(&encode_u64(a)), Some(a));
+        }
+        assert_eq!(decode_u64(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn composite_round_trip() {
+        let key = encode_composite(b"POSIX", b"/home/margo/mail.mbox");
+        let (p, s) = decode_composite(&key).unwrap();
+        assert_eq!(p, b"POSIX");
+        assert_eq!(s, b"/home/margo/mail.mbox");
+    }
+
+    #[test]
+    fn composite_with_embedded_zero() {
+        let prefix = b"ta\x00g";
+        let key = encode_composite(prefix, b"value");
+        let (p, s) = decode_composite(&key).unwrap();
+        assert_eq!(p, prefix);
+        assert_eq!(s, b"value");
+    }
+
+    #[test]
+    fn composite_ordering_groups_by_prefix() {
+        let a = encode_composite(b"APP", b"zzz");
+        let b = encode_composite(b"FULLTEXT", b"aaa");
+        assert!(a < b, "all APP keys sort before all FULLTEXT keys");
+    }
+
+    #[test]
+    fn decode_without_terminator_fails() {
+        assert!(decode_composite(b"\x00\xFFraw").is_none());
+    }
+
+    #[test]
+    fn prefix_upper_bound_increments() {
+        assert_eq!(prefix_upper_bound(b"abc"), Some(b"abd".to_vec()));
+        assert_eq!(prefix_upper_bound(b"ab\xFF"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_upper_bound(b"\xFF\xFF"), None);
+    }
+
+    #[test]
+    fn prefix_upper_bound_brackets_prefix() {
+        let prefix = b"FULLTEXT";
+        let lo = encode_composite(prefix, b"");
+        let key = encode_composite(prefix, b"zebra");
+        let hi = prefix_upper_bound(&lo[..lo.len() - 1].to_vec()).unwrap();
+        assert!(lo <= key);
+        assert!(key < hi);
+    }
+}

@@ -1,0 +1,162 @@
+//! Range-scan cursors.
+
+use crate::error::Result;
+use crate::page::LeafNode;
+use crate::tree::BTree;
+
+/// An iterator over the entries of a [`BTree`] within a key range.
+///
+/// Created by [`BTree::range`]. Yields `(key, value)` pairs in ascending key
+/// order, following the leaf chain. The upper bound is exclusive; `None`
+/// means the scan runs to the end of the tree.
+pub struct Cursor<'a> {
+    tree: &'a BTree,
+    leaf: LeafNode,
+    index: usize,
+    upper: Option<Vec<u8>>,
+    exhausted: bool,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(tree: &'a BTree, lower: &[u8], upper: Option<Vec<u8>>) -> Result<Self> {
+        let (_, leaf, index) = tree.seek_leaf(lower)?;
+        Ok(Cursor {
+            tree,
+            leaf,
+            index,
+            upper,
+            exhausted: false,
+        })
+    }
+
+    fn advance_leaf(&mut self) -> Result<bool> {
+        if self.leaf.next == 0 {
+            return Ok(false);
+        }
+        let next = self.leaf.next;
+        match self.tree.read_node(next)? {
+            crate::page::Node::Leaf(leaf) => {
+                self.leaf = leaf;
+                self.index = 0;
+                Ok(true)
+            }
+            crate::page::Node::Internal(_) => Err(crate::error::BTreeError::Corrupt(format!(
+                "leaf chain points at internal node {next}"
+            ))),
+        }
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.exhausted {
+            return None;
+        }
+        loop {
+            if self.index < self.leaf.entries.len() {
+                let (key, value) = self.leaf.entries[self.index].clone();
+                if let Some(upper) = &self.upper {
+                    if key.as_slice() >= upper.as_slice() {
+                        self.exhausted = true;
+                        return None;
+                    }
+                }
+                self.index += 1;
+                return Some(Ok((key, value)));
+            }
+            match self.advance_leaf() {
+                Ok(true) => continue,
+                Ok(false) => {
+                    self.exhausted = true;
+                    return None;
+                }
+                Err(e) => {
+                    self.exhausted = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use hfad_storage::{BuddyAllocator, MemDevice};
+
+    use crate::tree::{BTree, TreeContext};
+
+    fn tree_with(n: u32) -> BTree {
+        let device = Arc::new(MemDevice::new(4096, 256));
+        let allocator = Arc::new(BuddyAllocator::new(1, 4095));
+        let mut tree = BTree::create(TreeContext::new(device, allocator)).unwrap();
+        for i in 0..n {
+            tree.insert(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn full_scan_is_sorted_and_complete() {
+        let tree = tree_with(400);
+        let entries: Vec<_> = tree.range(&[], None).unwrap().map(|e| e.unwrap()).collect();
+        assert_eq!(entries.len(), 400);
+        for window in entries.windows(2) {
+            assert!(window[0].0 < window[1].0);
+        }
+    }
+
+    #[test]
+    fn scan_from_midpoint() {
+        let tree = tree_with(100);
+        let entries: Vec<_> = tree
+            .range(b"k00050", None)
+            .unwrap()
+            .map(|e| e.unwrap())
+            .collect();
+        assert_eq!(entries.len(), 50);
+        assert_eq!(entries[0].0, b"k00050".to_vec());
+    }
+
+    #[test]
+    fn scan_with_upper_bound_stops_early() {
+        let tree = tree_with(100);
+        let entries: Vec<_> = tree
+            .range(b"k00010", Some(b"k00015"))
+            .unwrap()
+            .map(|e| e.unwrap())
+            .collect();
+        let keys: Vec<_> = entries.iter().map(|(k, _)| String::from_utf8_lossy(k).to_string()).collect();
+        assert_eq!(keys, vec!["k00010", "k00011", "k00012", "k00013", "k00014"]);
+    }
+
+    #[test]
+    fn scan_between_keys_starts_at_next_present_key() {
+        let tree = tree_with(20);
+        // "k00005x" is not present; the scan starts at k00006.
+        let first = tree
+            .range(b"k00005x", None)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.0, b"k00006".to_vec());
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let tree = tree_with(20);
+        assert_eq!(tree.range(b"zzz", None).unwrap().count(), 0);
+        assert_eq!(tree.range(b"k00005", Some(b"k00005")).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn scan_on_empty_tree() {
+        let tree = tree_with(0);
+        assert_eq!(tree.range(&[], None).unwrap().count(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the B-tree crate.
+
+use core::fmt;
+
+use hfad_storage::StorageError;
+
+/// Errors produced by B-tree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BTreeError {
+    /// Error from the underlying device or allocator.
+    Storage(StorageError),
+    /// The combined key + value size cannot fit in a node.
+    EntryTooLarge {
+        /// Key length in bytes.
+        key_len: usize,
+        /// Value length in bytes.
+        value_len: usize,
+        /// Maximum combined length the tree accepts.
+        max: usize,
+    },
+    /// A zero-length key was supplied (not supported; keys identify entries).
+    EmptyKey,
+    /// An on-disk node failed validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BTreeError::Storage(e) => write!(f, "storage error: {e}"),
+            BTreeError::EntryTooLarge {
+                key_len,
+                value_len,
+                max,
+            } => write!(
+                f,
+                "entry too large: key {key_len} + value {value_len} bytes exceeds max {max}"
+            ),
+            BTreeError::EmptyKey => write!(f, "empty keys are not supported"),
+            BTreeError::Corrupt(msg) => write!(f, "corrupt b-tree node: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {}
+
+impl From<StorageError> for BTreeError {
+    fn from(e: StorageError) -> Self {
+        BTreeError::Storage(e)
+    }
+}
+
+/// Convenience alias used throughout the B-tree crate.
+pub type Result<T> = std::result::Result<T, BTreeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = BTreeError::EntryTooLarge {
+            key_len: 10,
+            value_len: 5000,
+            max: 1000,
+        };
+        assert!(e.to_string().contains("5000"));
+        assert!(BTreeError::EmptyKey.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn storage_error_converts() {
+        let e: BTreeError = StorageError::ZeroAllocation.into();
+        assert!(matches!(e, BTreeError::Storage(_)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # hfad-btree
+//!
+//! A persistent B+tree over the `hfad-storage` substrate, playing the role
+//! Berkeley DB plays in the hFAD paper (§3.4): object extent maps, the
+//! OID→metadata map, and all string indices are B-trees.
+//!
+//! * [`tree::BTree`] — create/open, point get/insert/delete, range scans,
+//!   prefix scans, traversal statistics, destroy.
+//! * [`page`] — the one-block-per-node on-disk format.
+//! * [`cursor::Cursor`] — ordered range iteration following the leaf chain.
+//! * [`codec`] — order-preserving key encodings (big-endian integers and
+//!   escaped composite `tag:value` keys) shared by the OSD and index
+//!   stores.
+//!
+//! The tree is single-writer / multi-reader by construction: mutating
+//! methods take `&mut self`, lookups take `&self`. Callers that need
+//! concurrent access wrap the tree in a lock; the OSD uses one lock per
+//! object and the index stores one per index, which is exactly the locking
+//! granularity the paper contrasts with a shared hierarchical namespace.
+
+pub mod codec;
+pub mod cursor;
+pub mod error;
+pub mod page;
+pub mod tree;
+
+pub use cursor::Cursor;
+pub use error::{BTreeError, Result};
+pub use page::{InternalNode, LeafNode, Node};
+pub use tree::{BTree, TreeContext, TreeStats};

@@ -1,0 +1,331 @@
+//! On-disk node formats.
+//!
+//! Every B-tree node occupies exactly one device block. Two node kinds
+//! exist:
+//!
+//! ```text
+//! leaf:     [type=1][nkeys:u16][next_leaf:u64]
+//!           { key_len:u16 val_len:u16 key val } * nkeys
+//! internal: [type=2][nkeys:u16][child0:u64]
+//!           { key_len:u16 key child:u64 } * nkeys
+//! ```
+//!
+//! All integers are little-endian. Page id 0 (the superblock) is never a
+//! node, so 0 doubles as the "no next leaf" sentinel.
+
+use crate::error::{BTreeError, Result};
+
+/// Node type byte for leaves.
+const TYPE_LEAF: u8 = 1;
+/// Node type byte for internal nodes.
+const TYPE_INTERNAL: u8 = 2;
+
+/// Fixed header length shared by both node kinds.
+pub const NODE_HEADER: usize = 1 + 2 + 8;
+/// Per-entry overhead in a leaf (key length + value length fields).
+pub const LEAF_ENTRY_OVERHEAD: usize = 4;
+/// Per-entry overhead in an internal node (key length field + child id).
+pub const INTERNAL_ENTRY_OVERHEAD: usize = 10;
+
+/// A leaf node: sorted `(key, value)` entries plus a link to the next leaf.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LeafNode {
+    /// Page id of the next leaf in key order, or 0 for the rightmost leaf.
+    pub next: u64,
+    /// Entries sorted by key, no duplicates.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+/// An internal node: `keys.len() + 1` children, where `children[i]` holds
+/// keys strictly less than `keys[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InternalNode {
+    /// Separator keys, sorted.
+    pub keys: Vec<Vec<u8>>,
+    /// Child page ids; always `keys.len() + 1` when non-empty.
+    pub children: Vec<u64>,
+}
+
+/// A decoded node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf node.
+    Leaf(LeafNode),
+    /// Internal node.
+    Internal(InternalNode),
+}
+
+impl LeafNode {
+    /// Bytes this node needs when encoded.
+    pub fn encoded_size(&self) -> usize {
+        NODE_HEADER
+            + self
+                .entries
+                .iter()
+                .map(|(k, v)| LEAF_ENTRY_OVERHEAD + k.len() + v.len())
+                .sum::<usize>()
+    }
+
+    /// Index of `key` if present, or the insertion position.
+    pub fn search(&self, key: &[u8]) -> std::result::Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.as_slice().cmp(key))
+    }
+}
+
+impl InternalNode {
+    /// Bytes this node needs when encoded.
+    pub fn encoded_size(&self) -> usize {
+        NODE_HEADER
+            + self
+                .keys
+                .iter()
+                .map(|k| INTERNAL_ENTRY_OVERHEAD + k.len())
+                .sum::<usize>()
+    }
+
+    /// Index of the child to descend into for `key`.
+    ///
+    /// Child `i` covers keys in `[keys[i-1], keys[i])` with the usual open
+    /// ends for the first and last child.
+    pub fn child_for(&self, key: &[u8]) -> usize {
+        match self.keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+            // Separator keys equal to the target belong to the right child.
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+}
+
+impl Node {
+    /// Encodes the node into a block-sized buffer.
+    ///
+    /// Returns [`BTreeError::Corrupt`] if the node does not fit; callers
+    /// split nodes before they reach that point, so hitting it indicates a
+    /// logic error upstream.
+    pub fn encode(&self, block_size: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; block_size];
+        match self {
+            Node::Leaf(leaf) => {
+                if leaf.encoded_size() > block_size {
+                    return Err(BTreeError::Corrupt(format!(
+                        "leaf needs {} bytes, block is {}",
+                        leaf.encoded_size(),
+                        block_size
+                    )));
+                }
+                buf[0] = TYPE_LEAF;
+                buf[1..3].copy_from_slice(&(leaf.entries.len() as u16).to_le_bytes());
+                buf[3..11].copy_from_slice(&leaf.next.to_le_bytes());
+                let mut pos = NODE_HEADER;
+                for (k, v) in &leaf.entries {
+                    buf[pos..pos + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    buf[pos + 2..pos + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                    pos += 4;
+                    buf[pos..pos + k.len()].copy_from_slice(k);
+                    pos += k.len();
+                    buf[pos..pos + v.len()].copy_from_slice(v);
+                    pos += v.len();
+                }
+            }
+            Node::Internal(node) => {
+                if node.encoded_size() > block_size {
+                    return Err(BTreeError::Corrupt(format!(
+                        "internal node needs {} bytes, block is {}",
+                        node.encoded_size(),
+                        block_size
+                    )));
+                }
+                if node.children.len() != node.keys.len() + 1 {
+                    return Err(BTreeError::Corrupt(format!(
+                        "internal node has {} keys but {} children",
+                        node.keys.len(),
+                        node.children.len()
+                    )));
+                }
+                buf[0] = TYPE_INTERNAL;
+                buf[1..3].copy_from_slice(&(node.keys.len() as u16).to_le_bytes());
+                buf[3..11].copy_from_slice(&node.children[0].to_le_bytes());
+                let mut pos = NODE_HEADER;
+                for (i, k) in node.keys.iter().enumerate() {
+                    buf[pos..pos + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    pos += 2;
+                    buf[pos..pos + k.len()].copy_from_slice(k);
+                    pos += k.len();
+                    buf[pos..pos + 8].copy_from_slice(&node.children[i + 1].to_le_bytes());
+                    pos += 8;
+                }
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Decodes a node from a block.
+    pub fn decode(buf: &[u8]) -> Result<Node> {
+        if buf.len() < NODE_HEADER {
+            return Err(BTreeError::Corrupt("block shorter than header".to_string()));
+        }
+        let nkeys = u16::from_le_bytes(buf[1..3].try_into().expect("u16")) as usize;
+        let first = u64::from_le_bytes(buf[3..11].try_into().expect("u64"));
+        let mut pos = NODE_HEADER;
+        match buf[0] {
+            TYPE_LEAF => {
+                let mut entries = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    if pos + 4 > buf.len() {
+                        return Err(BTreeError::Corrupt("leaf entry header overruns".into()));
+                    }
+                    let klen =
+                        u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("u16")) as usize;
+                    let vlen =
+                        u16::from_le_bytes(buf[pos + 2..pos + 4].try_into().expect("u16")) as usize;
+                    pos += 4;
+                    if pos + klen + vlen > buf.len() {
+                        return Err(BTreeError::Corrupt("leaf entry overruns block".into()));
+                    }
+                    let key = buf[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let value = buf[pos..pos + vlen].to_vec();
+                    pos += vlen;
+                    entries.push((key, value));
+                }
+                Ok(Node::Leaf(LeafNode {
+                    next: first,
+                    entries,
+                }))
+            }
+            TYPE_INTERNAL => {
+                let mut keys = Vec::with_capacity(nkeys);
+                let mut children = Vec::with_capacity(nkeys + 1);
+                children.push(first);
+                for _ in 0..nkeys {
+                    if pos + 2 > buf.len() {
+                        return Err(BTreeError::Corrupt("internal entry header overruns".into()));
+                    }
+                    let klen =
+                        u16::from_le_bytes(buf[pos..pos + 2].try_into().expect("u16")) as usize;
+                    pos += 2;
+                    if pos + klen + 8 > buf.len() {
+                        return Err(BTreeError::Corrupt("internal entry overruns block".into()));
+                    }
+                    keys.push(buf[pos..pos + klen].to_vec());
+                    pos += klen;
+                    children.push(u64::from_le_bytes(
+                        buf[pos..pos + 8].try_into().expect("u64"),
+                    ));
+                    pos += 8;
+                }
+                Ok(Node::Internal(InternalNode { keys, children }))
+            }
+            other => Err(BTreeError::Corrupt(format!("unknown node type {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(k: &str, v: &str) -> (Vec<u8>, Vec<u8>) {
+        (k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let leaf = LeafNode {
+            next: 42,
+            entries: vec![kv("alpha", "1"), kv("beta", "2"), kv("gamma", "3")],
+        };
+        let buf = Node::Leaf(leaf.clone()).encode(512).unwrap();
+        assert_eq!(buf.len(), 512);
+        let decoded = Node::decode(&buf).unwrap();
+        assert_eq!(decoded, Node::Leaf(leaf));
+    }
+
+    #[test]
+    fn empty_leaf_round_trip() {
+        let leaf = LeafNode::default();
+        let buf = Node::Leaf(leaf.clone()).encode(128).unwrap();
+        assert_eq!(Node::decode(&buf).unwrap(), Node::Leaf(leaf));
+    }
+
+    #[test]
+    fn internal_round_trip() {
+        let node = InternalNode {
+            keys: vec![b"m".to_vec(), b"t".to_vec()],
+            children: vec![10, 20, 30],
+        };
+        let buf = Node::Internal(node.clone()).encode(256).unwrap();
+        let decoded = Node::decode(&buf).unwrap();
+        assert_eq!(decoded, Node::Internal(node));
+    }
+
+    #[test]
+    fn encode_rejects_oversized_node() {
+        let leaf = LeafNode {
+            next: 0,
+            entries: vec![(vec![0u8; 300], vec![0u8; 300])],
+        };
+        assert!(Node::Leaf(leaf).encode(128).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_mismatched_internal() {
+        let node = InternalNode {
+            keys: vec![b"k".to_vec()],
+            children: vec![1],
+        };
+        assert!(Node::Internal(node).encode(256).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Node::decode(&[9u8; 64]).is_err());
+        assert!(Node::decode(&[1u8, 5]).is_err());
+        // Claims 1000 entries but has no bytes for them.
+        let mut buf = vec![0u8; 64];
+        buf[0] = TYPE_LEAF;
+        buf[1..3].copy_from_slice(&1000u16.to_le_bytes());
+        assert!(Node::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn leaf_search_finds_positions() {
+        let leaf = LeafNode {
+            next: 0,
+            entries: vec![kv("b", "1"), kv("d", "2"), kv("f", "3")],
+        };
+        assert_eq!(leaf.search(b"b"), Ok(0));
+        assert_eq!(leaf.search(b"d"), Ok(1));
+        assert_eq!(leaf.search(b"a"), Err(0));
+        assert_eq!(leaf.search(b"c"), Err(1));
+        assert_eq!(leaf.search(b"z"), Err(3));
+    }
+
+    #[test]
+    fn internal_child_for_routes_correctly() {
+        let node = InternalNode {
+            keys: vec![b"m".to_vec(), b"t".to_vec()],
+            children: vec![1, 2, 3],
+        };
+        assert_eq!(node.child_for(b"a"), 0);
+        assert_eq!(node.child_for(b"m"), 1, "separator goes right");
+        assert_eq!(node.child_for(b"p"), 1);
+        assert_eq!(node.child_for(b"t"), 2);
+        assert_eq!(node.child_for(b"z"), 2);
+    }
+
+    #[test]
+    fn encoded_size_matches_actual_layout() {
+        let leaf = LeafNode {
+            next: 7,
+            entries: vec![kv("key1", "value1"), kv("key2", "value2")],
+        };
+        // Header 11 + 2 * (4 + 4 + 6).
+        assert_eq!(leaf.encoded_size(), 11 + 2 * 14);
+        let node = InternalNode {
+            keys: vec![b"abc".to_vec()],
+            children: vec![1, 2],
+        };
+        assert_eq!(node.encoded_size(), 11 + 10 + 3);
+    }
+}

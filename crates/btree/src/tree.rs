@@ -1,0 +1,624 @@
+//! The on-device B+tree.
+//!
+//! The paper represents OSD objects "as Berkeley DB btree databases whose
+//! keys are file offsets … and whose data items are the disk addresses and
+//! lengths" and uses further B-trees for the OID→metadata map and string
+//! indices. [`BTree`] plays the Berkeley DB role: a persistent, ordered map
+//! from byte-string keys to byte-string values, one node per device block,
+//! allocated from the shared block allocator.
+//!
+//! Deletion is lazy (entries are removed from leaves, but underfull nodes
+//! are not merged); this matches the workload of extent maps and index
+//! stores, where trees either grow or are destroyed whole.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hfad_storage::{Allocator, BlockDevice, Extent};
+
+use crate::cursor::Cursor;
+use crate::error::{BTreeError, Result};
+use crate::page::{InternalNode, LeafNode, Node};
+
+/// Traversal and I/O statistics for one tree.
+///
+/// `nodes_read` is the number the paper's §2.3 argument counts: every level
+/// descended is one index traversal.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Nodes fetched from the device (or cache) during descents and scans.
+    pub nodes_read: u64,
+    /// Nodes written back after modification.
+    pub nodes_written: u64,
+    /// Node splits performed.
+    pub splits: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicTreeStats {
+    nodes_read: AtomicU64,
+    nodes_written: AtomicU64,
+    splits: AtomicU64,
+}
+
+/// Shared handle to the device and allocator a tree lives on.
+#[derive(Clone)]
+pub struct TreeContext {
+    /// Block device holding the nodes.
+    pub device: Arc<dyn BlockDevice>,
+    /// Allocator that hands out node blocks.
+    pub allocator: Arc<dyn Allocator>,
+}
+
+impl TreeContext {
+    /// Creates a context from a device and allocator.
+    pub fn new(device: Arc<dyn BlockDevice>, allocator: Arc<dyn Allocator>) -> Self {
+        TreeContext { device, allocator }
+    }
+}
+
+/// Outcome of a recursive insert.
+enum InsertOutcome {
+    /// Insert finished inside the subtree.
+    Done(Option<Vec<u8>>),
+    /// The child split; `sep` and `right` must be added to the parent.
+    Split {
+        sep: Vec<u8>,
+        right: u64,
+        previous: Option<Vec<u8>>,
+    },
+}
+
+/// A persistent B+tree over a block device.
+pub struct BTree {
+    ctx: TreeContext,
+    root: u64,
+    block_size: usize,
+    max_entry: usize,
+    stats: AtomicTreeStats,
+}
+
+impl BTree {
+    /// Creates a new empty tree, allocating its root leaf.
+    pub fn create(ctx: TreeContext) -> Result<Self> {
+        let block_size = ctx.device.block_size();
+        let root = Self::alloc_page(&ctx)?;
+        let tree = BTree {
+            ctx,
+            root,
+            block_size,
+            max_entry: Self::max_entry_for(block_size),
+            stats: AtomicTreeStats::default(),
+        };
+        tree.write_node(root, &Node::Leaf(LeafNode::default()))?;
+        Ok(tree)
+    }
+
+    /// Opens an existing tree rooted at `root`.
+    pub fn open(ctx: TreeContext, root: u64) -> Self {
+        let block_size = ctx.device.block_size();
+        BTree {
+            ctx,
+            root,
+            block_size,
+            max_entry: Self::max_entry_for(block_size),
+            stats: AtomicTreeStats::default(),
+        }
+    }
+
+    /// Largest combined key + value length accepted for `block_size`.
+    pub fn max_entry_for(block_size: usize) -> usize {
+        // Guarantee that at least four entries fit in a leaf so splits
+        // always produce two non-empty halves with room to spare.
+        (block_size - 64) / 4
+    }
+
+    /// Page id of the root node; callers persist this to reopen the tree.
+    pub fn root_page(&self) -> u64 {
+        self.root
+    }
+
+    /// The context (device + allocator) this tree uses.
+    pub fn context(&self) -> &TreeContext {
+        &self.ctx
+    }
+
+    /// Traversal statistics accumulated since the handle was created.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats {
+            nodes_read: self.stats.nodes_read.load(Ordering::Relaxed),
+            nodes_written: self.stats.nodes_written.load(Ordering::Relaxed),
+            splits: self.stats.splits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the traversal statistics to zero.
+    pub fn reset_stats(&self) {
+        self.stats.nodes_read.store(0, Ordering::Relaxed);
+        self.stats.nodes_written.store(0, Ordering::Relaxed);
+        self.stats.splits.store(0, Ordering::Relaxed);
+    }
+
+    fn alloc_page(ctx: &TreeContext) -> Result<u64> {
+        let extent = ctx.allocator.allocate(1)?;
+        Ok(extent.start)
+    }
+
+    fn free_page(&self, page: u64) -> Result<()> {
+        self.ctx.allocator.free(Extent::new(page, 1))?;
+        Ok(())
+    }
+
+    pub(crate) fn read_node(&self, page: u64) -> Result<Node> {
+        let mut buf = vec![0u8; self.block_size];
+        self.ctx.device.read_block(page, &mut buf)?;
+        self.stats.nodes_read.fetch_add(1, Ordering::Relaxed);
+        Node::decode(&buf)
+    }
+
+    fn write_node(&self, page: u64, node: &Node) -> Result<()> {
+        let buf = node.encode(self.block_size)?;
+        self.ctx.device.write_block(page, &buf)?;
+        self.stats.nodes_written.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn check_entry(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        if key.is_empty() {
+            return Err(BTreeError::EmptyKey);
+        }
+        if key.len() + value.len() > self.max_entry {
+            return Err(BTreeError::EntryTooLarge {
+                key_len: key.len(),
+                value_len: value.len(),
+                max: self.max_entry,
+            });
+        }
+        Ok(())
+    }
+
+    /// Looks up `key`, returning its value if present.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal(node) => {
+                    page = node.children[node.child_for(key)];
+                }
+                Node::Leaf(leaf) => {
+                    return Ok(match leaf.search(key) {
+                        Ok(i) => Some(leaf.entries[i].1.clone()),
+                        Err(_) => None,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Inserts or replaces `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_entry(key, value)?;
+        match self.insert_rec(self.root, key, value)? {
+            InsertOutcome::Done(previous) => Ok(previous),
+            InsertOutcome::Split {
+                sep,
+                right,
+                previous,
+            } => {
+                // Grow the tree by one level.
+                let new_root = Self::alloc_page(&self.ctx)?;
+                let node = InternalNode {
+                    keys: vec![sep],
+                    children: vec![self.root, right],
+                };
+                self.write_node(new_root, &Node::Internal(node))?;
+                self.root = new_root;
+                Ok(previous)
+            }
+        }
+    }
+
+    fn insert_rec(&self, page: u64, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
+        match self.read_node(page)? {
+            Node::Leaf(mut leaf) => {
+                let previous = match leaf.search(key) {
+                    Ok(i) => {
+                        let old = std::mem::replace(&mut leaf.entries[i].1, value.to_vec());
+                        Some(old)
+                    }
+                    Err(i) => {
+                        leaf.entries.insert(i, (key.to_vec(), value.to_vec()));
+                        None
+                    }
+                };
+                if leaf.encoded_size() <= self.block_size {
+                    self.write_node(page, &Node::Leaf(leaf))?;
+                    return Ok(InsertOutcome::Done(previous));
+                }
+                // Split the leaf in half by entry count.
+                let mid = leaf.entries.len() / 2;
+                let right_entries = leaf.entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right_page = Self::alloc_page(&self.ctx)?;
+                let right = LeafNode {
+                    next: leaf.next,
+                    entries: right_entries,
+                };
+                leaf.next = right_page;
+                self.write_node(right_page, &Node::Leaf(right))?;
+                self.write_node(page, &Node::Leaf(leaf))?;
+                self.stats.splits.fetch_add(1, Ordering::Relaxed);
+                Ok(InsertOutcome::Split {
+                    sep,
+                    right: right_page,
+                    previous,
+                })
+            }
+            Node::Internal(mut node) => {
+                let idx = node.child_for(key);
+                match self.insert_rec(node.children[idx], key, value)? {
+                    InsertOutcome::Done(previous) => Ok(InsertOutcome::Done(previous)),
+                    InsertOutcome::Split {
+                        sep,
+                        right,
+                        previous,
+                    } => {
+                        node.keys.insert(idx, sep);
+                        node.children.insert(idx + 1, right);
+                        if node.encoded_size() <= self.block_size {
+                            self.write_node(page, &Node::Internal(node))?;
+                            return Ok(InsertOutcome::Done(previous));
+                        }
+                        // Split the internal node; the middle key moves up.
+                        let mid = node.keys.len() / 2;
+                        let up = node.keys[mid].clone();
+                        let right_keys = node.keys.split_off(mid + 1);
+                        node.keys.pop();
+                        let right_children = node.children.split_off(mid + 1);
+                        let right_node = InternalNode {
+                            keys: right_keys,
+                            children: right_children,
+                        };
+                        let right_page = Self::alloc_page(&self.ctx)?;
+                        self.write_node(right_page, &Node::Internal(right_node))?;
+                        self.write_node(page, &Node::Internal(node))?;
+                        self.stats.splits.fetch_add(1, Ordering::Relaxed);
+                        Ok(InsertOutcome::Split {
+                            sep: up,
+                            right: right_page,
+                            previous,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    ///
+    /// Underfull leaves are not merged; see the module documentation.
+    pub fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if key.is_empty() {
+            return Err(BTreeError::EmptyKey);
+        }
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal(node) => {
+                    page = node.children[node.child_for(key)];
+                }
+                Node::Leaf(mut leaf) => match leaf.search(key) {
+                    Ok(i) => {
+                        let (_, value) = leaf.entries.remove(i);
+                        self.write_node(page, &Node::Leaf(leaf))?;
+                        return Ok(Some(value));
+                    }
+                    Err(_) => return Ok(None),
+                },
+            }
+        }
+    }
+
+    /// Returns the leaf page and entry index where a scan starting at
+    /// `lower` (inclusive) should begin.
+    pub(crate) fn seek_leaf(&self, lower: &[u8]) -> Result<(u64, LeafNode, usize)> {
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal(node) => {
+                    page = node.children[node.child_for(lower)];
+                }
+                Node::Leaf(leaf) => {
+                    let idx = match leaf.search(lower) {
+                        Ok(i) => i,
+                        Err(i) => i,
+                    };
+                    return Ok((page, leaf, idx));
+                }
+            }
+        }
+    }
+
+    /// Iterates entries with `lower <= key < upper` (`upper = None` means
+    /// "to the end of the tree").
+    pub fn range(&self, lower: &[u8], upper: Option<&[u8]>) -> Result<Cursor<'_>> {
+        Cursor::new(self, lower, upper.map(|u| u.to_vec()))
+    }
+
+    /// Collects every entry whose key starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let upper = crate::codec::prefix_upper_bound(prefix);
+        let cursor = self.range(prefix, upper.as_deref())?;
+        let mut out = Vec::new();
+        for entry in cursor {
+            out.push(entry?);
+        }
+        Ok(out)
+    }
+
+    /// Collects every entry in the tree, in key order.
+    pub fn scan_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let cursor = self.range(&[], None)?;
+        let mut out = Vec::new();
+        for entry in cursor {
+            out.push(entry?);
+        }
+        Ok(out)
+    }
+
+    /// Number of entries (computed by a full scan).
+    pub fn count(&self) -> Result<u64> {
+        let mut n = 0u64;
+        for entry in self.range(&[], None)? {
+            entry?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> Result<u32> {
+        let mut height = 1;
+        let mut page = self.root;
+        loop {
+            match self.read_node(page)? {
+                Node::Internal(node) => {
+                    page = node.children[0];
+                    height += 1;
+                }
+                Node::Leaf(_) => return Ok(height),
+            }
+        }
+    }
+
+    /// Frees every page of the tree, consuming it.
+    pub fn destroy(self) -> Result<()> {
+        self.destroy_rec(self.root)
+    }
+
+    fn destroy_rec(&self, page: u64) -> Result<()> {
+        if let Node::Internal(node) = self.read_node(page)? {
+            for child in &node.children {
+                self.destroy_rec(*child)?;
+            }
+        }
+        self.free_page(page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hfad_storage::{BuddyAllocator, MemDevice};
+
+    fn ctx(blocks: u64, block_size: usize) -> TreeContext {
+        let device = Arc::new(MemDevice::new(blocks, block_size));
+        let allocator = Arc::new(BuddyAllocator::new(1, blocks - 1));
+        TreeContext::new(device, allocator)
+    }
+
+    fn small_tree() -> BTree {
+        BTree::create(ctx(4096, 256)).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_has_no_keys() {
+        let tree = small_tree();
+        assert_eq!(tree.get(b"anything").unwrap(), None);
+        assert_eq!(tree.count().unwrap(), 0);
+        assert_eq!(tree.height().unwrap(), 1);
+    }
+
+    #[test]
+    fn insert_get_single() {
+        let mut tree = small_tree();
+        assert_eq!(tree.insert(b"key", b"value").unwrap(), None);
+        assert_eq!(tree.get(b"key").unwrap(), Some(b"value".to_vec()));
+        assert!(tree.contains(b"key").unwrap());
+        assert!(!tree.contains(b"other").unwrap());
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old_value() {
+        let mut tree = small_tree();
+        tree.insert(b"k", b"v1").unwrap();
+        let old = tree.insert(b"k", b"v2").unwrap();
+        assert_eq!(old, Some(b"v1".to_vec()));
+        assert_eq!(tree.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(tree.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn many_inserts_split_and_remain_retrievable() {
+        let mut tree = small_tree();
+        let n = 500u32;
+        for i in 0..n {
+            let key = format!("key-{i:05}");
+            let value = format!("value-{i}");
+            tree.insert(key.as_bytes(), value.as_bytes()).unwrap();
+        }
+        assert!(tree.height().unwrap() > 1, "tree must have split");
+        assert!(tree.stats().splits > 0);
+        for i in 0..n {
+            let key = format!("key-{i:05}");
+            assert_eq!(
+                tree.get(key.as_bytes()).unwrap(),
+                Some(format!("value-{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+        assert_eq!(tree.count().unwrap(), u64::from(n));
+    }
+
+    #[test]
+    fn reverse_order_inserts() {
+        let mut tree = small_tree();
+        for i in (0..300u32).rev() {
+            tree.insert(format!("k{i:04}").as_bytes(), b"v").unwrap();
+        }
+        assert_eq!(tree.count().unwrap(), 300);
+        let all = tree.scan_all().unwrap();
+        let keys: Vec<_> = all.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "scan must return keys in order");
+    }
+
+    #[test]
+    fn delete_removes_only_target() {
+        let mut tree = small_tree();
+        for i in 0..50u32 {
+            tree.insert(format!("k{i:02}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        assert_eq!(tree.delete(b"k25").unwrap(), Some(b"v25".to_vec()));
+        assert_eq!(tree.get(b"k25").unwrap(), None);
+        assert_eq!(tree.delete(b"k25").unwrap(), None);
+        assert_eq!(tree.count().unwrap(), 49);
+        assert_eq!(tree.get(b"k24").unwrap(), Some(b"v24".to_vec()));
+        assert_eq!(tree.get(b"k26").unwrap(), Some(b"v26".to_vec()));
+    }
+
+    #[test]
+    fn range_scan_respects_bounds() {
+        let mut tree = small_tree();
+        for i in 0..100u32 {
+            tree.insert(format!("k{i:03}").as_bytes(), b"v").unwrap();
+        }
+        let hits: Vec<_> = tree
+            .range(b"k010", Some(b"k020"))
+            .unwrap()
+            .map(|e| e.unwrap().0)
+            .collect();
+        assert_eq!(hits.len(), 10);
+        assert_eq!(hits[0], b"k010".to_vec());
+        assert_eq!(hits[9], b"k019".to_vec());
+    }
+
+    #[test]
+    fn scan_prefix_returns_only_matching() {
+        let mut tree = small_tree();
+        tree.insert(b"app/one", b"1").unwrap();
+        tree.insert(b"app/two", b"2").unwrap();
+        tree.insert(b"apz/other", b"3").unwrap();
+        tree.insert(b"banana", b"4").unwrap();
+        let hits = tree.scan_prefix(b"app/").unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|(k, _)| k.starts_with(b"app/")));
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let mut tree = small_tree();
+        assert!(matches!(tree.insert(b"", b"v"), Err(BTreeError::EmptyKey)));
+        assert!(matches!(tree.delete(b""), Err(BTreeError::EmptyKey)));
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut tree = small_tree();
+        let big = vec![0u8; 4096];
+        assert!(matches!(
+            tree.insert(b"k", &big),
+            Err(BTreeError::EntryTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn reopen_by_root_page_sees_data() {
+        let context = ctx(4096, 256);
+        let root;
+        {
+            let mut tree = BTree::create(context.clone()).unwrap();
+            for i in 0..200u32 {
+                tree.insert(format!("key{i:04}").as_bytes(), format!("val{i}").as_bytes())
+                    .unwrap();
+            }
+            root = tree.root_page();
+        }
+        let tree = BTree::open(context, root);
+        assert_eq!(tree.count().unwrap(), 200);
+        assert_eq!(tree.get(b"key0123").unwrap(), Some(b"val123".to_vec()));
+    }
+
+    #[test]
+    fn stats_count_traversals() {
+        let mut tree = small_tree();
+        for i in 0..200u32 {
+            tree.insert(format!("key{i:04}").as_bytes(), b"v").unwrap();
+        }
+        tree.reset_stats();
+        tree.get(b"key0100").unwrap();
+        let stats = tree.stats();
+        assert_eq!(stats.nodes_read as u32, tree.height().unwrap());
+        assert_eq!(stats.nodes_written, 0);
+    }
+
+    #[test]
+    fn destroy_returns_all_blocks() {
+        let context = ctx(4096, 256);
+        let before = context.allocator.stats().free_blocks;
+        let mut tree = BTree::create(context.clone()).unwrap();
+        for i in 0..300u32 {
+            tree.insert(format!("key{i:05}").as_bytes(), b"some value here")
+                .unwrap();
+        }
+        assert!(context.allocator.stats().free_blocks < before);
+        tree.destroy().unwrap();
+        assert_eq!(context.allocator.stats().free_blocks, before);
+    }
+
+    #[test]
+    fn binary_keys_and_values_supported() {
+        let mut tree = small_tree();
+        let key = vec![0x01, 0x00, 0xFF, 0x7E];
+        let value = vec![0u8, 255, 128, 0];
+        tree.insert(&key, &value).unwrap();
+        assert_eq!(tree.get(&key).unwrap(), Some(value));
+    }
+
+    #[test]
+    fn large_tree_with_default_block_size() {
+        let device = Arc::new(MemDevice::new(16384, 4096));
+        let allocator = Arc::new(BuddyAllocator::new(1, 16383));
+        let mut tree = BTree::create(TreeContext::new(device, allocator)).unwrap();
+        for i in 0..5000u32 {
+            tree.insert(
+                format!("object/{i:08}").as_bytes(),
+                format!("metadata for object number {i}").as_bytes(),
+            )
+            .unwrap();
+        }
+        assert_eq!(tree.count().unwrap(), 5000);
+        assert!(tree.height().unwrap() >= 2);
+        assert_eq!(
+            tree.get(b"object/00004321").unwrap(),
+            Some(b"metadata for object number 4321".to_vec())
+        );
+    }
+}

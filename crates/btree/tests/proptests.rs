@@ -1,0 +1,109 @@
+//! Property-based tests: the B-tree behaves exactly like `BTreeMap`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hfad_btree::{BTree, TreeContext};
+use hfad_storage::{BuddyAllocator, MemDevice};
+
+fn make_tree(block_size: usize) -> BTree {
+    let device = Arc::new(MemDevice::new(65536, block_size));
+    let allocator = Arc::new(BuddyAllocator::new(1, 65535));
+    BTree::create(TreeContext::new(device, allocator)).unwrap()
+}
+
+/// Operations applied to both the tree under test and a model `BTreeMap`.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = prop::collection::vec(any::<u8>(), 1..16);
+    let value = prop::collection::vec(any::<u8>(), 0..32);
+    prop_oneof![
+        (key.clone(), value).prop_map(|(k, v)| Op::Insert(k, v)),
+        key.clone().prop_map(Op::Delete),
+        key.prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of insert/delete/get agree with BTreeMap.
+    #[test]
+    fn matches_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut tree = make_tree(256);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let got = tree.insert(&k, &v).unwrap();
+                    let want = model.insert(k, v);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Delete(k) => {
+                    let got = tree.delete(&k).unwrap();
+                    let want = model.remove(&k);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Get(k) => {
+                    let got = tree.get(&k).unwrap();
+                    let want = model.get(&k).cloned();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Final full scans must agree exactly, in order.
+        let scanned = tree.scan_all().unwrap();
+        let expected: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// Sequential bulk loads of any size produce a sorted, complete scan and
+    /// a height that grows only logarithmically.
+    #[test]
+    fn bulk_load_sorted(n in 1u32..800) {
+        let mut tree = make_tree(256);
+        for i in 0..n {
+            tree.insert(format!("key{i:06}").as_bytes(), format!("{i}").as_bytes()).unwrap();
+        }
+        prop_assert_eq!(tree.count().unwrap(), u64::from(n));
+        prop_assert!(tree.height().unwrap() <= 6);
+        let all = tree.scan_all().unwrap();
+        for w in all.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    /// Range scans agree with the model's range for arbitrary bounds.
+    #[test]
+    fn range_matches_model(
+        keys in prop::collection::btree_set(prop::collection::vec(any::<u8>(), 1..8), 1..100),
+        lo in prop::collection::vec(any::<u8>(), 0..8),
+        hi in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        prop_assume!(lo < hi);
+        let mut tree = make_tree(256);
+        let mut model = BTreeMap::new();
+        for k in keys {
+            tree.insert(&k, b"v").unwrap();
+            model.insert(k, b"v".to_vec());
+        }
+        let got: Vec<_> = tree
+            .range(&lo, Some(&hi))
+            .unwrap()
+            .map(|e| e.unwrap().0)
+            .collect();
+        let want: Vec<_> = model
+            .range(lo.clone()..hi.clone())
+            .map(|(k, _)| k.clone())
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,84 @@
+//! Configuration for an hFAD instance.
+
+use hfad_osd::{AllocatorKind, StoreConfig, DEFAULT_MAX_EXTENT_BYTES};
+
+/// How full-text content indexing is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexingMode {
+    /// Content is indexed by background threads ("lazy full-text indexing",
+    /// §3.4). Queries may briefly lag writes.
+    #[default]
+    Lazy,
+    /// Content is indexed synchronously on write.
+    Eager,
+}
+
+/// Configuration for [`Hfad`](crate::fs::Hfad).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HfadConfig {
+    /// Maximum bytes covered by a single object extent.
+    pub max_extent_bytes: u64,
+    /// Blocks reserved for the write-ahead journal (0 disables it).
+    pub journal_blocks: u64,
+    /// Data-area allocator.
+    pub allocator: AllocatorKind,
+    /// Number of shards in the key/value and full-text indices.
+    pub index_shards: usize,
+    /// Number of background indexing threads (only used in lazy mode).
+    pub lazy_workers: usize,
+    /// Eager or lazy full-text indexing.
+    pub indexing: IndexingMode,
+}
+
+impl Default for HfadConfig {
+    fn default() -> Self {
+        HfadConfig {
+            max_extent_bytes: DEFAULT_MAX_EXTENT_BYTES,
+            journal_blocks: 0,
+            allocator: AllocatorKind::Buddy,
+            index_shards: 16,
+            lazy_workers: 2,
+            indexing: IndexingMode::Lazy,
+        }
+    }
+}
+
+impl HfadConfig {
+    /// Derives the OSD store configuration.
+    pub fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            max_extent_bytes: self.max_extent_bytes,
+            journal_blocks: self.journal_blocks,
+            allocator: self.allocator,
+        }
+    }
+
+    /// A configuration with synchronous full-text indexing, used by tests
+    /// and the eager/lazy ablation.
+    pub fn eager() -> Self {
+        HfadConfig {
+            indexing: IndexingMode::Eager,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = HfadConfig::default();
+        assert_eq!(c.indexing, IndexingMode::Lazy);
+        assert!(c.index_shards >= 1);
+        assert!(c.lazy_workers >= 1);
+        assert_eq!(c.store_config().max_extent_bytes, c.max_extent_bytes);
+        assert_eq!(c.store_config().journal_blocks, 0);
+    }
+
+    #[test]
+    fn eager_configuration() {
+        assert_eq!(HfadConfig::eager().indexing, IndexingMode::Eager);
+    }
+}

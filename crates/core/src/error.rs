@@ -1,0 +1,77 @@
+//! Error types for the hFAD file system.
+
+use core::fmt;
+
+use hfad_index::IndexError;
+use hfad_osd::OsdError;
+use hfad_storage::StorageError;
+
+/// Errors produced by the hFAD native API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HfadError {
+    /// Error from the OSD layer.
+    Osd(OsdError),
+    /// Error from an index store or query.
+    Index(IndexError),
+    /// Error from the storage substrate.
+    Storage(StorageError),
+    /// A naming operation matched no object when exactly one was required.
+    NotFound(String),
+    /// An `ID` tag value was not a valid object identifier.
+    InvalidIdValue(String),
+    /// A naming operation was given an empty tag/value vector.
+    EmptyName,
+}
+
+impl fmt::Display for HfadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HfadError::Osd(e) => write!(f, "osd error: {e}"),
+            HfadError::Index(e) => write!(f, "index error: {e}"),
+            HfadError::Storage(e) => write!(f, "storage error: {e}"),
+            HfadError::NotFound(name) => write!(f, "no object named by {name}"),
+            HfadError::InvalidIdValue(v) => write!(f, "not a valid object id: {v}"),
+            HfadError::EmptyName => write!(f, "a name requires at least one tag/value pair"),
+        }
+    }
+}
+
+impl std::error::Error for HfadError {}
+
+impl From<OsdError> for HfadError {
+    fn from(e: OsdError) -> Self {
+        HfadError::Osd(e)
+    }
+}
+
+impl From<IndexError> for HfadError {
+    fn from(e: IndexError) -> Self {
+        HfadError::Index(e)
+    }
+}
+
+impl From<StorageError> for HfadError {
+    fn from(e: StorageError) -> Self {
+        HfadError::Storage(e)
+    }
+}
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, HfadError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(HfadError::NotFound("POSIX//x".into()).to_string().contains("POSIX//x"));
+        assert!(HfadError::InvalidIdValue("abc".into()).to_string().contains("abc"));
+        let e: HfadError = OsdError::NoSuchObject(1).into();
+        assert!(matches!(e, HfadError::Osd(_)));
+        let e: HfadError = IndexError::IndexerStopped.into();
+        assert!(matches!(e, HfadError::Index(_)));
+        let e: HfadError = StorageError::ZeroAllocation.into();
+        assert!(matches!(e, HfadError::Storage(_)));
+    }
+}

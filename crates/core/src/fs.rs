@@ -1,0 +1,227 @@
+//! The hFAD file system: construction and the native API.
+//!
+//! [`Hfad`] ties the substrates together exactly as Figure 1 of the paper
+//! lays them out: stable storage at the bottom, the OSD above it, the
+//! collection of index stores next to it, and the native API (naming +
+//! access interfaces) as a thin layer on top. The POSIX veneer in
+//! `hfad-posix` is a client of this API, not part of it.
+
+use std::sync::Arc;
+
+use hfad_index::{
+    FullTextIndex, IndexRegistry, IndexStats, IndexStore, KeyValueIndex, LazyIndexer, Query, Tag,
+    TagValue,
+};
+use hfad_osd::{ObjectId, ObjectMeta, ObjectStore, StoreStats};
+use hfad_storage::{BlockDevice, MemDevice};
+
+use crate::config::{HfadConfig, IndexingMode};
+use crate::error::{HfadError, Result};
+use crate::refine::SearchCursor;
+
+/// Aggregate statistics for an hFAD instance.
+#[derive(Debug, Clone)]
+pub struct HfadStats {
+    /// OSD statistics (objects, device counters, allocator).
+    pub store: StoreStats,
+    /// Per-index statistics, `(index name, stats)`.
+    pub indices: Vec<(String, IndexStats)>,
+    /// Documents indexed by the full-text index.
+    pub fulltext_documents: u64,
+    /// Backlog of the lazy indexer (0 when eager or idle).
+    pub lazy_backlog: u64,
+}
+
+/// The hFAD file system.
+///
+/// All methods take `&self`; the instance is safe to share across threads
+/// (wrap it in an [`Arc`]).
+pub struct Hfad {
+    pub(crate) store: Arc<ObjectStore>,
+    pub(crate) registry: IndexRegistry,
+    pub(crate) fulltext: Arc<FullTextIndex>,
+    pub(crate) lazy: Option<LazyIndexer>,
+    pub(crate) config: HfadConfig,
+}
+
+impl Hfad {
+    /// Creates (formats) an hFAD file system on `device`.
+    pub fn on_device(device: Arc<dyn BlockDevice>, config: HfadConfig) -> Result<Self> {
+        let store = Arc::new(ObjectStore::create(device, config.store_config())?);
+        let ctx = store.context().clone();
+        let registry = IndexRegistry::new();
+        let keyvalue = Arc::new(KeyValueIndex::new(
+            ctx.clone(),
+            "keyvalue",
+            Some(vec![Tag::Posix, Tag::User, Tag::Udef, Tag::App]),
+            config.index_shards,
+        )?);
+        let fulltext = Arc::new(FullTextIndex::new(ctx, config.index_shards)?);
+        registry.register(Arc::clone(&keyvalue) as Arc<dyn IndexStore>);
+        registry.register(Arc::clone(&fulltext) as Arc<dyn IndexStore>);
+        let lazy = match config.indexing {
+            IndexingMode::Lazy => Some(LazyIndexer::new(
+                Arc::clone(&fulltext),
+                config.lazy_workers,
+            )),
+            IndexingMode::Eager => None,
+        };
+        Ok(Hfad {
+            store,
+            registry,
+            fulltext,
+            lazy,
+            config,
+        })
+    }
+
+    /// Creates an in-memory hFAD instance with `capacity_bytes` of backing
+    /// storage — the quickest way to get a working file system.
+    pub fn in_memory(capacity_bytes: u64, config: HfadConfig) -> Result<Self> {
+        let device = Arc::new(MemDevice::with_capacity(capacity_bytes));
+        Self::on_device(device, config)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> HfadConfig {
+        self.config
+    }
+
+    /// The underlying object store (exposed for the POSIX veneer and for
+    /// experiments that need raw counters).
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// The index registry (exposed so plug-in index stores can be
+    /// registered — open question 1 of §4).
+    pub fn registry(&self) -> &IndexRegistry {
+        &self.registry
+    }
+
+    /// The full-text index.
+    pub fn fulltext(&self) -> &Arc<FullTextIndex> {
+        &self.fulltext
+    }
+
+    /// Registers a plug-in index store (e.g. an image or sound index).
+    ///
+    /// The store is consulted for any tag it reports handling; registering
+    /// it does not retroactively index existing objects.
+    pub fn register_index(&self, store: Arc<dyn IndexStore>) {
+        self.registry.register(store);
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> HfadStats {
+        HfadStats {
+            store: self.store.stats(),
+            indices: self.registry.stats(),
+            fulltext_documents: self.fulltext.documents_indexed(),
+            lazy_backlog: self.lazy.as_ref().map(|l| l.backlog()).unwrap_or(0),
+        }
+    }
+
+    /// Blocks until the background indexer has no pending work. A no-op in
+    /// eager mode.
+    pub fn sync_index(&self) {
+        if let Some(lazy) = &self.lazy {
+            lazy.drain();
+        }
+    }
+
+    /// Starts an iterative search refinement — the paper's §4 suggestion of
+    /// treating the "current directory" as a progressively refined search.
+    pub fn search(&self) -> SearchCursor<'_> {
+        SearchCursor::new(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Object metadata passthroughs.
+    // ------------------------------------------------------------------
+
+    /// Metadata of an object.
+    pub fn meta(&self, oid: ObjectId) -> Result<ObjectMeta> {
+        Ok(self.store.meta(oid)?)
+    }
+
+    /// Updates security attributes / flags of an object.
+    pub fn set_meta(&self, oid: ObjectId, meta: ObjectMeta) -> Result<()> {
+        Ok(self.store.set_meta(oid, meta)?)
+    }
+
+    /// Size of an object in bytes.
+    pub fn len(&self, oid: ObjectId) -> Result<u64> {
+        Ok(self.store.len(oid)?)
+    }
+
+    /// Returns `true` if the file system holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> u64 {
+        self.store.object_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers shared by naming/access.
+    // ------------------------------------------------------------------
+
+    /// Evaluates an arbitrary boolean [`Query`].
+    pub fn query(&self, query: &Query) -> Result<Vec<ObjectId>> {
+        Ok(query.evaluate(&self.registry)?)
+    }
+
+    pub(crate) fn parse_id_value(value: &str) -> Result<ObjectId> {
+        value
+            .parse::<u64>()
+            .map(ObjectId)
+            .map_err(|_| HfadError::InvalidIdValue(value.to_string()))
+    }
+
+    pub(crate) fn format_name(pairs: &[TagValue]) -> String {
+        pairs
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_in_memory_starts_empty() {
+        let fs = Hfad::in_memory(16 * 1024 * 1024, HfadConfig::default()).unwrap();
+        assert!(fs.is_empty());
+        assert_eq!(fs.object_count(), 0);
+        assert_eq!(fs.stats().fulltext_documents, 0);
+        assert!(fs.stats().indices.len() >= 2);
+    }
+
+    #[test]
+    fn eager_mode_has_no_lazy_backlog() {
+        let fs = Hfad::in_memory(16 * 1024 * 1024, HfadConfig::eager()).unwrap();
+        assert_eq!(fs.stats().lazy_backlog, 0);
+        fs.sync_index();
+    }
+
+    #[test]
+    fn id_value_parsing() {
+        assert_eq!(Hfad::parse_id_value("17").unwrap(), ObjectId(17));
+        assert!(matches!(
+            Hfad::parse_id_value("not-a-number"),
+            Err(HfadError::InvalidIdValue(_))
+        ));
+    }
+
+    #[test]
+    fn format_name_joins_pairs() {
+        let name = Hfad::format_name(&[TagValue::udef("beach"), TagValue::user("margo")]);
+        assert_eq!(name, "UDEF/beach ∧ USER/margo");
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the hierarchical baseline file system.
+
+use core::fmt;
+
+use hfad_btree::BTreeError;
+use hfad_osd::OsdError;
+use hfad_storage::StorageError;
+
+/// Errors produced by the hierarchical file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierError {
+    /// Error from the storage substrate.
+    Storage(StorageError),
+    /// Error from a directory or inode B-tree.
+    BTree(BTreeError),
+    /// Error from the OSD layer backing file contents.
+    Osd(OsdError),
+    /// A path component does not exist.
+    NotFound(String),
+    /// A path component that must be a directory is a regular file.
+    NotADirectory(String),
+    /// The operation targets a directory where a file is required.
+    IsADirectory(String),
+    /// An entry with the same name already exists.
+    AlreadyExists(String),
+    /// A directory being removed is not empty.
+    DirectoryNotEmpty(String),
+    /// A path was empty or otherwise malformed.
+    InvalidPath(String),
+}
+
+impl fmt::Display for HierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierError::Storage(e) => write!(f, "storage error: {e}"),
+            HierError::BTree(e) => write!(f, "b-tree error: {e}"),
+            HierError::Osd(e) => write!(f, "osd error: {e}"),
+            HierError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            HierError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            HierError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            HierError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            HierError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            HierError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for HierError {}
+
+impl From<StorageError> for HierError {
+    fn from(e: StorageError) -> Self {
+        HierError::Storage(e)
+    }
+}
+
+impl From<BTreeError> for HierError {
+    fn from(e: BTreeError) -> Self {
+        HierError::BTree(e)
+    }
+}
+
+impl From<OsdError> for HierError {
+    fn from(e: OsdError) -> Self {
+        HierError::Osd(e)
+    }
+}
+
+/// Convenience alias used throughout the hierfs crate.
+pub type Result<T> = std::result::Result<T, HierError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(HierError::NotFound("/a/b".into()).to_string().contains("/a/b"));
+        assert!(HierError::DirectoryNotEmpty("/d".into()).to_string().contains("not empty"));
+        let e: HierError = BTreeError::EmptyKey.into();
+        assert!(matches!(e, HierError::BTree(_)));
+        let e: HierError = OsdError::NoSuchObject(2).into();
+        assert!(matches!(e, HierError::Osd(_)));
+        let e: HierError = StorageError::ZeroAllocation.into();
+        assert!(matches!(e, HierError::Storage(_)));
+    }
+}

@@ -1,0 +1,772 @@
+//! The hierarchical baseline file system.
+//!
+//! An FFS-style file system over the same storage substrate as hFAD: an
+//! inode table, per-directory entry B-trees, per-inode locks, and path
+//! resolution that walks the namespace component by component. It exists so
+//! that the paper's §2.3 claims — the extra index traversals a hierarchical
+//! namespace adds between a search term and a data block, and the
+//! synchronisation through shared ancestor directories — can be measured
+//! against "historical practice" on identical hardware (§5).
+//!
+//! POSIX semantics mirrored here include the access-time update on
+//! traversal (configurable, like `noatime`), because that is the
+//! write-sharing on ancestors that turns the namespace into a concurrency
+//! hotspot.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use hfad_btree::{BTree, TreeContext};
+use hfad_osd::{unix_now, ObjectId, ObjectStore, StoreConfig};
+use hfad_storage::{BlockDevice, DeviceCounters, MemDevice};
+
+use crate::error::{HierError, Result};
+use crate::inode::{Inode, InodeKind, ROOT_INO};
+
+/// Configuration for the hierarchical baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierConfig {
+    /// Update directory access times during path resolution (POSIX default
+    /// behaviour; `false` models `noatime`).
+    pub atime_updates: bool,
+    /// Permission bits for newly created files.
+    pub file_mode: u16,
+    /// Permission bits for newly created directories.
+    pub dir_mode: u16,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        HierConfig {
+            atime_updates: true,
+            file_mode: 0o644,
+            dir_mode: 0o755,
+        }
+    }
+}
+
+impl HierConfig {
+    /// A configuration with access-time updates disabled (`noatime`).
+    pub fn noatime() -> Self {
+        HierConfig {
+            atime_updates: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters describing how much namespace work the file system performed.
+///
+/// These are the "index traversals" of §2.3: every path component costs an
+/// inode-table lookup plus a directory B-tree lookup before the file's own
+/// extent map is ever consulted.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraversalCounters {
+    /// Path components resolved.
+    pub components_resolved: u64,
+    /// Inode-table B-tree lookups.
+    pub inode_lookups: u64,
+    /// Directory-entry B-tree lookups.
+    pub dir_lookups: u64,
+    /// Access-time writes performed on directories during resolution.
+    pub atime_writes: u64,
+}
+
+impl TraversalCounters {
+    /// Difference between a later snapshot and an earlier one.
+    pub fn delta_since(&self, earlier: &TraversalCounters) -> TraversalCounters {
+        TraversalCounters {
+            components_resolved: self.components_resolved - earlier.components_resolved,
+            inode_lookups: self.inode_lookups - earlier.inode_lookups,
+            dir_lookups: self.dir_lookups - earlier.dir_lookups,
+            atime_writes: self.atime_writes - earlier.atime_writes,
+        }
+    }
+
+    /// Total logical index traversals (inode + directory lookups).
+    pub fn total_traversals(&self) -> u64 {
+        self.inode_lookups + self.dir_lookups
+    }
+}
+
+#[derive(Default)]
+struct AtomicCounters {
+    components_resolved: AtomicU64,
+    inode_lookups: AtomicU64,
+    dir_lookups: AtomicU64,
+    atime_writes: AtomicU64,
+}
+
+/// A directory entry returned by [`HierFs::readdir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name (single component).
+    pub name: String,
+    /// Inode number of the entry.
+    pub ino: u64,
+    /// Whether the entry is a directory.
+    pub is_dir: bool,
+}
+
+/// The hierarchical file system.
+pub struct HierFs {
+    store: Arc<ObjectStore>,
+    ctx: TreeContext,
+    inodes: RwLock<BTree>,
+    locks: Mutex<HashMap<u64, Arc<RwLock<()>>>>,
+    next_ino: AtomicU64,
+    config: HierConfig,
+    counters: AtomicCounters,
+}
+
+fn ino_key(ino: u64) -> [u8; 8] {
+    ino.to_be_bytes()
+}
+
+fn entry_value(ino: u64, is_dir: bool) -> [u8; 9] {
+    let mut v = [0u8; 9];
+    v[0] = u8::from(is_dir);
+    v[1..9].copy_from_slice(&ino.to_le_bytes());
+    v
+}
+
+fn decode_entry(value: &[u8]) -> Result<(u64, bool)> {
+    if value.len() != 9 {
+        return Err(HierError::BTree(hfad_btree::BTreeError::Corrupt(
+            "directory entry value has wrong length".to_string(),
+        )));
+    }
+    Ok((
+        u64::from_le_bytes(value[1..9].try_into().expect("u64")),
+        value[0] != 0,
+    ))
+}
+
+/// Splits a path into components, rejecting empty paths.
+pub fn split_path(path: &str) -> Result<Vec<String>> {
+    if path.is_empty() {
+        return Err(HierError::InvalidPath(path.to_string()));
+    }
+    Ok(path
+        .split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .map(|c| c.to_string())
+        .collect())
+}
+
+impl HierFs {
+    /// Formats `device` and creates an empty file system containing only
+    /// the root directory.
+    pub fn create(device: Arc<dyn BlockDevice>, config: HierConfig) -> Result<Self> {
+        let store = Arc::new(ObjectStore::create(device, StoreConfig::default())?);
+        let ctx = store.context().clone();
+        let mut inodes = BTree::create(ctx.clone())?;
+        // The root directory.
+        let root_dir = BTree::create(ctx.clone())?;
+        let root = Inode::new_dir(ROOT_INO, root_dir.root_page(), config.dir_mode, unix_now());
+        inodes.insert(&ino_key(ROOT_INO), &root.encode())?;
+        Ok(HierFs {
+            store,
+            ctx,
+            inodes: RwLock::new(inodes),
+            locks: Mutex::new(HashMap::new()),
+            next_ino: AtomicU64::new(ROOT_INO + 1),
+            config,
+            counters: AtomicCounters::default(),
+        })
+    }
+
+    /// An in-memory file system with `capacity_bytes` of backing storage.
+    pub fn in_memory(capacity_bytes: u64, config: HierConfig) -> Result<Self> {
+        let device = Arc::new(MemDevice::with_capacity(capacity_bytes));
+        Self::create(device, config)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> HierConfig {
+        self.config
+    }
+
+    /// The object store holding file contents (exposed for experiments).
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// Snapshot of the namespace traversal counters.
+    pub fn counters(&self) -> TraversalCounters {
+        TraversalCounters {
+            components_resolved: self.counters.components_resolved.load(Ordering::Relaxed),
+            inode_lookups: self.counters.inode_lookups.load(Ordering::Relaxed),
+            dir_lookups: self.counters.dir_lookups.load(Ordering::Relaxed),
+            atime_writes: self.counters.atime_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Physical device counters.
+    pub fn device_counters(&self) -> DeviceCounters {
+        self.ctx.device.counters()
+    }
+
+    fn lock_for(&self, ino: u64) -> Arc<RwLock<()>> {
+        Arc::clone(self.locks.lock().entry(ino).or_default())
+    }
+
+    fn load_inode(&self, ino: u64) -> Result<Inode> {
+        self.counters.inode_lookups.fetch_add(1, Ordering::Relaxed);
+        let table = self.inodes.read();
+        let bytes = table
+            .get(&ino_key(ino))?
+            .ok_or_else(|| HierError::NotFound(format!("inode {ino}")))?;
+        Inode::decode(&bytes)
+    }
+
+    fn save_inode(&self, inode: &Inode) -> Result<()> {
+        let mut table = self.inodes.write();
+        table.insert(&ino_key(inode.ino), &inode.encode())?;
+        Ok(())
+    }
+
+    fn remove_inode(&self, ino: u64) -> Result<()> {
+        let mut table = self.inodes.write();
+        table.delete(&ino_key(ino))?;
+        Ok(())
+    }
+
+    fn dir_root(&self, inode: &Inode, path_for_error: &str) -> Result<u64> {
+        match inode.kind {
+            InodeKind::Dir { root_page } => Ok(root_page),
+            InodeKind::File { .. } => Err(HierError::NotADirectory(path_for_error.to_string())),
+        }
+    }
+
+    /// Looks `name` up in the directory described by `dir`, charging the
+    /// traversal counters. The caller holds the directory's lock.
+    fn dir_lookup(&self, dir: &Inode, name: &str, path_for_error: &str) -> Result<(u64, bool)> {
+        self.counters.dir_lookups.fetch_add(1, Ordering::Relaxed);
+        let root = self.dir_root(dir, path_for_error)?;
+        let tree = BTree::open(self.ctx.clone(), root);
+        let value = tree
+            .get(name.as_bytes())?
+            .ok_or_else(|| HierError::NotFound(path_for_error.to_string()))?;
+        decode_entry(&value)
+    }
+
+    /// Mutates a directory's entry tree under its write lock, persisting a
+    /// changed root page and entry count back to the inode table.
+    fn with_dir_mut<R>(
+        &self,
+        dir_ino: u64,
+        f: impl FnOnce(&mut BTree) -> Result<R>,
+    ) -> Result<R> {
+        let mut inode = self.load_inode(dir_ino)?;
+        let root = self.dir_root(&inode, "<dir>")?;
+        let mut tree = BTree::open(self.ctx.clone(), root);
+        let result = f(&mut tree)?;
+        inode.kind = InodeKind::Dir {
+            root_page: tree.root_page(),
+        };
+        inode.size = tree.count()?;
+        inode.mtime = unix_now();
+        self.save_inode(&inode)?;
+        Ok(result)
+    }
+
+    /// Resolves a path to its inode, walking the hierarchy component by
+    /// component with per-directory locking (and atime updates when
+    /// configured) — the §2.3 namespace traversal.
+    pub fn resolve(&self, path: &str) -> Result<Inode> {
+        let components = split_path(path)?;
+        let mut current = self.load_inode(ROOT_INO)?;
+        for component in &components {
+            self.counters
+                .components_resolved
+                .fetch_add(1, Ordering::Relaxed);
+            let lock = self.lock_for(current.ino);
+            let (child_ino, _) = if self.config.atime_updates {
+                // POSIX: traversing a directory updates its access time, so
+                // even "read-only" traversals take the directory lock in
+                // write mode and dirty the shared ancestor.
+                let _guard = lock.write();
+                let entry = self.dir_lookup(&current, component, path)?;
+                let mut updated = current;
+                updated.atime = unix_now();
+                self.save_inode(&updated)?;
+                self.counters.atime_writes.fetch_add(1, Ordering::Relaxed);
+                entry
+            } else {
+                let _guard = lock.read();
+                self.dir_lookup(&current, component, path)?
+            };
+            current = self.load_inode(child_ino)?;
+        }
+        Ok(current)
+    }
+
+    fn resolve_parent<'p>(&self, path: &'p str) -> Result<(Inode, String)> {
+        let components = split_path(path)?;
+        let Some((last, parents)) = components.split_last() else {
+            return Err(HierError::InvalidPath(path.to_string()));
+        };
+        let parent_path = format!("/{}", parents.join("/"));
+        let parent = self.resolve(&parent_path)?;
+        if !parent.is_dir() {
+            return Err(HierError::NotADirectory(parent_path));
+        }
+        Ok((parent, last.clone()))
+    }
+
+    /// Returns `true` if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.resolve(path).is_ok()
+    }
+
+    /// `stat`: resolves a path and returns its inode.
+    pub fn stat(&self, path: &str) -> Result<Inode> {
+        self.resolve(path)
+    }
+
+    /// Creates a directory. The parent must already exist.
+    pub fn mkdir(&self, path: &str) -> Result<u64> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let lock = self.lock_for(parent.ino);
+        let _guard = lock.write();
+        if self.dir_lookup(&parent, &name, path).is_ok() {
+            return Err(HierError::AlreadyExists(path.to_string()));
+        }
+        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+        let dir_tree = BTree::create(self.ctx.clone())?;
+        let inode = Inode::new_dir(ino, dir_tree.root_page(), self.config.dir_mode, unix_now());
+        self.save_inode(&inode)?;
+        self.with_dir_mut(parent.ino, |tree| {
+            tree.insert(name.as_bytes(), &entry_value(ino, true))?;
+            Ok(())
+        })?;
+        Ok(ino)
+    }
+
+    /// Creates every missing directory along `path` (like `mkdir -p`).
+    pub fn mkdir_all(&self, path: &str) -> Result<()> {
+        let components = split_path(path)?;
+        let mut so_far = String::new();
+        for component in components {
+            so_far.push('/');
+            so_far.push_str(&component);
+            match self.mkdir(&so_far) {
+                Ok(_) | Err(HierError::AlreadyExists(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates an empty regular file and returns its inode number.
+    pub fn create_file(&self, path: &str) -> Result<u64> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let lock = self.lock_for(parent.ino);
+        let _guard = lock.write();
+        if self.dir_lookup(&parent, &name, path).is_ok() {
+            return Err(HierError::AlreadyExists(path.to_string()));
+        }
+        let oid = self.store.create_default(0)?;
+        let ino = self.next_ino.fetch_add(1, Ordering::Relaxed);
+        let inode = Inode::new_file(ino, oid.as_u64(), self.config.file_mode, unix_now());
+        self.save_inode(&inode)?;
+        self.with_dir_mut(parent.ino, |tree| {
+            tree.insert(name.as_bytes(), &entry_value(ino, false))?;
+            Ok(())
+        })?;
+        Ok(ino)
+    }
+
+    fn file_oid(&self, inode: &Inode, path_for_error: &str) -> Result<ObjectId> {
+        match inode.kind {
+            InodeKind::File { oid } => Ok(ObjectId(oid)),
+            InodeKind::Dir { .. } => Err(HierError::IsADirectory(path_for_error.to_string())),
+        }
+    }
+
+    /// Writes `data` at `offset` in the file at `path`.
+    pub fn write(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let mut inode = self.resolve(path)?;
+        let oid = self.file_oid(&inode, path)?;
+        let lock = self.lock_for(inode.ino);
+        let _guard = lock.write();
+        self.store.write(oid, offset, data)?;
+        inode.size = self.store.len(oid)?;
+        inode.mtime = unix_now();
+        self.save_inode(&inode)
+    }
+
+    /// Reads up to `len` bytes at `offset` from the file at `path`.
+    pub fn read(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let inode = self.resolve(path)?;
+        let oid = self.file_oid(&inode, path)?;
+        let lock = self.lock_for(inode.ino);
+        let _guard = lock.read();
+        Ok(self.store.read(oid, offset, len)?)
+    }
+
+    /// Reads an entire file.
+    pub fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        let inode = self.resolve(path)?;
+        let oid = self.file_oid(&inode, path)?;
+        let lock = self.lock_for(inode.ino);
+        let _guard = lock.read();
+        let size = self.store.len(oid)?;
+        Ok(self.store.read(oid, 0, size)?)
+    }
+
+    /// Emulates a mid-file insert the only way a POSIX file interface can:
+    /// read the tail, rewrite it shifted, then overwrite the gap. This is
+    /// the baseline side of experiment E3.
+    pub fn insert_via_rewrite(&self, path: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let inode = self.resolve(path)?;
+        let oid = self.file_oid(&inode, path)?;
+        let lock = self.lock_for(inode.ino);
+        let _guard = lock.write();
+        let size = self.store.len(oid)?;
+        let tail = self.store.read(oid, offset, size - offset)?;
+        self.store.write(oid, offset, data)?;
+        self.store
+            .write(oid, offset + data.len() as u64, &tail)?;
+        let mut inode = inode;
+        inode.size = self.store.len(oid)?;
+        inode.mtime = unix_now();
+        self.save_inode(&inode)
+    }
+
+    /// Emulates removing a byte range by rewriting the tail over it and
+    /// truncating — the POSIX counterpart of hFAD's two-argument truncate.
+    pub fn remove_range_via_rewrite(&self, path: &str, offset: u64, len: u64) -> Result<()> {
+        let inode = self.resolve(path)?;
+        let oid = self.file_oid(&inode, path)?;
+        let lock = self.lock_for(inode.ino);
+        let _guard = lock.write();
+        let size = self.store.len(oid)?;
+        if offset >= size || len == 0 {
+            return Ok(());
+        }
+        let len = len.min(size - offset);
+        let tail = self.store.read(oid, offset + len, size - offset - len)?;
+        self.store.write(oid, offset, &tail)?;
+        self.store.truncate(oid, size - len)?;
+        let mut inode = inode;
+        inode.size = size - len;
+        inode.mtime = unix_now();
+        self.save_inode(&inode)
+    }
+
+    /// Lists the entries of a directory in name order.
+    pub fn readdir(&self, path: &str) -> Result<Vec<DirEntry>> {
+        let inode = self.resolve(path)?;
+        let root = self.dir_root(&inode, path)?;
+        let lock = self.lock_for(inode.ino);
+        let _guard = lock.read();
+        let tree = BTree::open(self.ctx.clone(), root);
+        let mut out = Vec::new();
+        for (name, value) in tree.scan_all()? {
+            let (ino, is_dir) = decode_entry(&value)?;
+            out.push(DirEntry {
+                name: String::from_utf8_lossy(&name).to_string(),
+                ino,
+                is_dir,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Removes a regular file, releasing its storage.
+    pub fn unlink(&self, path: &str) -> Result<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let lock = self.lock_for(parent.ino);
+        let _guard = lock.write();
+        let (ino, is_dir) = self.dir_lookup(&parent, &name, path)?;
+        if is_dir {
+            return Err(HierError::IsADirectory(path.to_string()));
+        }
+        let inode = self.load_inode(ino)?;
+        let oid = self.file_oid(&inode, path)?;
+        self.with_dir_mut(parent.ino, |tree| {
+            tree.delete(name.as_bytes())?;
+            Ok(())
+        })?;
+        self.remove_inode(ino)?;
+        self.store.delete(oid)?;
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&self, path: &str) -> Result<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let lock = self.lock_for(parent.ino);
+        let _guard = lock.write();
+        let (ino, is_dir) = self.dir_lookup(&parent, &name, path)?;
+        if !is_dir {
+            return Err(HierError::NotADirectory(path.to_string()));
+        }
+        let inode = self.load_inode(ino)?;
+        let root = self.dir_root(&inode, path)?;
+        let tree = BTree::open(self.ctx.clone(), root);
+        if tree.count()? > 0 {
+            return Err(HierError::DirectoryNotEmpty(path.to_string()));
+        }
+        self.with_dir_mut(parent.ino, |dir| {
+            dir.delete(name.as_bytes())?;
+            Ok(())
+        })?;
+        tree.destroy()?;
+        self.remove_inode(ino)?;
+        Ok(())
+    }
+
+    /// Renames an entry, possibly across directories.
+    pub fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let (from_parent, from_name) = self.resolve_parent(from)?;
+        let (to_parent, to_name) = self.resolve_parent(to)?;
+        // Lock parents in a stable order to avoid deadlock.
+        let (first, second) = if from_parent.ino <= to_parent.ino {
+            (from_parent.ino, to_parent.ino)
+        } else {
+            (to_parent.ino, from_parent.ino)
+        };
+        let first_lock = self.lock_for(first);
+        let _first_guard = first_lock.write();
+        let second_lock = if second != first {
+            Some(self.lock_for(second))
+        } else {
+            None
+        };
+        let _second_guard = second_lock.as_ref().map(|l| l.write());
+
+        let (ino, is_dir) = self.dir_lookup(&from_parent, &from_name, from)?;
+        if self.dir_lookup(&to_parent, &to_name, to).is_ok() {
+            return Err(HierError::AlreadyExists(to.to_string()));
+        }
+        self.with_dir_mut(from_parent.ino, |tree| {
+            tree.delete(from_name.as_bytes())?;
+            Ok(())
+        })?;
+        self.with_dir_mut(to_parent.ino, |tree| {
+            tree.insert(to_name.as_bytes(), &entry_value(ino, is_dir))?;
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// Number of inodes currently allocated (including the root).
+    pub fn inode_count(&self) -> Result<u64> {
+        Ok(self.inodes.read().count()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> HierFs {
+        HierFs::in_memory(32 * 1024 * 1024, HierConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn root_exists_and_is_empty() {
+        let fs = fs();
+        let root = fs.stat("/").unwrap();
+        assert!(root.is_dir());
+        assert_eq!(root.ino, ROOT_INO);
+        assert!(fs.readdir("/").unwrap().is_empty());
+        assert_eq!(fs.inode_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn mkdir_and_nested_paths() {
+        let fs = fs();
+        fs.mkdir("/home").unwrap();
+        fs.mkdir("/home/margo").unwrap();
+        fs.mkdir("/home/nick").unwrap();
+        assert!(fs.stat("/home/margo").unwrap().is_dir());
+        let entries = fs.readdir("/home").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "margo");
+        assert_eq!(entries[1].name, "nick");
+        assert!(matches!(
+            fs.mkdir("/home/margo"),
+            Err(HierError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            fs.mkdir("/missing/child"),
+            Err(HierError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn mkdir_all_creates_chain() {
+        let fs = fs();
+        fs.mkdir_all("/a/b/c/d").unwrap();
+        assert!(fs.stat("/a/b/c/d").unwrap().is_dir());
+        // Idempotent.
+        fs.mkdir_all("/a/b/c/d").unwrap();
+    }
+
+    #[test]
+    fn create_write_read_file() {
+        let fs = fs();
+        fs.mkdir_all("/home/margo").unwrap();
+        fs.create_file("/home/margo/mail.mbox").unwrap();
+        fs.write("/home/margo/mail.mbox", 0, b"From: nick\nSubject: hi\n")
+            .unwrap();
+        assert_eq!(
+            fs.read_all("/home/margo/mail.mbox").unwrap(),
+            b"From: nick\nSubject: hi\n".to_vec()
+        );
+        assert_eq!(fs.read("/home/margo/mail.mbox", 6, 4).unwrap(), b"nick".to_vec());
+        let st = fs.stat("/home/margo/mail.mbox").unwrap();
+        assert!(!st.is_dir());
+        assert_eq!(st.size, 23);
+    }
+
+    #[test]
+    fn missing_file_and_wrong_kind_errors() {
+        let fs = fs();
+        fs.mkdir("/dir").unwrap();
+        assert!(matches!(fs.read_all("/nope"), Err(HierError::NotFound(_))));
+        assert!(matches!(
+            fs.read_all("/dir"),
+            Err(HierError::IsADirectory(_))
+        ));
+        fs.create_file("/file").unwrap();
+        assert!(matches!(
+            fs.stat("/file/inside"),
+            Err(HierError::NotADirectory(_))
+        ));
+        assert!(matches!(fs.stat(""), Err(HierError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn unlink_removes_file_and_storage() {
+        let fs = fs();
+        fs.create_file("/victim").unwrap();
+        fs.write("/victim", 0, &vec![0u8; 50_000]).unwrap();
+        let allocated = fs.store().stats().allocator.allocated_blocks;
+        fs.unlink("/victim").unwrap();
+        assert!(!fs.exists("/victim"));
+        assert!(fs.store().stats().allocator.allocated_blocks < allocated);
+        assert!(matches!(fs.unlink("/victim"), Err(HierError::NotFound(_))));
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let fs = fs();
+        fs.mkdir_all("/d/sub").unwrap();
+        assert!(matches!(
+            fs.rmdir("/d"),
+            Err(HierError::DirectoryNotEmpty(_))
+        ));
+        fs.rmdir("/d/sub").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert!(!fs.exists("/d"));
+    }
+
+    #[test]
+    fn rename_within_and_across_directories() {
+        let fs = fs();
+        fs.mkdir_all("/a").unwrap();
+        fs.mkdir_all("/b").unwrap();
+        fs.create_file("/a/one").unwrap();
+        fs.write("/a/one", 0, b"payload").unwrap();
+        fs.rename("/a/one", "/a/two").unwrap();
+        assert!(!fs.exists("/a/one"));
+        assert_eq!(fs.read_all("/a/two").unwrap(), b"payload".to_vec());
+        fs.rename("/a/two", "/b/three").unwrap();
+        assert_eq!(fs.read_all("/b/three").unwrap(), b"payload".to_vec());
+        assert!(fs.readdir("/a").unwrap().is_empty());
+        // Destination collisions are rejected.
+        fs.create_file("/a/blocker").unwrap();
+        fs.create_file("/b/movee").unwrap();
+        assert!(matches!(
+            fs.rename("/b/movee", "/a/blocker"),
+            Err(HierError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn traversal_counters_scale_with_depth() {
+        let fs = fs();
+        fs.mkdir_all("/one/two/three/four").unwrap();
+        fs.create_file("/one/two/three/four/leaf").unwrap();
+        let before = fs.counters();
+        fs.stat("/one/two/three/four/leaf").unwrap();
+        let delta = fs.counters().delta_since(&before);
+        assert_eq!(delta.components_resolved, 5);
+        assert_eq!(delta.dir_lookups, 5);
+        // Root + 4 dirs + leaf are looked up in the inode table.
+        assert!(delta.inode_lookups >= 6);
+        assert!(delta.atime_writes >= 5);
+    }
+
+    #[test]
+    fn noatime_avoids_ancestor_writes() {
+        let fs = HierFs::in_memory(16 * 1024 * 1024, HierConfig::noatime()).unwrap();
+        fs.mkdir_all("/x/y").unwrap();
+        fs.create_file("/x/y/z").unwrap();
+        let before = fs.counters();
+        fs.stat("/x/y/z").unwrap();
+        let delta = fs.counters().delta_since(&before);
+        assert_eq!(delta.atime_writes, 0);
+        assert_eq!(fs.config().atime_updates, false);
+    }
+
+    #[test]
+    fn insert_via_rewrite_matches_expected_content() {
+        let fs = fs();
+        fs.create_file("/doc").unwrap();
+        fs.write("/doc", 0, b"hello world").unwrap();
+        fs.insert_via_rewrite("/doc", 5, b", cruel").unwrap();
+        assert_eq!(fs.read_all("/doc").unwrap(), b"hello, cruel world".to_vec());
+        fs.remove_range_via_rewrite("/doc", 5, 7).unwrap();
+        assert_eq!(fs.read_all("/doc").unwrap(), b"hello world".to_vec());
+        assert_eq!(fs.stat("/doc").unwrap().size, 11);
+    }
+
+    #[test]
+    fn wide_directory_lookup() {
+        let fs = fs();
+        fs.mkdir("/wide").unwrap();
+        for i in 0..500u32 {
+            fs.create_file(&format!("/wide/file-{i:04}")).unwrap();
+        }
+        assert_eq!(fs.readdir("/wide").unwrap().len(), 500);
+        assert!(fs.exists("/wide/file-0250"));
+        assert!(!fs.exists("/wide/file-9999"));
+        assert_eq!(fs.stat("/wide").unwrap().size, 500);
+    }
+
+    #[test]
+    fn concurrent_work_in_sibling_directories() {
+        let fs = Arc::new(fs());
+        fs.mkdir_all("/home/nick").unwrap();
+        fs.mkdir_all("/home/margo").unwrap();
+        let mut handles = Vec::new();
+        for (t, home) in ["/home/nick", "/home/margo"].iter().enumerate() {
+            for worker in 0..2 {
+                let fs = Arc::clone(&fs);
+                let home = home.to_string();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let path = format!("{home}/t{t}-w{worker}-f{i}");
+                        fs.create_file(&path).unwrap();
+                        fs.write(&path, 0, b"data").unwrap();
+                        assert_eq!(fs.read_all(&path).unwrap(), b"data".to_vec());
+                    }
+                }));
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fs.readdir("/home/nick").unwrap().len(), 100);
+        assert_eq!(fs.readdir("/home/margo").unwrap().len(), 100);
+    }
+}

@@ -1,0 +1,153 @@
+//! Inodes for the hierarchical baseline.
+
+use crate::error::{HierError, Result};
+
+/// The root directory's inode number.
+pub const ROOT_INO: u64 = 1;
+
+/// What an inode describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InodeKind {
+    /// A regular file whose contents live in OSD object `oid`.
+    File {
+        /// Backing object id in the internal object store.
+        oid: u64,
+    },
+    /// A directory whose entries live in the B-tree rooted at `root_page`.
+    Dir {
+        /// Root page of the directory entry B-tree.
+        root_page: u64,
+    },
+}
+
+/// An inode record as stored in the inode table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: u64,
+    /// File or directory.
+    pub kind: InodeKind,
+    /// Permission bits.
+    pub mode: u16,
+    /// Last access time (seconds since the Unix epoch).
+    pub atime: u64,
+    /// Last modification time (seconds since the Unix epoch).
+    pub mtime: u64,
+    /// Number of directory entries (directories) or size in bytes (files;
+    /// kept in sync with the backing object for cheap `stat`).
+    pub size: u64,
+    /// Link count (entries referencing this inode).
+    pub nlink: u32,
+}
+
+impl Inode {
+    /// Encoded length in bytes.
+    pub const ENCODED_LEN: usize = 1 + 8 + 8 + 2 + 8 + 8 + 8 + 4;
+
+    /// Creates a fresh directory inode.
+    pub fn new_dir(ino: u64, root_page: u64, mode: u16, now: u64) -> Self {
+        Inode {
+            ino,
+            kind: InodeKind::Dir { root_page },
+            mode,
+            atime: now,
+            mtime: now,
+            size: 0,
+            nlink: 1,
+        }
+    }
+
+    /// Creates a fresh file inode.
+    pub fn new_file(ino: u64, oid: u64, mode: u16, now: u64) -> Self {
+        Inode {
+            ino,
+            kind: InodeKind::File { oid },
+            mode,
+            atime: now,
+            mtime: now,
+            size: 0,
+            nlink: 1,
+        }
+    }
+
+    /// Returns `true` for directory inodes.
+    pub fn is_dir(&self) -> bool {
+        matches!(self.kind, InodeKind::Dir { .. })
+    }
+
+    /// Serialises the inode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        let (tag, payload) = match self.kind {
+            InodeKind::File { oid } => (1u8, oid),
+            InodeKind::Dir { root_page } => (2u8, root_page),
+        };
+        out.push(tag);
+        out.extend_from_slice(&self.ino.to_le_bytes());
+        out.extend_from_slice(&payload.to_le_bytes());
+        out.extend_from_slice(&self.mode.to_le_bytes());
+        out.extend_from_slice(&self.atime.to_le_bytes());
+        out.extend_from_slice(&self.mtime.to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.nlink.to_le_bytes());
+        out
+    }
+
+    /// Deserialises an inode written by [`encode`](Self::encode).
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < Self::ENCODED_LEN {
+            return Err(HierError::BTree(hfad_btree::BTreeError::Corrupt(
+                "inode record too short".to_string(),
+            )));
+        }
+        let u64_at = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("u64"));
+        let payload = u64_at(9);
+        let kind = match buf[0] {
+            1 => InodeKind::File { oid: payload },
+            2 => InodeKind::Dir { root_page: payload },
+            other => {
+                return Err(HierError::BTree(hfad_btree::BTreeError::Corrupt(format!(
+                    "unknown inode kind {other}"
+                ))))
+            }
+        };
+        Ok(Inode {
+            ino: u64_at(1),
+            kind,
+            mode: u16::from_le_bytes(buf[17..19].try_into().expect("u16")),
+            atime: u64_at(19),
+            mtime: u64_at(27),
+            size: u64_at(35),
+            nlink: u32::from_le_bytes(buf[43..47].try_into().expect("u32")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let dir = Inode::new_dir(1, 42, 0o755, 1000);
+        assert_eq!(Inode::decode(&dir.encode()).unwrap(), dir);
+        let mut file = Inode::new_file(7, 99, 0o644, 2000);
+        file.size = 12345;
+        file.nlink = 2;
+        assert_eq!(Inode::decode(&file.encode()).unwrap(), file);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Inode::new_dir(1, 2, 0o755, 0).is_dir());
+        assert!(!Inode::new_file(1, 2, 0o644, 0).is_dir());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Inode::decode(&[0u8; 4]).is_err());
+        let mut buf = Inode::new_dir(1, 2, 0o755, 0).encode();
+        buf[0] = 9;
+        assert!(Inode::decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # hfad-hierfs
+//!
+//! The hierarchical baseline: an FFS-style file system (inode table,
+//! per-directory entry B-trees, per-inode locks, component-wise path
+//! resolution with optional atime updates) built over the same storage
+//! substrate as hFAD.
+//!
+//! The hFAD paper is a position paper with no evaluation; it closes by
+//! inviting comparisons of tag-based designs "relative to historical
+//! practice" (§5). This crate is that historical practice, implemented
+//! faithfully enough that the §2.3 arguments — extra index traversals from
+//! search term to data block, and synchronisation through shared ancestor
+//! directories — become measurable:
+//!
+//! * [`fs::HierFs`] — the file system (mkdir/create/read/write/rename/
+//!   unlink/readdir/stat), with [`TraversalCounters`](fs::TraversalCounters)
+//!   recording the namespace work every operation performs.
+//! * [`searchidx::SearchIndex`] — a desktop-search index layered on top of
+//!   the file system whose postings are *pathnames*, reproducing the
+//!   search-index → namespace → inode → block-map indirection chain.
+
+pub mod error;
+pub mod fs;
+pub mod inode;
+pub mod searchidx;
+
+pub use error::{HierError, Result};
+pub use fs::{split_path, DirEntry, HierConfig, HierFs, TraversalCounters};
+pub use inode::{Inode, InodeKind, ROOT_INO};
+pub use searchidx::SearchIndex;

@@ -1,0 +1,200 @@
+//! A desktop-search index layered *on top of* the hierarchical file system.
+//!
+//! §2.3 of the paper describes "the path between a search term and a data
+//! block in most systems today": the search index is itself "built on top
+//! of files in the file system", so resolving a search term yields a *file
+//! name*, which must then be resolved through the hierarchical namespace,
+//! and only then can the file's own block map be traversed. This module
+//! reproduces that layering for the baseline side of experiment E1: the
+//! posting lists map terms to *paths* (not inodes), exactly as
+//! Spotlight/WDS-style indexers do.
+
+use parking_lot::RwLock;
+
+use hfad_btree::codec::{decode_composite, encode_composite, prefix_upper_bound};
+use hfad_btree::BTree;
+
+use crate::error::Result;
+use crate::fs::HierFs;
+
+/// An inverted index mapping full-text terms to pathnames.
+pub struct SearchIndex {
+    postings: RwLock<BTree>,
+}
+
+fn posting_key(term: &str, path: &str) -> Vec<u8> {
+    encode_composite(term.as_bytes(), path.as_bytes())
+}
+
+impl SearchIndex {
+    /// Creates an empty search index on the same storage as `fs`.
+    pub fn new(fs: &HierFs) -> Result<Self> {
+        let ctx = fs.store().context().clone();
+        Ok(SearchIndex {
+            postings: RwLock::new(BTree::create(ctx)?),
+        })
+    }
+
+    /// Indexes the textual content of the file at `path`, reading it back
+    /// through the file system (as an external desktop indexer would).
+    pub fn index_file(&self, fs: &HierFs, path: &str) -> Result<usize> {
+        let content = fs.read_all(path)?;
+        let text = String::from_utf8_lossy(&content);
+        let terms = hfad_index::unique_terms(&text);
+        let mut postings = self.postings.write();
+        for term in &terms {
+            postings.insert(&posting_key(term, path), &[])?;
+        }
+        Ok(terms.len())
+    }
+
+    /// Removes every posting for `path` (e.g. before re-indexing).
+    pub fn remove_file(&self, path: &str) -> Result<()> {
+        let mut postings = self.postings.write();
+        let all: Vec<Vec<u8>> = postings
+            .scan_all()?
+            .into_iter()
+            .map(|(k, _)| k)
+            .filter(|k| {
+                decode_composite(k)
+                    .map(|(_, p)| p == path.as_bytes())
+                    .unwrap_or(false)
+            })
+            .collect();
+        for key in all {
+            postings.delete(&key)?;
+        }
+        Ok(())
+    }
+
+    /// Returns the paths containing `term`, in path order.
+    pub fn lookup_paths(&self, term: &str) -> Result<Vec<String>> {
+        let normalized = hfad_index::tokenize(term);
+        let Some(term) = normalized.first() else {
+            return Ok(Vec::new());
+        };
+        let prefix = encode_composite(term.as_bytes(), &[]);
+        let upper = prefix_upper_bound(&prefix);
+        let postings = self.postings.read();
+        let mut out = Vec::new();
+        for entry in postings.range(&prefix, upper.as_deref())? {
+            let (key, _) = entry?;
+            if let Some((_, path)) = decode_composite(&key) {
+                out.push(String::from_utf8_lossy(&path).to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the paths containing *all* of `terms`.
+    pub fn query_all(&self, terms: &[&str]) -> Result<Vec<String>> {
+        let mut result: Option<std::collections::BTreeSet<String>> = None;
+        for term in terms {
+            let hits: std::collections::BTreeSet<String> =
+                self.lookup_paths(term)?.into_iter().collect();
+            result = Some(match result {
+                None => hits,
+                Some(acc) => acc.intersection(&hits).cloned().collect(),
+            });
+            if matches!(&result, Some(s) if s.is_empty()) {
+                break;
+            }
+        }
+        Ok(result.unwrap_or_default().into_iter().collect())
+    }
+
+    /// The end-to-end §2.3 path: resolve `terms` to pathnames through the
+    /// search index, then resolve each pathname through the hierarchical
+    /// namespace and read the first `read_len` bytes of the file. Returns
+    /// the file contents, one entry per hit.
+    pub fn search_and_read(
+        &self,
+        fs: &HierFs,
+        terms: &[&str],
+        read_len: u64,
+    ) -> Result<Vec<Vec<u8>>> {
+        let mut out = Vec::new();
+        for path in self.query_all(terms)? {
+            out.push(fs.read(&path, 0, read_len)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of postings in the index.
+    pub fn posting_count(&self) -> Result<u64> {
+        Ok(self.postings.read().count()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fs::{HierConfig, HierFs};
+
+    use super::*;
+
+    fn fixture() -> (HierFs, SearchIndex) {
+        let fs = HierFs::in_memory(32 * 1024 * 1024, HierConfig::default()).unwrap();
+        fs.mkdir_all("/home/margo").unwrap();
+        fs.mkdir_all("/home/nick").unwrap();
+        fs.create_file("/home/margo/paper.txt").unwrap();
+        fs.write(
+            "/home/margo/paper.txt",
+            0,
+            b"hierarchical file systems are dead",
+        )
+        .unwrap();
+        fs.create_file("/home/nick/notes.txt").unwrap();
+        fs.write("/home/nick/notes.txt", 0, b"notes about file systems and btrees")
+            .unwrap();
+        let idx = SearchIndex::new(&fs).unwrap();
+        idx.index_file(&fs, "/home/margo/paper.txt").unwrap();
+        idx.index_file(&fs, "/home/nick/notes.txt").unwrap();
+        (fs, idx)
+    }
+
+    #[test]
+    fn lookup_returns_paths_not_objects() {
+        let (_fs, idx) = fixture();
+        assert_eq!(
+            idx.lookup_paths("dead").unwrap(),
+            vec!["/home/margo/paper.txt".to_string()]
+        );
+        let both = idx.lookup_paths("file").unwrap();
+        assert_eq!(both.len(), 2);
+        assert!(idx.lookup_paths("absent").unwrap().is_empty());
+    }
+
+    #[test]
+    fn conjunction_over_paths() {
+        let (_fs, idx) = fixture();
+        assert_eq!(
+            idx.query_all(&["file", "btrees"]).unwrap(),
+            vec!["/home/nick/notes.txt".to_string()]
+        );
+        assert_eq!(idx.query_all(&["file", "systems"]).unwrap().len(), 2);
+        assert!(idx.query_all(&["dead", "btrees"]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn search_and_read_traverses_namespace() {
+        let (fs, idx) = fixture();
+        let before = fs.counters();
+        let contents = idx.search_and_read(&fs, &["dead"], 12).unwrap();
+        assert_eq!(contents, vec![b"hierarchical".to_vec()]);
+        // The read went back through path resolution: three components.
+        let delta = fs.counters().delta_since(&before);
+        assert_eq!(delta.components_resolved, 3);
+    }
+
+    #[test]
+    fn remove_file_drops_postings() {
+        let (fs, idx) = fixture();
+        let before = idx.posting_count().unwrap();
+        idx.remove_file("/home/nick/notes.txt").unwrap();
+        assert!(idx.posting_count().unwrap() < before);
+        assert!(idx.query_all(&["btrees"]).unwrap().is_empty());
+        // The other file is untouched.
+        assert_eq!(idx.lookup_paths("dead").unwrap().len(), 1);
+        drop(fs);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the index stores.
+
+use core::fmt;
+
+use hfad_btree::BTreeError;
+use hfad_osd::OsdError;
+use hfad_storage::StorageError;
+
+/// Errors produced by index stores and query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// Error from the underlying device or allocator.
+    Storage(StorageError),
+    /// Error from a posting B-tree.
+    BTree(BTreeError),
+    /// Error from the OSD layer (e.g. while lazily reading an object to
+    /// index its content).
+    Osd(OsdError),
+    /// No registered index store handles the given tag.
+    NoIndexForTag(String),
+    /// A query was structurally invalid (e.g. empty conjunction).
+    InvalidQuery(String),
+    /// The background indexer has shut down and cannot accept work.
+    IndexerStopped,
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::BTree(e) => write!(f, "b-tree error: {e}"),
+            IndexError::Osd(e) => write!(f, "osd error: {e}"),
+            IndexError::NoIndexForTag(tag) => write!(f, "no index store handles tag {tag}"),
+            IndexError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            IndexError::IndexerStopped => write!(f, "background indexer has stopped"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<StorageError> for IndexError {
+    fn from(e: StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+impl From<BTreeError> for IndexError {
+    fn from(e: BTreeError) -> Self {
+        IndexError::BTree(e)
+    }
+}
+
+impl From<OsdError> for IndexError {
+    fn from(e: OsdError) -> Self {
+        IndexError::Osd(e)
+    }
+}
+
+/// Convenience alias used throughout the index crate.
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(IndexError::NoIndexForTag("IMAGE".into())
+            .to_string()
+            .contains("IMAGE"));
+        let e: IndexError = BTreeError::EmptyKey.into();
+        assert!(matches!(e, IndexError::BTree(_)));
+        let e: IndexError = StorageError::ZeroAllocation.into();
+        assert!(matches!(e, IndexError::Storage(_)));
+        let e: IndexError = OsdError::NoSuchObject(1).into();
+        assert!(matches!(e, IndexError::Osd(_)));
+    }
+}

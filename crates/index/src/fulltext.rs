@@ -1,0 +1,299 @@
+//! The full-text index store.
+//!
+//! The paper ports Lucene on top of the storage allocator for full-text
+//! search (§3.4). This module provides the part of that functionality hFAD
+//! actually relies on: a persistent inverted index mapping terms to object
+//! ids, fed by a simple tokenizer, with conjunctive multi-term queries
+//! ("the result of such an operation is the conjunction of the results of
+//! an index lookup for each element in the vector", §3.1.1).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hfad_btree::TreeContext;
+use hfad_osd::ObjectId;
+
+use crate::error::Result;
+use crate::keyvalue::KeyValueIndex;
+use crate::store::{IndexStats, IndexStore};
+use crate::tag::{Tag, TagValue};
+
+/// Splits text into lower-case alphanumeric terms.
+///
+/// Terms shorter than two characters are dropped; everything else
+/// (punctuation, whitespace) is a separator. This mirrors a basic Lucene
+/// `StandardAnalyzer` pipeline without stemming.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut terms = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            terms.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        terms.push(current);
+    }
+    terms.retain(|t| t.len() >= 2);
+    terms
+}
+
+/// Unique terms of a document, in sorted order.
+pub fn unique_terms(text: &str) -> BTreeSet<String> {
+    tokenize(text).into_iter().collect()
+}
+
+/// A persistent inverted index over object contents.
+pub struct FullTextIndex {
+    postings: KeyValueIndex,
+    documents_indexed: AtomicU64,
+    terms_indexed: AtomicU64,
+}
+
+impl FullTextIndex {
+    /// Creates a full-text index with `shards` independent posting shards.
+    pub fn new(ctx: TreeContext, shards: usize) -> Result<Self> {
+        Ok(FullTextIndex {
+            postings: KeyValueIndex::new(ctx, "fulltext", Some(vec![Tag::FullText]), shards)?,
+            documents_indexed: AtomicU64::new(0),
+            terms_indexed: AtomicU64::new(0),
+        })
+    }
+
+    /// Indexes the textual content of an object, adding one posting per
+    /// unique term.
+    pub fn index_document(&self, oid: ObjectId, text: &str) -> Result<usize> {
+        let terms = unique_terms(text);
+        for term in &terms {
+            self.postings.insert(&Tag::FullText, term, oid)?;
+        }
+        self.documents_indexed.fetch_add(1, Ordering::Relaxed);
+        self.terms_indexed
+            .fetch_add(terms.len() as u64, Ordering::Relaxed);
+        Ok(terms.len())
+    }
+
+    /// Removes every posting for `oid` (used when an object is deleted or
+    /// about to be re-indexed).
+    pub fn remove_document(&self, oid: ObjectId) -> Result<()> {
+        self.postings.remove_object(oid)
+    }
+
+    /// Objects containing `term`.
+    pub fn lookup_term(&self, term: &str) -> Result<Vec<ObjectId>> {
+        let normalized = tokenize(term);
+        match normalized.first() {
+            Some(t) => self.postings.lookup(&Tag::FullText, t),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Objects containing *all* of `terms` (the paper's conjunction
+    /// semantics). An empty term list yields an empty result.
+    pub fn query_all(&self, terms: &[&str]) -> Result<Vec<ObjectId>> {
+        let mut result: Option<BTreeSet<ObjectId>> = None;
+        for term in terms {
+            let hits: BTreeSet<ObjectId> = self.lookup_term(term)?.into_iter().collect();
+            result = Some(match result {
+                None => hits,
+                Some(acc) => acc.intersection(&hits).copied().collect(),
+            });
+            if matches!(&result, Some(set) if set.is_empty()) {
+                break;
+            }
+        }
+        Ok(result.unwrap_or_default().into_iter().collect())
+    }
+
+    /// Number of documents indexed since creation.
+    pub fn documents_indexed(&self) -> u64 {
+        self.documents_indexed.load(Ordering::Relaxed)
+    }
+
+    /// Total unique-term postings added since creation.
+    pub fn terms_indexed(&self) -> u64 {
+        self.terms_indexed.load(Ordering::Relaxed)
+    }
+}
+
+impl IndexStore for FullTextIndex {
+    fn name(&self) -> &str {
+        "fulltext"
+    }
+
+    fn handles(&self, tag: &Tag) -> bool {
+        *tag == Tag::FullText
+    }
+
+    fn insert(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()> {
+        debug_assert_eq!(*tag, Tag::FullText);
+        // A value arriving through the generic interface is treated as raw
+        // text: it is tokenized so that multi-word values behave like
+        // content.
+        for term in unique_terms(value) {
+            self.postings.insert(&Tag::FullText, &term, oid)?;
+        }
+        Ok(())
+    }
+
+    fn remove(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()> {
+        debug_assert_eq!(*tag, Tag::FullText);
+        for term in unique_terms(value) {
+            self.postings.remove(&Tag::FullText, &term, oid)?;
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, tag: &Tag, value: &str) -> Result<Vec<ObjectId>> {
+        debug_assert_eq!(*tag, Tag::FullText);
+        let terms: Vec<String> = unique_terms(value).into_iter().collect();
+        let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+        self.query_all(&refs)
+    }
+
+    fn remove_object(&self, oid: ObjectId) -> Result<()> {
+        self.remove_document(oid)
+    }
+
+    fn tags_of(&self, oid: ObjectId) -> Result<Vec<TagValue>> {
+        self.postings.tags_of(oid)
+    }
+
+    fn stats(&self) -> IndexStats {
+        self.postings.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use hfad_storage::{BuddyAllocator, MemDevice};
+
+    use super::*;
+
+    fn ctx() -> TreeContext {
+        let device = Arc::new(MemDevice::new(65536, 512));
+        let allocator = Arc::new(BuddyAllocator::new(1, 65535));
+        TreeContext::new(device, allocator)
+    }
+
+    fn index() -> FullTextIndex {
+        FullTextIndex::new(ctx(), 4).unwrap()
+    }
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Hello, World! HFS+ is dead."),
+            vec!["hello", "world", "hfs", "is", "dead"]
+        );
+        assert_eq!(tokenize("a b c"), Vec::<String>::new());
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("file2009 naming"), vec!["file2009", "naming"]);
+    }
+
+    #[test]
+    fn unique_terms_deduplicates() {
+        let terms = unique_terms("the cat and the hat and the cat");
+        assert_eq!(
+            terms.into_iter().collect::<Vec<_>>(),
+            vec!["and", "cat", "hat", "the"]
+        );
+    }
+
+    #[test]
+    fn index_and_query_single_term() {
+        let idx = index();
+        idx.index_document(ObjectId(1), "hierarchical file systems are dead")
+            .unwrap();
+        idx.index_document(ObjectId(2), "long live the tagged file system")
+            .unwrap();
+        assert_eq!(
+            idx.lookup_term("file").unwrap(),
+            vec![ObjectId(1), ObjectId(2)]
+        );
+        assert_eq!(idx.lookup_term("dead").unwrap(), vec![ObjectId(1)]);
+        assert_eq!(idx.lookup_term("TAGGED").unwrap(), vec![ObjectId(2)]);
+        assert!(idx.lookup_term("absent").unwrap().is_empty());
+    }
+
+    #[test]
+    fn conjunction_intersects_terms() {
+        let idx = index();
+        idx.index_document(ObjectId(1), "margo beach vacation photo")
+            .unwrap();
+        idx.index_document(ObjectId(2), "nick beach workshop photo")
+            .unwrap();
+        idx.index_document(ObjectId(3), "margo workshop slides").unwrap();
+        assert_eq!(
+            idx.query_all(&["beach", "photo"]).unwrap(),
+            vec![ObjectId(1), ObjectId(2)]
+        );
+        assert_eq!(
+            idx.query_all(&["margo", "beach"]).unwrap(),
+            vec![ObjectId(1)]
+        );
+        assert!(idx.query_all(&["margo", "nick"]).unwrap().is_empty());
+        assert!(idx.query_all(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn remove_document_forgets_all_terms() {
+        let idx = index();
+        idx.index_document(ObjectId(1), "ephemeral words vanish")
+            .unwrap();
+        idx.index_document(ObjectId(2), "permanent words remain")
+            .unwrap();
+        idx.remove_document(ObjectId(1)).unwrap();
+        assert!(idx.lookup_term("ephemeral").unwrap().is_empty());
+        assert_eq!(idx.lookup_term("words").unwrap(), vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn counters_track_documents_and_terms() {
+        let idx = index();
+        let n = idx
+            .index_document(ObjectId(1), "alpha beta beta gamma")
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(idx.documents_indexed(), 1);
+        assert_eq!(idx.terms_indexed(), 3);
+    }
+
+    #[test]
+    fn index_store_interface_tokenizes_values() {
+        let idx = index();
+        idx.insert(&Tag::FullText, "annual report 2009", ObjectId(5))
+            .unwrap();
+        assert_eq!(idx.lookup(&Tag::FullText, "report").unwrap(), vec![ObjectId(5)]);
+        assert_eq!(
+            idx.lookup(&Tag::FullText, "annual 2009").unwrap(),
+            vec![ObjectId(5)]
+        );
+        idx.remove(&Tag::FullText, "annual report 2009", ObjectId(5))
+            .unwrap();
+        assert!(idx.lookup(&Tag::FullText, "report").unwrap().is_empty());
+        assert!(idx.handles(&Tag::FullText));
+        assert!(!idx.handles(&Tag::Posix));
+    }
+
+    #[test]
+    fn large_corpus_queries_remain_correct() {
+        let idx = index();
+        for i in 0..300u64 {
+            let text = format!(
+                "document number {i} about {} and {}",
+                if i % 2 == 0 { "storage" } else { "networks" },
+                if i % 3 == 0 { "indexing" } else { "caching" },
+            );
+            idx.index_document(ObjectId(i), &text).unwrap();
+        }
+        let hits = idx.query_all(&["storage", "indexing"]).unwrap();
+        // Multiples of 6 are both even and divisible by 3.
+        assert_eq!(hits.len(), 50);
+        assert!(hits.iter().all(|o| o.as_u64() % 6 == 0));
+    }
+}

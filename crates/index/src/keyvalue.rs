@@ -1,0 +1,427 @@
+//! The key/value index store.
+//!
+//! "A key/value store suffices for simple attributes" (§3.2): POSIX
+//! pathnames, USER, UDEF and APP tags are all simple string attributes. The
+//! postings live in B-trees keyed by an order-preserving composite of
+//! `(tag, value, oid)`, so a lookup is one prefix scan. A reverse index
+//! keyed by `(oid, tag, value)` supports removing every name of an object
+//! when the object is deleted.
+//!
+//! The index is sharded: the posting space is split across `shards`
+//! independent B-trees (selected by a hash of the tag and value), each
+//! behind its own reader/writer lock. This is the "better indexing
+//! structures with fewer hotspots" the paper appeals to in §2.3, and is
+//! what experiment E2 compares against the hierarchical baseline's shared
+//! ancestor directories.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use hfad_btree::codec::{decode_composite, encode_composite, prefix_upper_bound};
+use hfad_btree::{BTree, TreeContext};
+use hfad_osd::ObjectId;
+
+use crate::error::Result;
+use crate::store::{IndexStats, IndexStore};
+use crate::tag::{Tag, TagValue};
+
+/// Default number of independent shards.
+pub const DEFAULT_SHARDS: usize = 16;
+
+struct Shard {
+    forward: RwLock<BTree>,
+    reverse: RwLock<BTree>,
+}
+
+/// A sharded, B-tree backed key/value index.
+pub struct KeyValueIndex {
+    name: String,
+    handled: Option<Vec<Tag>>,
+    shards: Vec<Shard>,
+    inserts: AtomicU64,
+    removes: AtomicU64,
+    lookups: AtomicU64,
+    postings: AtomicU64,
+}
+
+/// Builds the forward posting key `(tag, value, oid)`.
+fn forward_key(tag: &Tag, value: &str, oid: ObjectId) -> Vec<u8> {
+    let inner = encode_composite(value.as_bytes(), &oid.to_key());
+    encode_composite(tag.as_bytes(), &inner)
+}
+
+/// Builds the prefix matching every posting for `(tag, value)`.
+fn value_prefix(tag: &Tag, value: &str) -> Vec<u8> {
+    let inner = encode_composite(value.as_bytes(), &[]);
+    encode_composite(tag.as_bytes(), &inner)
+}
+
+/// Builds the reverse posting key `(oid, tag, value)`.
+fn reverse_key(oid: ObjectId, tag: &Tag, value: &str) -> Vec<u8> {
+    let inner = encode_composite(tag.as_bytes(), value.as_bytes());
+    encode_composite(&oid.to_key(), &inner)
+}
+
+/// Extracts the object id from a forward posting key.
+fn oid_from_forward(key: &[u8]) -> Option<ObjectId> {
+    if key.len() < 8 {
+        return None;
+    }
+    ObjectId::from_key(&key[key.len() - 8..])
+}
+
+impl KeyValueIndex {
+    /// Creates a sharded index named `name` handling `handled` tags
+    /// (`None` means "handles every tag", useful as a catch-all).
+    pub fn new(
+        ctx: TreeContext,
+        name: impl Into<String>,
+        handled: Option<Vec<Tag>>,
+        shards: usize,
+    ) -> Result<Self> {
+        let shards = shards.max(1);
+        let mut shard_vec = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            shard_vec.push(Shard {
+                forward: RwLock::new(BTree::create(ctx.clone())?),
+                reverse: RwLock::new(BTree::create(ctx.clone())?),
+            });
+        }
+        Ok(KeyValueIndex {
+            name: name.into(),
+            handled,
+            shards: shard_vec,
+            inserts: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            postings: AtomicU64::new(0),
+        })
+    }
+
+    /// Creates an index with the default shard count handling the simple
+    /// attribute tags (POSIX, USER, UDEF, APP).
+    pub fn simple_attributes(ctx: TreeContext) -> Result<Self> {
+        KeyValueIndex::new(
+            ctx,
+            "keyvalue",
+            Some(vec![Tag::Posix, Tag::User, Tag::Udef, Tag::App]),
+            DEFAULT_SHARDS,
+        )
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, tag: &Tag, value: &str) -> &Shard {
+        let hash = hfad_storage::fnv1a(&[tag.as_bytes(), value.as_bytes()].concat());
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+}
+
+impl IndexStore for KeyValueIndex {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn handles(&self, tag: &Tag) -> bool {
+        match &self.handled {
+            Some(tags) => tags.contains(tag),
+            None => true,
+        }
+    }
+
+    fn insert(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()> {
+        let shard = self.shard_for(tag, value);
+        let fresh = {
+            let mut forward = shard.forward.write();
+            forward.insert(&forward_key(tag, value, oid), &[])?.is_none()
+        };
+        {
+            let mut reverse = shard.reverse.write();
+            reverse.insert(&reverse_key(oid, tag, value), &[])?;
+        }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if fresh {
+            self.postings.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn remove(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()> {
+        let shard = self.shard_for(tag, value);
+        let existed = {
+            let mut forward = shard.forward.write();
+            forward.delete(&forward_key(tag, value, oid))?.is_some()
+        };
+        {
+            let mut reverse = shard.reverse.write();
+            reverse.delete(&reverse_key(oid, tag, value))?;
+        }
+        self.removes.fetch_add(1, Ordering::Relaxed);
+        if existed {
+            self.postings.fetch_sub(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, tag: &Tag, value: &str) -> Result<Vec<ObjectId>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_for(tag, value);
+        let forward = shard.forward.read();
+        let prefix = value_prefix(tag, value);
+        let mut out = Vec::new();
+        for (key, _) in forward.scan_prefix(&prefix)? {
+            if let Some(oid) = oid_from_forward(&key) {
+                out.push(oid);
+            }
+        }
+        Ok(out)
+    }
+
+    fn remove_object(&self, oid: ObjectId) -> Result<()> {
+        // The reverse index of every shard may hold names for this object.
+        let prefix = encode_composite(&oid.to_key(), &[]);
+        let upper = prefix_upper_bound(&prefix);
+        for shard in &self.shards {
+            let names: Vec<(Vec<u8>, Vec<u8>)> = {
+                let reverse = shard.reverse.read();
+                let mut collected = Vec::new();
+                for entry in reverse.range(&prefix, upper.as_deref())? {
+                    collected.push(entry?);
+                }
+                collected
+            };
+            for (key, _) in names {
+                let Some((_, inner)) = decode_composite(&key) else {
+                    continue;
+                };
+                let Some((tag_bytes, value_bytes)) = decode_composite(&inner) else {
+                    continue;
+                };
+                let tag = Tag::parse(&String::from_utf8_lossy(&tag_bytes));
+                let value = String::from_utf8_lossy(&value_bytes).to_string();
+                self.remove(&tag, &value, oid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn tags_of(&self, oid: ObjectId) -> Result<Vec<TagValue>> {
+        let prefix = encode_composite(&oid.to_key(), &[]);
+        let upper = prefix_upper_bound(&prefix);
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let reverse = shard.reverse.read();
+            for entry in reverse.range(&prefix, upper.as_deref())? {
+                let (key, _) = entry?;
+                let Some((_, inner)) = decode_composite(&key) else {
+                    continue;
+                };
+                let Some((tag_bytes, value_bytes)) = decode_composite(&inner) else {
+                    continue;
+                };
+                out.push(TagValue::new(
+                    Tag::parse(&String::from_utf8_lossy(&tag_bytes)),
+                    String::from_utf8_lossy(&value_bytes).to_string(),
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            postings: self.postings.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use hfad_storage::{BuddyAllocator, MemDevice};
+
+    use super::*;
+
+    fn ctx() -> TreeContext {
+        let device = Arc::new(MemDevice::new(65536, 512));
+        let allocator = Arc::new(BuddyAllocator::new(1, 65535));
+        TreeContext::new(device, allocator)
+    }
+
+    fn index() -> KeyValueIndex {
+        KeyValueIndex::simple_attributes(ctx()).unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup_single() {
+        let idx = index();
+        idx.insert(&Tag::Posix, "/home/margo/mail.mbox", ObjectId(7))
+            .unwrap();
+        assert_eq!(
+            idx.lookup(&Tag::Posix, "/home/margo/mail.mbox").unwrap(),
+            vec![ObjectId(7)]
+        );
+        assert!(idx.lookup(&Tag::Posix, "/home/margo").unwrap().is_empty());
+    }
+
+    #[test]
+    fn multiple_objects_per_value_sorted() {
+        let idx = index();
+        for oid in [5u64, 1, 9, 3] {
+            idx.insert(&Tag::Udef, "vacation", ObjectId(oid)).unwrap();
+        }
+        assert_eq!(
+            idx.lookup(&Tag::Udef, "vacation").unwrap(),
+            vec![ObjectId(1), ObjectId(3), ObjectId(5), ObjectId(9)]
+        );
+    }
+
+    #[test]
+    fn values_do_not_collide_by_prefix() {
+        let idx = index();
+        idx.insert(&Tag::User, "nick", ObjectId(1)).unwrap();
+        idx.insert(&Tag::User, "nickolas", ObjectId(2)).unwrap();
+        assert_eq!(idx.lookup(&Tag::User, "nick").unwrap(), vec![ObjectId(1)]);
+        assert_eq!(
+            idx.lookup(&Tag::User, "nickolas").unwrap(),
+            vec![ObjectId(2)]
+        );
+    }
+
+    #[test]
+    fn same_value_different_tags_are_distinct() {
+        let idx = index();
+        idx.insert(&Tag::User, "margo", ObjectId(1)).unwrap();
+        idx.insert(&Tag::Udef, "margo", ObjectId(2)).unwrap();
+        assert_eq!(idx.lookup(&Tag::User, "margo").unwrap(), vec![ObjectId(1)]);
+        assert_eq!(idx.lookup(&Tag::Udef, "margo").unwrap(), vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn remove_specific_posting() {
+        let idx = index();
+        idx.insert(&Tag::App, "quicken", ObjectId(1)).unwrap();
+        idx.insert(&Tag::App, "quicken", ObjectId(2)).unwrap();
+        idx.remove(&Tag::App, "quicken", ObjectId(1)).unwrap();
+        assert_eq!(
+            idx.lookup(&Tag::App, "quicken").unwrap(),
+            vec![ObjectId(2)]
+        );
+        // Removing a missing posting is a no-op.
+        idx.remove(&Tag::App, "quicken", ObjectId(42)).unwrap();
+        assert_eq!(idx.stats().postings, 1);
+    }
+
+    #[test]
+    fn remove_object_deletes_every_name() {
+        let idx = index();
+        idx.insert(&Tag::Posix, "/photos/beach.jpg", ObjectId(3))
+            .unwrap();
+        idx.insert(&Tag::Udef, "vacation", ObjectId(3)).unwrap();
+        idx.insert(&Tag::Udef, "family", ObjectId(3)).unwrap();
+        idx.insert(&Tag::Udef, "vacation", ObjectId(4)).unwrap();
+        assert_eq!(idx.tags_of(ObjectId(3)).unwrap().len(), 3);
+        idx.remove_object(ObjectId(3)).unwrap();
+        assert!(idx.tags_of(ObjectId(3)).unwrap().is_empty());
+        assert!(idx
+            .lookup(&Tag::Posix, "/photos/beach.jpg")
+            .unwrap()
+            .is_empty());
+        // Other objects' postings survive.
+        assert_eq!(
+            idx.lookup(&Tag::Udef, "vacation").unwrap(),
+            vec![ObjectId(4)]
+        );
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let idx = index();
+        idx.insert(&Tag::User, "nick", ObjectId(1)).unwrap();
+        idx.insert(&Tag::User, "nick", ObjectId(1)).unwrap();
+        assert_eq!(idx.lookup(&Tag::User, "nick").unwrap(), vec![ObjectId(1)]);
+        assert_eq!(idx.stats().postings, 1);
+        assert_eq!(idx.stats().inserts, 2);
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let idx = index();
+        idx.insert(&Tag::User, "a", ObjectId(1)).unwrap();
+        idx.lookup(&Tag::User, "a").unwrap();
+        idx.lookup(&Tag::User, "b").unwrap();
+        idx.remove(&Tag::User, "a", ObjectId(1)).unwrap();
+        let s = idx.stats();
+        assert_eq!(s.inserts, 1);
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.removes, 1);
+        assert_eq!(s.postings, 0);
+    }
+
+    #[test]
+    fn handles_respects_tag_list() {
+        let idx = index();
+        assert!(idx.handles(&Tag::Posix));
+        assert!(!idx.handles(&Tag::FullText));
+        let catch_all = KeyValueIndex::new(ctx(), "all", None, 2).unwrap();
+        assert!(catch_all.handles(&Tag::FullText));
+        assert!(catch_all.handles(&Tag::Custom("IMAGE".into())));
+        assert_eq!(catch_all.shard_count(), 2);
+    }
+
+    #[test]
+    fn many_postings_across_shards() {
+        let idx = KeyValueIndex::new(ctx(), "kv", None, 8).unwrap();
+        for i in 0..500u64 {
+            idx.insert(&Tag::Posix, &format!("/dir/file{i}"), ObjectId(i))
+                .unwrap();
+        }
+        assert_eq!(idx.stats().postings, 500);
+        for i in (0..500u64).step_by(97) {
+            assert_eq!(
+                idx.lookup(&Tag::Posix, &format!("/dir/file{i}")).unwrap(),
+                vec![ObjectId(i)]
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups() {
+        let idx = Arc::new(index());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let oid = ObjectId(t * 1000 + i);
+                    idx.insert(&Tag::Udef, &format!("tag-{t}-{i}"), oid).unwrap();
+                    assert_eq!(idx.lookup(&Tag::Udef, &format!("tag-{t}-{i}")).unwrap(), vec![oid]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.stats().postings, 400);
+    }
+
+    #[test]
+    fn unicode_values_round_trip() {
+        let idx = index();
+        idx.insert(&Tag::Udef, "семейные фото ☀", ObjectId(11)).unwrap();
+        assert_eq!(
+            idx.lookup(&Tag::Udef, "семейные фото ☀").unwrap(),
+            vec![ObjectId(11)]
+        );
+        let tags = idx.tags_of(ObjectId(11)).unwrap();
+        assert_eq!(tags[0].value, "семейные фото ☀");
+    }
+}

@@ -1,0 +1,236 @@
+//! Query representation and evaluation.
+//!
+//! The paper's naming interface takes "the vector of tag/value pairs" and
+//! returns "the conjunction of the results of an index lookup for each
+//! element in the vector" (§3.1.1). [`Query::conjunction`] is exactly that.
+//! Whether index stores should also support "arbitrary boolean queries" is
+//! left open in §4; [`Query`] therefore also offers disjunction and
+//! negation as the extension, evaluated set-wise over the registry.
+
+use std::collections::BTreeSet;
+
+use hfad_osd::ObjectId;
+
+use crate::error::{IndexError, Result};
+use crate::store::IndexRegistry;
+use crate::tag::{Tag, TagValue};
+
+/// A boolean query over tag/value postings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// All objects posted under one tag/value pair.
+    Term(TagValue),
+    /// Objects matching every sub-query (empty `And` is invalid).
+    And(Vec<Query>),
+    /// Objects matching at least one sub-query (empty `Or` is invalid).
+    Or(Vec<Query>),
+    /// Objects matching `positive` but not `negative`.
+    AndNot {
+        /// The query providing candidate objects.
+        positive: Box<Query>,
+        /// The query whose matches are excluded.
+        negative: Box<Query>,
+    },
+}
+
+impl Query {
+    /// A single tag/value term.
+    pub fn term(tag: Tag, value: impl Into<String>) -> Self {
+        Query::Term(TagValue::new(tag, value))
+    }
+
+    /// The paper's native operation: the conjunction of a vector of
+    /// tag/value pairs.
+    pub fn conjunction(pairs: Vec<TagValue>) -> Self {
+        Query::And(pairs.into_iter().map(Query::Term).collect())
+    }
+
+    /// A full-text conjunction over search terms, i.e. the translation of a
+    /// keyword search `S1 S2 … Sn` into `FULLTEXT/S1 ∧ … ∧ FULLTEXT/Sn`.
+    pub fn fulltext(terms: &[&str]) -> Self {
+        Query::And(
+            terms
+                .iter()
+                .map(|t| Query::term(Tag::FullText, *t))
+                .collect(),
+        )
+    }
+
+    /// Number of term leaves in the query.
+    pub fn term_count(&self) -> usize {
+        match self {
+            Query::Term(_) => 1,
+            Query::And(qs) | Query::Or(qs) => qs.iter().map(Query::term_count).sum(),
+            Query::AndNot { positive, negative } => {
+                positive.term_count() + negative.term_count()
+            }
+        }
+    }
+
+    /// Evaluates the query against `registry`, returning matching object
+    /// ids in ascending order.
+    pub fn evaluate(&self, registry: &IndexRegistry) -> Result<Vec<ObjectId>> {
+        Ok(self.evaluate_set(registry)?.into_iter().collect())
+    }
+
+    fn evaluate_set(&self, registry: &IndexRegistry) -> Result<BTreeSet<ObjectId>> {
+        match self {
+            Query::Term(tv) => Ok(registry.lookup(&tv.tag, &tv.value)?.into_iter().collect()),
+            Query::And(subs) => {
+                if subs.is_empty() {
+                    return Err(IndexError::InvalidQuery(
+                        "empty conjunction matches nothing meaningful".to_string(),
+                    ));
+                }
+                let mut result: Option<BTreeSet<ObjectId>> = None;
+                for sub in subs {
+                    let hits = sub.evaluate_set(registry)?;
+                    result = Some(match result {
+                        None => hits,
+                        Some(acc) => acc.intersection(&hits).copied().collect(),
+                    });
+                    if matches!(&result, Some(s) if s.is_empty()) {
+                        break;
+                    }
+                }
+                Ok(result.unwrap_or_default())
+            }
+            Query::Or(subs) => {
+                if subs.is_empty() {
+                    return Err(IndexError::InvalidQuery(
+                        "empty disjunction matches nothing meaningful".to_string(),
+                    ));
+                }
+                let mut result = BTreeSet::new();
+                for sub in subs {
+                    result.extend(sub.evaluate_set(registry)?);
+                }
+                Ok(result)
+            }
+            Query::AndNot { positive, negative } => {
+                let pos = positive.evaluate_set(registry)?;
+                if pos.is_empty() {
+                    return Ok(pos);
+                }
+                let neg = negative.evaluate_set(registry)?;
+                Ok(pos.difference(&neg).copied().collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use hfad_btree::TreeContext;
+    use hfad_storage::{BuddyAllocator, MemDevice};
+
+    use crate::keyvalue::KeyValueIndex;
+    use crate::store::IndexStore;
+
+    use super::*;
+
+    fn registry() -> IndexRegistry {
+        let device = Arc::new(MemDevice::new(65536, 512));
+        let allocator = Arc::new(BuddyAllocator::new(1, 65535));
+        let ctx = TreeContext::new(device, allocator);
+        let registry = IndexRegistry::new();
+        let kv = KeyValueIndex::new(ctx, "kv", None, 4).unwrap();
+        // Photo library fixture: three photos with overlapping tags.
+        kv.insert(&Tag::Udef, "beach", ObjectId(1)).unwrap();
+        kv.insert(&Tag::Udef, "vacation", ObjectId(1)).unwrap();
+        kv.insert(&Tag::User, "margo", ObjectId(1)).unwrap();
+        kv.insert(&Tag::Udef, "beach", ObjectId(2)).unwrap();
+        kv.insert(&Tag::User, "nick", ObjectId(2)).unwrap();
+        kv.insert(&Tag::Udef, "vacation", ObjectId(3)).unwrap();
+        kv.insert(&Tag::User, "margo", ObjectId(3)).unwrap();
+        registry.register(Arc::new(kv));
+        registry
+    }
+
+    #[test]
+    fn single_term() {
+        let r = registry();
+        let q = Query::term(Tag::Udef, "beach");
+        assert_eq!(q.evaluate(&r).unwrap(), vec![ObjectId(1), ObjectId(2)]);
+        assert_eq!(q.term_count(), 1);
+    }
+
+    #[test]
+    fn conjunction_matches_paper_semantics() {
+        let r = registry();
+        let q = Query::conjunction(vec![
+            TagValue::udef("beach"),
+            TagValue::user("margo"),
+        ]);
+        assert_eq!(q.evaluate(&r).unwrap(), vec![ObjectId(1)]);
+        // No query need uniquely define a data item: broader conjunctions
+        // return multiple objects.
+        let q = Query::conjunction(vec![TagValue::user("margo")]);
+        assert_eq!(q.evaluate(&r).unwrap(), vec![ObjectId(1), ObjectId(3)]);
+    }
+
+    #[test]
+    fn disjunction_unions() {
+        let r = registry();
+        let q = Query::Or(vec![
+            Query::term(Tag::User, "nick"),
+            Query::term(Tag::Udef, "vacation"),
+        ]);
+        assert_eq!(
+            q.evaluate(&r).unwrap(),
+            vec![ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
+    }
+
+    #[test]
+    fn and_not_subtracts() {
+        let r = registry();
+        let q = Query::AndNot {
+            positive: Box::new(Query::term(Tag::Udef, "vacation")),
+            negative: Box::new(Query::term(Tag::Udef, "beach")),
+        };
+        assert_eq!(q.evaluate(&r).unwrap(), vec![ObjectId(3)]);
+    }
+
+    #[test]
+    fn nested_boolean_query() {
+        let r = registry();
+        // (beach ∨ vacation) ∧ margo → {1, 3}
+        let q = Query::And(vec![
+            Query::Or(vec![
+                Query::term(Tag::Udef, "beach"),
+                Query::term(Tag::Udef, "vacation"),
+            ]),
+            Query::term(Tag::User, "margo"),
+        ]);
+        assert_eq!(q.evaluate(&r).unwrap(), vec![ObjectId(1), ObjectId(3)]);
+        assert_eq!(q.term_count(), 3);
+    }
+
+    #[test]
+    fn empty_and_or_are_invalid() {
+        let r = registry();
+        assert!(matches!(
+            Query::And(vec![]).evaluate(&r),
+            Err(IndexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            Query::Or(vec![]).evaluate(&r),
+            Err(IndexError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn missing_terms_yield_empty_results() {
+        let r = registry();
+        let q = Query::conjunction(vec![TagValue::udef("nonexistent")]);
+        assert!(q.evaluate(&r).unwrap().is_empty());
+        let q = Query::And(vec![
+            Query::term(Tag::Udef, "beach"),
+            Query::term(Tag::Udef, "nonexistent"),
+        ]);
+        assert!(q.evaluate(&r).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! The extensible index-store abstraction and registry.
+//!
+//! "We specify an extensible index store to facilitate efficient search on
+//! rich data types. Given one or more type/value specifications, the
+//! collection of index stores must return a list of object IDs matching the
+//! search terms" (§3.2). [`IndexStore`] is that specification;
+//! [`IndexRegistry`] is the collection, routing each tag to the store that
+//! handles it and supporting run-time registration of plug-in indices
+//! (open question 1 in §4).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hfad_osd::ObjectId;
+
+use crate::error::{IndexError, Result};
+use crate::tag::{Tag, TagValue};
+
+/// Statistics reported by an index store.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Postings currently stored.
+    pub postings: u64,
+    /// Insert operations performed.
+    pub inserts: u64,
+    /// Remove operations performed.
+    pub removes: u64,
+    /// Lookup operations performed.
+    pub lookups: u64,
+}
+
+/// One index in the extensible collection.
+///
+/// Implementations must be safe for concurrent use; the registry never
+/// serialises calls.
+pub trait IndexStore: Send + Sync {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Returns `true` if this store indexes values carrying `tag`.
+    fn handles(&self, tag: &Tag) -> bool;
+
+    /// Adds a posting mapping `tag/value` to `oid`.
+    fn insert(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()>;
+
+    /// Removes the posting mapping `tag/value` to `oid` (no-op if absent).
+    fn remove(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()>;
+
+    /// Returns every object id posted under `tag/value`, in ascending order.
+    fn lookup(&self, tag: &Tag, value: &str) -> Result<Vec<ObjectId>>;
+
+    /// Removes every posting that references `oid` (object deletion).
+    fn remove_object(&self, oid: ObjectId) -> Result<()>;
+
+    /// Lists the `tag/value` pairs currently naming `oid`.
+    fn tags_of(&self, oid: ObjectId) -> Result<Vec<TagValue>>;
+
+    /// Store statistics.
+    fn stats(&self) -> IndexStats;
+}
+
+/// Routes tags to index stores.
+pub struct IndexRegistry {
+    stores: RwLock<Vec<Arc<dyn IndexStore>>>,
+}
+
+impl IndexRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        IndexRegistry {
+            stores: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers a store. Stores are consulted in registration order, so
+    /// more specific stores should be registered before catch-alls.
+    pub fn register(&self, store: Arc<dyn IndexStore>) {
+        self.stores.write().push(store);
+    }
+
+    /// Number of registered stores.
+    pub fn len(&self) -> usize {
+        self.stores.read().len()
+    }
+
+    /// Returns `true` if no stores are registered.
+    pub fn is_empty(&self) -> bool {
+        self.stores.read().is_empty()
+    }
+
+    /// Finds the store responsible for `tag`.
+    pub fn route(&self, tag: &Tag) -> Result<Arc<dyn IndexStore>> {
+        self.stores
+            .read()
+            .iter()
+            .find(|s| s.handles(tag))
+            .cloned()
+            .ok_or_else(|| IndexError::NoIndexForTag(tag.name().to_string()))
+    }
+
+    /// Adds a posting via the responsible store.
+    pub fn insert(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()> {
+        self.route(tag)?.insert(tag, value, oid)
+    }
+
+    /// Removes a posting via the responsible store.
+    pub fn remove(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()> {
+        self.route(tag)?.remove(tag, value, oid)
+    }
+
+    /// Looks up a tag/value pair via the responsible store.
+    pub fn lookup(&self, tag: &Tag, value: &str) -> Result<Vec<ObjectId>> {
+        self.route(tag)?.lookup(tag, value)
+    }
+
+    /// Removes every posting for `oid` in every store.
+    pub fn remove_object(&self, oid: ObjectId) -> Result<()> {
+        for store in self.stores.read().iter() {
+            store.remove_object(oid)?;
+        }
+        Ok(())
+    }
+
+    /// Collects the tag/value pairs naming `oid` across all stores.
+    pub fn tags_of(&self, oid: ObjectId) -> Result<Vec<TagValue>> {
+        let mut out = Vec::new();
+        for store in self.stores.read().iter() {
+            out.extend(store.tags_of(oid)?);
+        }
+        Ok(out)
+    }
+
+    /// Snapshot of `(store name, stats)` for every registered store.
+    pub fn stats(&self) -> Vec<(String, IndexStats)> {
+        self.stores
+            .read()
+            .iter()
+            .map(|s| (s.name().to_string(), s.stats()))
+            .collect()
+    }
+}
+
+impl Default for IndexRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// A trivial in-memory store used to exercise the registry itself.
+    struct MemIndex {
+        name: String,
+        tags: Vec<Tag>,
+        postings: Mutex<BTreeMap<(String, String), Vec<u64>>>,
+    }
+
+    impl MemIndex {
+        fn new(name: &str, tags: Vec<Tag>) -> Arc<Self> {
+            Arc::new(MemIndex {
+                name: name.to_string(),
+                tags,
+                postings: Mutex::new(BTreeMap::new()),
+            })
+        }
+    }
+
+    impl IndexStore for MemIndex {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn handles(&self, tag: &Tag) -> bool {
+            self.tags.contains(tag)
+        }
+        fn insert(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()> {
+            self.postings
+                .lock()
+                .unwrap()
+                .entry((tag.name().into(), value.into()))
+                .or_default()
+                .push(oid.as_u64());
+            Ok(())
+        }
+        fn remove(&self, tag: &Tag, value: &str, oid: ObjectId) -> Result<()> {
+            if let Some(v) = self
+                .postings
+                .lock()
+                .unwrap()
+                .get_mut(&(tag.name().into(), value.into()))
+            {
+                v.retain(|&o| o != oid.as_u64());
+            }
+            Ok(())
+        }
+        fn lookup(&self, tag: &Tag, value: &str) -> Result<Vec<ObjectId>> {
+            Ok(self
+                .postings
+                .lock()
+                .unwrap()
+                .get(&(tag.name().into(), value.into()))
+                .map(|v| v.iter().map(|&o| ObjectId(o)).collect())
+                .unwrap_or_default())
+        }
+        fn remove_object(&self, oid: ObjectId) -> Result<()> {
+            for v in self.postings.lock().unwrap().values_mut() {
+                v.retain(|&o| o != oid.as_u64());
+            }
+            Ok(())
+        }
+        fn tags_of(&self, oid: ObjectId) -> Result<Vec<TagValue>> {
+            let mut out = Vec::new();
+            for ((tag, value), oids) in self.postings.lock().unwrap().iter() {
+                if oids.contains(&oid.as_u64()) {
+                    out.push(TagValue::new(Tag::parse(tag), value.clone()));
+                }
+            }
+            Ok(out)
+        }
+        fn stats(&self) -> IndexStats {
+            IndexStats::default()
+        }
+    }
+
+    #[test]
+    fn routing_prefers_registration_order() {
+        let registry = IndexRegistry::new();
+        registry.register(MemIndex::new("posix-only", vec![Tag::Posix]));
+        registry.register(MemIndex::new(
+            "catch-all",
+            vec![Tag::Posix, Tag::User, Tag::Udef],
+        ));
+        assert_eq!(registry.route(&Tag::Posix).unwrap().name(), "posix-only");
+        assert_eq!(registry.route(&Tag::User).unwrap().name(), "catch-all");
+        assert!(registry.route(&Tag::FullText).is_err());
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn insert_lookup_remove_through_registry() {
+        let registry = IndexRegistry::new();
+        registry.register(MemIndex::new("kv", vec![Tag::User, Tag::Udef]));
+        registry.insert(&Tag::User, "margo", ObjectId(1)).unwrap();
+        registry.insert(&Tag::User, "margo", ObjectId(2)).unwrap();
+        registry.insert(&Tag::Udef, "hotos", ObjectId(2)).unwrap();
+        assert_eq!(
+            registry.lookup(&Tag::User, "margo").unwrap(),
+            vec![ObjectId(1), ObjectId(2)]
+        );
+        registry.remove(&Tag::User, "margo", ObjectId(1)).unwrap();
+        assert_eq!(
+            registry.lookup(&Tag::User, "margo").unwrap(),
+            vec![ObjectId(2)]
+        );
+        let tags = registry.tags_of(ObjectId(2)).unwrap();
+        assert_eq!(tags.len(), 2);
+        registry.remove_object(ObjectId(2)).unwrap();
+        assert!(registry.lookup(&Tag::User, "margo").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unroutable_tag_is_an_error() {
+        let registry = IndexRegistry::new();
+        assert!(matches!(
+            registry.lookup(&Tag::Posix, "/x"),
+            Err(IndexError::NoIndexForTag(_))
+        ));
+        assert!(registry.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Tags — the naming vocabulary of hFAD.
+//!
+//! "An object is named by one or more tag/value pairs. A tag tells hFAD how
+//! to interpret the value and in which of multiple indexes to search for
+//! the value" (§3.1.1). The variants reproduce the paper's Table 1:
+//!
+//! | Use          | Tag        | Value              |
+//! |--------------|------------|--------------------|
+//! | POSIX        | `POSIX`    | pathname           |
+//! | Search       | `FULLTEXT` | term               |
+//! | Manual       | `USER`     | logname            |
+//! |              | `UDEF`     | annotations        |
+//! | Applications | `APP`      | application name   |
+//! |              | `USER`     | logname            |
+//! | FastPath     | `ID`       | object identifier  |
+
+use core::fmt;
+
+/// A naming tag, per Table 1 of the paper, plus an extension point for
+/// plug-in index types (open question 1 in §4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tag {
+    /// A POSIX pathname (the backwards-compatibility veneer).
+    Posix,
+    /// A full-text search term.
+    FullText,
+    /// The login name of the user who manually tagged the object.
+    User,
+    /// A user-defined annotation.
+    Udef,
+    /// The application that created or tagged the object.
+    App,
+    /// A raw object identifier — the "FastPath" that bypasses every index.
+    Id,
+    /// An extension tag handled by a plug-in index store (e.g. `IMAGE`).
+    Custom(String),
+}
+
+impl Tag {
+    /// Canonical upper-case name used in keys and display output.
+    pub fn name(&self) -> &str {
+        match self {
+            Tag::Posix => "POSIX",
+            Tag::FullText => "FULLTEXT",
+            Tag::User => "USER",
+            Tag::Udef => "UDEF",
+            Tag::App => "APP",
+            Tag::Id => "ID",
+            Tag::Custom(name) => name,
+        }
+    }
+
+    /// Parses a canonical name back into a tag.
+    pub fn parse(name: &str) -> Tag {
+        match name {
+            "POSIX" => Tag::Posix,
+            "FULLTEXT" => Tag::FullText,
+            "USER" => Tag::User,
+            "UDEF" => Tag::Udef,
+            "APP" => Tag::App,
+            "ID" => Tag::Id,
+            other => Tag::Custom(other.to_string()),
+        }
+    }
+
+    /// Key prefix bytes for this tag.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.name().as_bytes()
+    }
+
+    /// The built-in tags from Table 1 (excluding plug-in tags).
+    pub fn builtin() -> [Tag; 6] {
+        [
+            Tag::Posix,
+            Tag::FullText,
+            Tag::User,
+            Tag::Udef,
+            Tag::App,
+            Tag::Id,
+        ]
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single `tag/value` naming pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TagValue {
+    /// The tag (index selector).
+    pub tag: Tag,
+    /// The value to look up in that index.
+    pub value: String,
+}
+
+impl TagValue {
+    /// Creates a tag/value pair.
+    pub fn new(tag: Tag, value: impl Into<String>) -> Self {
+        TagValue {
+            tag,
+            value: value.into(),
+        }
+    }
+
+    /// Shorthand for a POSIX pathname pair.
+    pub fn posix(path: impl Into<String>) -> Self {
+        TagValue::new(Tag::Posix, path)
+    }
+
+    /// Shorthand for a full-text term pair.
+    pub fn fulltext(term: impl Into<String>) -> Self {
+        TagValue::new(Tag::FullText, term)
+    }
+
+    /// Shorthand for a user tag pair.
+    pub fn user(logname: impl Into<String>) -> Self {
+        TagValue::new(Tag::User, logname)
+    }
+
+    /// Shorthand for a user-defined annotation pair.
+    pub fn udef(annotation: impl Into<String>) -> Self {
+        TagValue::new(Tag::Udef, annotation)
+    }
+
+    /// Shorthand for an application tag pair.
+    pub fn app(name: impl Into<String>) -> Self {
+        TagValue::new(Tag::App, name)
+    }
+}
+
+impl fmt::Display for TagValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.tag, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for tag in Tag::builtin() {
+            assert_eq!(Tag::parse(tag.name()), tag);
+        }
+        assert_eq!(Tag::parse("IMAGE"), Tag::Custom("IMAGE".to_string()));
+        assert_eq!(Tag::Custom("IMAGE".into()).name(), "IMAGE");
+    }
+
+    #[test]
+    fn display_matches_table_1() {
+        assert_eq!(Tag::Posix.to_string(), "POSIX");
+        assert_eq!(Tag::FullText.to_string(), "FULLTEXT");
+        assert_eq!(Tag::User.to_string(), "USER");
+        assert_eq!(Tag::Udef.to_string(), "UDEF");
+        assert_eq!(Tag::App.to_string(), "APP");
+        assert_eq!(Tag::Id.to_string(), "ID");
+    }
+
+    #[test]
+    fn tag_value_constructors() {
+        assert_eq!(
+            TagValue::posix("/home/margo/mail"),
+            TagValue::new(Tag::Posix, "/home/margo/mail")
+        );
+        assert_eq!(TagValue::fulltext("searching").tag, Tag::FullText);
+        assert_eq!(TagValue::user("nick").value, "nick");
+        assert_eq!(TagValue::udef("vacation").tag, Tag::Udef);
+        assert_eq!(TagValue::app("quicken").tag, Tag::App);
+        assert_eq!(
+            TagValue::posix("/a/b").to_string(),
+            "POSIX//a/b".to_string()
+        );
+    }
+}

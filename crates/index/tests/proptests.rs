@@ -1,0 +1,119 @@
+//! Property-based tests: the persistent key/value index agrees with an
+//! in-memory model, and full-text conjunctions obey set semantics.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hfad_btree::TreeContext;
+use hfad_index::{FullTextIndex, IndexStore, KeyValueIndex, Tag};
+use hfad_osd::ObjectId;
+use hfad_storage::{BuddyAllocator, MemDevice};
+
+fn ctx() -> TreeContext {
+    let device = Arc::new(MemDevice::new(65_536, 512));
+    let allocator = Arc::new(BuddyAllocator::new(1, 65_535));
+    TreeContext::new(device, allocator)
+}
+
+fn tag_for(i: u8) -> Tag {
+    match i % 4 {
+        0 => Tag::Posix,
+        1 => Tag::User,
+        2 => Tag::Udef,
+        _ => Tag::App,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Insert/remove/lookup on the sharded key/value index matches a
+    /// BTreeMap<(tag, value), BTreeSet<oid>> model.
+    #[test]
+    fn keyvalue_matches_model(
+        ops in prop::collection::vec(
+            (any::<u8>(), "[a-z]{1,8}", 0u64..30, prop::bool::ANY),
+            1..120
+        ),
+        shards in 1usize..8,
+    ) {
+        let idx = KeyValueIndex::new(ctx(), "kv", None, shards).unwrap();
+        let mut model: BTreeMap<(String, String), BTreeSet<u64>> = BTreeMap::new();
+        for (tag_sel, value, oid, is_insert) in ops {
+            let tag = tag_for(tag_sel);
+            let key = (tag.name().to_string(), value.clone());
+            if is_insert {
+                idx.insert(&tag, &value, ObjectId(oid)).unwrap();
+                model.entry(key).or_default().insert(oid);
+            } else {
+                idx.remove(&tag, &value, ObjectId(oid)).unwrap();
+                model.entry(key).or_default().remove(&oid);
+            }
+            let got: Vec<u64> = idx
+                .lookup(&tag, &value)
+                .unwrap()
+                .into_iter()
+                .map(|o| o.as_u64())
+                .collect();
+            let want: Vec<u64> = model[&(tag.name().to_string(), value.clone())]
+                .iter()
+                .copied()
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// remove_object always clears every posting for that object and only
+    /// that object.
+    #[test]
+    fn remove_object_is_exact(
+        postings in prop::collection::vec((any::<u8>(), "[a-z]{1,6}", 0u64..10), 1..60),
+        victim in 0u64..10,
+    ) {
+        let idx = KeyValueIndex::new(ctx(), "kv", None, 4).unwrap();
+        for (tag_sel, value, oid) in &postings {
+            idx.insert(&tag_for(*tag_sel), value, ObjectId(*oid)).unwrap();
+        }
+        idx.remove_object(ObjectId(victim)).unwrap();
+        prop_assert!(idx.tags_of(ObjectId(victim)).unwrap().is_empty());
+        for (tag_sel, value, oid) in &postings {
+            if *oid == victim {
+                continue;
+            }
+            let hits = idx.lookup(&tag_for(*tag_sel), value).unwrap();
+            prop_assert!(hits.contains(&ObjectId(*oid)), "lost posting for oid {oid}");
+        }
+    }
+
+    /// Full-text conjunctive queries return exactly the documents whose
+    /// term sets contain every query term.
+    #[test]
+    fn fulltext_conjunction_is_set_intersection(
+        docs in prop::collection::vec(prop::collection::vec(0usize..20, 1..10), 1..25),
+        query in prop::collection::vec(0usize..20, 1..4),
+    ) {
+        let idx = FullTextIndex::new(ctx(), 4).unwrap();
+        let word = |i: usize| format!("term{i:02}");
+        for (doc_id, terms) in docs.iter().enumerate() {
+            let text: Vec<String> = terms.iter().map(|&t| word(t)).collect();
+            idx.index_document(ObjectId(doc_id as u64), &text.join(" ")).unwrap();
+        }
+        let query_words: Vec<String> = query.iter().map(|&t| word(t)).collect();
+        let query_refs: Vec<&str> = query_words.iter().map(String::as_str).collect();
+        let got: BTreeSet<u64> = idx
+            .query_all(&query_refs)
+            .unwrap()
+            .into_iter()
+            .map(|o| o.as_u64())
+            .collect();
+        let want: BTreeSet<u64> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, terms)| query.iter().all(|q| terms.contains(q)))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

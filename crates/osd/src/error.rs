@@ -1,0 +1,88 @@
+//! Error types for the OSD layer.
+
+use core::fmt;
+
+use hfad_btree::BTreeError;
+use hfad_storage::StorageError;
+
+/// Errors produced by the object storage device layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsdError {
+    /// Error from the underlying device or allocator.
+    Storage(StorageError),
+    /// Error from an extent-map or object-table B-tree.
+    BTree(BTreeError),
+    /// The object id does not exist in the store.
+    NoSuchObject(u64),
+    /// A read/insert/truncate referenced a range outside the object.
+    OutOfBounds {
+        /// Object size in bytes.
+        size: u64,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+    },
+    /// A transaction was used after being committed or aborted.
+    TransactionClosed,
+    /// An on-disk structure failed validation.
+    Corrupt(String),
+}
+
+impl fmt::Display for OsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsdError::Storage(e) => write!(f, "storage error: {e}"),
+            OsdError::BTree(e) => write!(f, "b-tree error: {e}"),
+            OsdError::NoSuchObject(oid) => write!(f, "no such object: {oid}"),
+            OsdError::OutOfBounds { size, offset, len } => write!(
+                f,
+                "range [{offset}, +{len}) out of bounds for object of {size} bytes"
+            ),
+            OsdError::TransactionClosed => write!(f, "transaction already committed or aborted"),
+            OsdError::Corrupt(msg) => write!(f, "corrupt OSD structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OsdError {}
+
+impl From<StorageError> for OsdError {
+    fn from(e: StorageError) -> Self {
+        OsdError::Storage(e)
+    }
+}
+
+impl From<BTreeError> for OsdError {
+    fn from(e: BTreeError) -> Self {
+        OsdError::BTree(e)
+    }
+}
+
+/// Convenience alias used throughout the OSD crate.
+pub type Result<T> = std::result::Result<T, OsdError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OsdError::NoSuchObject(7).to_string().contains('7'));
+        let e = OsdError::OutOfBounds {
+            size: 10,
+            offset: 20,
+            len: 5,
+        };
+        assert!(e.to_string().contains("[20, +5)"));
+        assert!(OsdError::TransactionClosed.to_string().contains("committed"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: OsdError = StorageError::ZeroAllocation.into();
+        assert!(matches!(e, OsdError::Storage(_)));
+        let e: OsdError = BTreeError::EmptyKey.into();
+        assert!(matches!(e, OsdError::BTree(_)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # hfad-osd
+//!
+//! The object-based storage device layer of the hFAD reproduction
+//! ("Hierarchical File Systems Are Dead", Seltzer & Murphy, HotOS 2009,
+//! §3.3–3.4).
+//!
+//! Objects are uniquely identified, fully byte-accessible containers:
+//! besides POSIX-style `read`/`write`, they support `insert` (splice bytes
+//! into the middle) and range `truncate` (remove bytes from anywhere).
+//! Each object is a B-tree extent map — keys are logical offsets, values
+//! are device extents — with the object metadata stored under a reserved
+//! "NULL" key, exactly as the paper's §3.4 sketch describes.
+//!
+//! * [`store::ObjectStore`] — OID allocation, the object table, per-object
+//!   locking, create/delete and all data operations.
+//! * [`object::Object`] — the extent-map object itself.
+//! * [`meta::ObjectMeta`] — security attributes, times and size.
+//! * [`txn::TxnStore`] — the optional transactional wrapper (write-ahead
+//!   logged commits), ablated in experiment E6.
+
+pub mod error;
+pub mod meta;
+pub mod object;
+pub mod oid;
+pub mod store;
+pub mod txn;
+
+pub use error::{OsdError, Result};
+pub use meta::{unix_now, ObjectMeta, Security};
+pub use object::{Object, ObjectStats, DEFAULT_MAX_EXTENT_BYTES};
+pub use oid::ObjectId;
+pub use store::{AllocatorKind, ObjectStore, StoreConfig, StoreStats};
+pub use txn::{Transaction, TxnOp, TxnStore};

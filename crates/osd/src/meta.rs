@@ -1,0 +1,149 @@
+//! Per-object metadata.
+//!
+//! The paper (§3.3): "Each such container (object) has associated meta-data
+//! identifying the object's security attributes, its last access and
+//! modified times, and its size." Metadata is stored in the object's own
+//! extent-map B-tree under a reserved key — the Berkeley DB "NULL key"
+//! trick described in §3.4.
+
+use crate::error::{OsdError, Result};
+
+/// Security attributes of an object (a minimal POSIX-like model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Security {
+    /// Owning user id.
+    pub uid: u32,
+    /// Owning group id.
+    pub gid: u32,
+    /// Permission bits (the low 12 bits of a POSIX mode).
+    pub mode: u16,
+}
+
+/// Metadata attached to every object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObjectMeta {
+    /// Logical size in bytes.
+    pub size: u64,
+    /// Creation time (seconds since the Unix epoch).
+    pub created: u64,
+    /// Last modification time (seconds since the Unix epoch).
+    pub modified: u64,
+    /// Last access time (seconds since the Unix epoch).
+    pub accessed: u64,
+    /// Security attributes.
+    pub security: Security,
+    /// Free-form application flags (the OSD does not interpret these).
+    pub flags: u32,
+}
+
+impl ObjectMeta {
+    /// Encoded length in bytes.
+    pub const ENCODED_LEN: usize = 8 * 4 + 4 + 4 + 2 + 4 + 2;
+
+    /// Creates metadata for a new, empty object owned by `uid`/`gid`.
+    pub fn new(uid: u32, gid: u32, mode: u16, now: u64) -> Self {
+        ObjectMeta {
+            size: 0,
+            created: now,
+            modified: now,
+            accessed: now,
+            security: Security { uid, gid, mode },
+            flags: 0,
+        }
+    }
+
+    /// Serialises the metadata.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::ENCODED_LEN);
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.created.to_le_bytes());
+        out.extend_from_slice(&self.modified.to_le_bytes());
+        out.extend_from_slice(&self.accessed.to_le_bytes());
+        out.extend_from_slice(&self.security.uid.to_le_bytes());
+        out.extend_from_slice(&self.security.gid.to_le_bytes());
+        out.extend_from_slice(&self.security.mode.to_le_bytes());
+        out.extend_from_slice(&self.flags.to_le_bytes());
+        out.extend_from_slice(&[0u8; 2]); // Reserved.
+        out
+    }
+
+    /// Deserialises metadata written by [`encode`](Self::encode).
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < Self::ENCODED_LEN {
+            return Err(OsdError::Corrupt(format!(
+                "metadata record of {} bytes is too short",
+                buf.len()
+            )));
+        }
+        let u64_at = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().expect("u64"));
+        let u32_at = |i: usize| u32::from_le_bytes(buf[i..i + 4].try_into().expect("u32"));
+        let u16_at = |i: usize| u16::from_le_bytes(buf[i..i + 2].try_into().expect("u16"));
+        Ok(ObjectMeta {
+            size: u64_at(0),
+            created: u64_at(8),
+            modified: u64_at(16),
+            accessed: u64_at(24),
+            security: Security {
+                uid: u32_at(32),
+                gid: u32_at(36),
+                mode: u16_at(40),
+            },
+            flags: u32_at(42),
+        })
+    }
+}
+
+/// A coarse wall-clock reading in seconds, used to stamp metadata.
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let meta = ObjectMeta {
+            size: 12345,
+            created: 1_700_000_000,
+            modified: 1_700_000_100,
+            accessed: 1_700_000_200,
+            security: Security {
+                uid: 1000,
+                gid: 100,
+                mode: 0o644,
+            },
+            flags: 0xDEAD,
+        };
+        let decoded = ObjectMeta::decode(&meta.encode()).unwrap();
+        assert_eq!(decoded, meta);
+    }
+
+    #[test]
+    fn new_starts_empty_with_equal_times() {
+        let m = ObjectMeta::new(1, 2, 0o600, 999);
+        assert_eq!(m.size, 0);
+        assert_eq!(m.created, 999);
+        assert_eq!(m.modified, 999);
+        assert_eq!(m.accessed, 999);
+        assert_eq!(m.security.uid, 1);
+        assert_eq!(m.security.mode, 0o600);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        assert!(ObjectMeta::decode(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn unix_now_is_plausible() {
+        // After 2020 and before 2100.
+        let now = unix_now();
+        assert!(now > 1_577_836_800);
+        assert!(now < 4_102_444_800);
+    }
+}

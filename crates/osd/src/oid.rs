@@ -1,0 +1,62 @@
+//! Object identifiers.
+
+use core::fmt;
+
+/// A unique object identifier.
+///
+/// The paper requires only that "the identifier for the data in the OSD
+/// layer must be unique"; identifiers are allocated sequentially by the
+/// [`ObjectStore`](crate::store::ObjectStore) and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// The raw 64-bit value.
+    pub const fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Order-preserving 8-byte encoding used as a B-tree key.
+    pub fn to_key(&self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decodes an identifier from [`to_key`](Self::to_key) output.
+    pub fn from_key(key: &[u8]) -> Option<ObjectId> {
+        let arr: [u8; 8] = key.try_into().ok()?;
+        Some(ObjectId(u64::from_be_bytes(arr)))
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oid:{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(v: u64) -> Self {
+        ObjectId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trip_preserves_order() {
+        let a = ObjectId(3);
+        let b = ObjectId(300);
+        assert!(a.to_key() < b.to_key());
+        assert_eq!(ObjectId::from_key(&a.to_key()), Some(a));
+        assert_eq!(ObjectId::from_key(&[1, 2]), None);
+    }
+
+    #[test]
+    fn display_and_from() {
+        let oid: ObjectId = 42u64.into();
+        assert_eq!(oid.to_string(), "oid:42");
+        assert_eq!(oid.as_u64(), 42);
+    }
+}

@@ -1,0 +1,482 @@
+//! The object store: OID allocation, the object table and per-object locks.
+//!
+//! This is the paper's OSD layer (§3.3): it presents "the abstraction of a
+//! uniquely identified container of bytes". It is comparable to the ZFS DMU
+//! except that, as in the paper, it provides individual objects rather than
+//! object sets, and transactionality is optional (see [`crate::txn`]).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use hfad_btree::{BTree, TreeContext};
+use hfad_storage::{
+    AllocStats, Allocator, BlockDevice, BuddyAllocator, BumpAllocator, DeviceCounters, Superblock,
+};
+
+use crate::error::{OsdError, Result};
+use crate::meta::{unix_now, ObjectMeta};
+use crate::object::{Object, DEFAULT_MAX_EXTENT_BYTES};
+use crate::oid::ObjectId;
+
+/// Which allocator manages the data area (ablated in experiment E6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocatorKind {
+    /// The paper's buddy allocator.
+    #[default]
+    Buddy,
+    /// A never-reclaiming bump allocator (ablation baseline).
+    Bump,
+}
+
+/// Configuration for a new [`ObjectStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Maximum bytes covered by a single extent.
+    pub max_extent_bytes: u64,
+    /// Blocks reserved for the write-ahead journal (0 disables it).
+    pub journal_blocks: u64,
+    /// Allocator for the data area.
+    pub allocator: AllocatorKind,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_extent_bytes: DEFAULT_MAX_EXTENT_BYTES,
+            journal_blocks: 0,
+            allocator: AllocatorKind::Buddy,
+        }
+    }
+}
+
+/// Aggregate statistics for a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of live objects.
+    pub objects: u64,
+    /// Physical device counters.
+    pub device: DeviceCounters,
+    /// Data-area allocator statistics.
+    pub allocator: AllocStats,
+}
+
+struct OpenObject {
+    object: Object,
+    persisted_root: u64,
+}
+
+/// The object storage device.
+///
+/// All methods take `&self`; concurrency control is one lock per object
+/// plus a reader/writer lock on the object table. This is the locking
+/// granularity the paper contrasts with a hierarchical namespace, where
+/// unrelated operations still synchronise on shared ancestor directories.
+pub struct ObjectStore {
+    ctx: TreeContext,
+    superblock: Superblock,
+    config: StoreConfig,
+    table: RwLock<BTree>,
+    objects: Mutex<HashMap<u64, Arc<Mutex<OpenObject>>>>,
+    next_oid: AtomicU64,
+}
+
+impl ObjectStore {
+    /// Formats `device` and creates an empty store on it.
+    pub fn create(device: Arc<dyn BlockDevice>, config: StoreConfig) -> Result<Self> {
+        let superblock = Superblock::layout(
+            device.block_count(),
+            device.block_size(),
+            config.journal_blocks,
+        )?;
+        superblock.write_to(&device)?;
+        let allocator: Arc<dyn Allocator> = match config.allocator {
+            AllocatorKind::Buddy => Arc::new(BuddyAllocator::new(
+                superblock.data_start,
+                superblock.data_blocks,
+            )),
+            AllocatorKind::Bump => Arc::new(BumpAllocator::new(
+                superblock.data_start,
+                superblock.data_blocks,
+            )),
+        };
+        let ctx = TreeContext::new(device, allocator);
+        let table = BTree::create(ctx.clone())?;
+        Ok(ObjectStore {
+            ctx,
+            superblock,
+            config,
+            table: RwLock::new(table),
+            objects: Mutex::new(HashMap::new()),
+            next_oid: AtomicU64::new(1),
+        })
+    }
+
+    /// Convenience constructor: an in-memory store with `capacity_bytes` of
+    /// backing storage and default configuration.
+    pub fn in_memory(capacity_bytes: u64) -> Result<Self> {
+        let device = Arc::new(hfad_storage::MemDevice::with_capacity(capacity_bytes));
+        Self::create(device, StoreConfig::default())
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The device layout this store formatted.
+    pub fn superblock(&self) -> Superblock {
+        self.superblock
+    }
+
+    /// The shared device / allocator context.
+    pub fn context(&self) -> &TreeContext {
+        &self.ctx
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            objects: self.object_count(),
+            device: self.ctx.device.counters(),
+            allocator: self.ctx.allocator.stats(),
+        }
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> u64 {
+        self.table
+            .read()
+            .scan_all()
+            .map(|v| v.len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Every live object id, in ascending order.
+    pub fn list(&self) -> Result<Vec<ObjectId>> {
+        let table = self.table.read();
+        let mut out = Vec::new();
+        for (key, _) in table.scan_all()? {
+            if let Some(oid) = ObjectId::from_key(&key) {
+                out.push(oid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Creates a new empty object and returns its id.
+    pub fn create_object(&self, meta: ObjectMeta) -> Result<ObjectId> {
+        let oid = ObjectId(self.next_oid.fetch_add(1, Ordering::Relaxed));
+        let object = Object::create(oid, self.ctx.clone(), meta, self.config.max_extent_bytes)?;
+        let root = object.root_page();
+        {
+            let mut table = self.table.write();
+            table.insert(&oid.to_key(), &root.to_le_bytes())?;
+        }
+        self.objects.lock().insert(
+            oid.as_u64(),
+            Arc::new(Mutex::new(OpenObject {
+                object,
+                persisted_root: root,
+            })),
+        );
+        Ok(oid)
+    }
+
+    /// Creates an object with default metadata owned by `uid`.
+    pub fn create_default(&self, uid: u32) -> Result<ObjectId> {
+        self.create_object(ObjectMeta::new(uid, uid, 0o644, unix_now()))
+    }
+
+    fn load_object(&self, oid: ObjectId) -> Result<Arc<Mutex<OpenObject>>> {
+        let mut map = self.objects.lock();
+        if let Some(entry) = map.get(&oid.as_u64()) {
+            return Ok(Arc::clone(entry));
+        }
+        // Not open: fetch the root page from the table and reconstruct.
+        let root_bytes = {
+            let table = self.table.read();
+            table.get(&oid.to_key())?
+        };
+        let Some(root_bytes) = root_bytes else {
+            return Err(OsdError::NoSuchObject(oid.as_u64()));
+        };
+        let root = u64::from_le_bytes(
+            root_bytes
+                .as_slice()
+                .try_into()
+                .map_err(|_| OsdError::Corrupt("object table value is not a root page".into()))?,
+        );
+        let tree = BTree::open(self.ctx.clone(), root);
+        let meta_bytes = tree
+            .get(&[0x00])?
+            .ok_or_else(|| OsdError::Corrupt(format!("object {oid} has no metadata record")))?;
+        let meta = ObjectMeta::decode(&meta_bytes)?;
+        let object = Object::from_parts(oid, tree, meta, self.config.max_extent_bytes);
+        let entry = Arc::new(Mutex::new(OpenObject {
+            object,
+            persisted_root: root,
+        }));
+        map.insert(oid.as_u64(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Runs `f` with exclusive access to the object, persisting the new
+    /// extent-map root if the operation changed it.
+    pub fn with_object<R>(
+        &self,
+        oid: ObjectId,
+        f: impl FnOnce(&mut Object) -> Result<R>,
+    ) -> Result<R> {
+        let entry = self.load_object(oid)?;
+        let mut guard = entry.lock();
+        let result = f(&mut guard.object)?;
+        let root = guard.object.root_page();
+        if root != guard.persisted_root {
+            let mut table = self.table.write();
+            table.insert(&oid.to_key(), &root.to_le_bytes())?;
+            guard.persisted_root = root;
+        }
+        Ok(result)
+    }
+
+    /// Reads up to `len` bytes at `offset`.
+    pub fn read(&self, oid: ObjectId, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.with_object(oid, |o| o.read(offset, len))
+    }
+
+    /// Writes `data` at `offset`, extending the object if needed.
+    pub fn write(&self, oid: ObjectId, offset: u64, data: &[u8]) -> Result<()> {
+        self.with_object(oid, |o| o.write(offset, data))
+    }
+
+    /// Appends `data` at the end of the object.
+    pub fn append(&self, oid: ObjectId, data: &[u8]) -> Result<()> {
+        self.with_object(oid, |o| o.append(data))
+    }
+
+    /// Inserts `data` at `offset`, shifting the tail of the object.
+    pub fn insert(&self, oid: ObjectId, offset: u64, data: &[u8]) -> Result<()> {
+        self.with_object(oid, |o| o.insert(offset, data))
+    }
+
+    /// Removes `len` bytes at `offset`, shifting the tail towards the start.
+    pub fn truncate_range(&self, oid: ObjectId, offset: u64, len: u64) -> Result<()> {
+        self.with_object(oid, |o| o.truncate_range(offset, len))
+    }
+
+    /// POSIX-style truncate to an absolute size.
+    pub fn truncate(&self, oid: ObjectId, new_size: u64) -> Result<()> {
+        self.with_object(oid, |o| o.truncate(new_size))
+    }
+
+    /// Current object size in bytes.
+    pub fn len(&self, oid: ObjectId) -> Result<u64> {
+        self.with_object(oid, |o| Ok(o.len()))
+    }
+
+    /// Returns `true` when the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.object_count() == 0
+    }
+
+    /// Current object metadata.
+    pub fn meta(&self, oid: ObjectId) -> Result<ObjectMeta> {
+        self.with_object(oid, |o| Ok(o.meta()))
+    }
+
+    /// Updates security attributes / flags.
+    pub fn set_meta(&self, oid: ObjectId, meta: ObjectMeta) -> Result<()> {
+        self.with_object(oid, |o| o.set_meta(meta))
+    }
+
+    /// Per-object statistics (size, extent count, allocated blocks).
+    pub fn object_stats(&self, oid: ObjectId) -> Result<crate::object::ObjectStats> {
+        self.with_object(oid, |o| o.stats())
+    }
+
+    /// Deletes an object, freeing all of its storage.
+    pub fn delete(&self, oid: ObjectId) -> Result<()> {
+        let entry = self.load_object(oid)?;
+        // Take the object out of the open table first so concurrent callers
+        // fail with NoSuchObject rather than racing the destroy.
+        self.objects.lock().remove(&oid.as_u64());
+        {
+            let mut table = self.table.write();
+            table.delete(&oid.to_key())?;
+        }
+        let open = Arc::try_unwrap(entry)
+            .map_err(|_| OsdError::Corrupt(format!("object {oid} still in use during delete")))?
+            .into_inner();
+        open.object.destroy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ObjectStore {
+        ObjectStore::in_memory(32 * 1024 * 1024).unwrap()
+    }
+
+    #[test]
+    fn create_and_list_objects() {
+        let s = store();
+        assert!(s.is_empty());
+        let a = s.create_default(1000).unwrap();
+        let b = s.create_default(1000).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.object_count(), 2);
+        assert_eq!(s.list().unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn write_read_via_store() {
+        let s = store();
+        let oid = s.create_default(0).unwrap();
+        s.write(oid, 0, b"stored bytes").unwrap();
+        assert_eq!(s.read(oid, 0, 100).unwrap(), b"stored bytes".to_vec());
+        assert_eq!(s.len(oid).unwrap(), 12);
+        assert_eq!(s.meta(oid).unwrap().size, 12);
+    }
+
+    #[test]
+    fn missing_object_reported() {
+        let s = store();
+        let err = s.read(ObjectId(999), 0, 10).unwrap_err();
+        assert!(matches!(err, OsdError::NoSuchObject(999)));
+    }
+
+    #[test]
+    fn insert_and_truncate_via_store() {
+        let s = store();
+        let oid = s.create_default(0).unwrap();
+        s.write(oid, 0, b"hello world").unwrap();
+        s.insert(oid, 5, b",").unwrap();
+        assert_eq!(s.read(oid, 0, 100).unwrap(), b"hello, world".to_vec());
+        s.truncate_range(oid, 5, 1).unwrap();
+        assert_eq!(s.read(oid, 0, 100).unwrap(), b"hello world".to_vec());
+        s.truncate(oid, 5).unwrap();
+        assert_eq!(s.read(oid, 0, 100).unwrap(), b"hello".to_vec());
+    }
+
+    #[test]
+    fn delete_frees_space_and_forgets_object() {
+        let s = store();
+        let oid = s.create_default(0).unwrap();
+        s.write(oid, 0, &vec![1u8; 100_000]).unwrap();
+        let allocated = s.stats().allocator.allocated_blocks;
+        s.delete(oid).unwrap();
+        assert!(s.stats().allocator.allocated_blocks < allocated);
+        assert!(matches!(
+            s.read(oid, 0, 1),
+            Err(OsdError::NoSuchObject(_))
+        ));
+        assert_eq!(s.object_count(), 0);
+    }
+
+    #[test]
+    fn object_ids_are_never_reused() {
+        let s = store();
+        let a = s.create_default(0).unwrap();
+        s.delete(a).unwrap();
+        let b = s.create_default(0).unwrap();
+        assert!(b.as_u64() > a.as_u64());
+    }
+
+    #[test]
+    fn many_objects_roundtrip() {
+        let s = store();
+        let mut oids = Vec::new();
+        for i in 0..100u32 {
+            let oid = s.create_default(0).unwrap();
+            s.write(oid, 0, format!("object number {i}").as_bytes())
+                .unwrap();
+            oids.push(oid);
+        }
+        for (i, oid) in oids.iter().enumerate() {
+            assert_eq!(
+                s.read(*oid, 0, 100).unwrap(),
+                format!("object number {i}").into_bytes()
+            );
+        }
+        assert_eq!(s.object_count(), 100);
+    }
+
+    #[test]
+    fn reload_after_cache_eviction_equivalent() {
+        // Deleting the in-memory handle (by clearing the map through drop of
+        // all other references) is not exposed; instead verify that an
+        // object written through one handle reads correctly after another
+        // object churned the table enough to split it.
+        let s = store();
+        let first = s.create_default(0).unwrap();
+        s.write(first, 0, b"persistent").unwrap();
+        for _ in 0..500 {
+            s.create_default(0).unwrap();
+        }
+        assert_eq!(s.read(first, 0, 100).unwrap(), b"persistent".to_vec());
+    }
+
+    #[test]
+    fn bump_allocator_store_works() {
+        let device = Arc::new(hfad_storage::MemDevice::with_capacity(8 * 1024 * 1024));
+        let s = ObjectStore::create(
+            device,
+            StoreConfig {
+                allocator: AllocatorKind::Bump,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let oid = s.create_default(0).unwrap();
+        s.write(oid, 0, b"bump-backed").unwrap();
+        assert_eq!(s.read(oid, 0, 100).unwrap(), b"bump-backed".to_vec());
+        assert_eq!(s.stats().allocator.free_blocks > 0, true);
+    }
+
+    #[test]
+    fn concurrent_access_to_distinct_objects() {
+        let s = Arc::new(store());
+        let oids: Vec<ObjectId> = (0..8).map(|_| s.create_default(0).unwrap()).collect();
+        let mut handles = Vec::new();
+        for (t, oid) in oids.iter().enumerate() {
+            let s = Arc::clone(&s);
+            let oid = *oid;
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let data = vec![t as u8; 64];
+                    s.write(oid, i * 64, &data).unwrap();
+                }
+                s.len(oid).unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 50 * 64);
+        }
+    }
+
+    #[test]
+    fn concurrent_creates_get_unique_ids() {
+        let s = Arc::new(store());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                (0..25)
+                    .map(|_| s.create_default(0).unwrap().as_u64())
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+        assert_eq!(s.object_count(), 200);
+    }
+}

@@ -1,0 +1,384 @@
+//! Optional transactional wrapper over the object store.
+//!
+//! The paper: "In ZFS, the DMU is a transactional object store; in hFAD,
+//! the OSD may be transactional, but this is an implementation decision,
+//! not a requirement" (§3.3). [`TxnStore`] makes the decision configurable:
+//! data operations are buffered in a [`Transaction`], logged to the
+//! write-ahead journal at commit, synced, and only then applied to the
+//! store. Experiment E6 ablates its cost against the plain store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use hfad_storage::{Journal, RecordKind};
+
+use crate::error::{OsdError, Result};
+use crate::oid::ObjectId;
+use crate::store::ObjectStore;
+
+/// A logged, redo-only operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Overwrite/extend at an offset.
+    Write {
+        /// Target object.
+        oid: ObjectId,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Insert bytes into the middle of an object.
+    Insert {
+        /// Target object.
+        oid: ObjectId,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to insert.
+        data: Vec<u8>,
+    },
+    /// Remove a byte range from an object.
+    TruncateRange {
+        /// Target object.
+        oid: ObjectId,
+        /// Byte offset.
+        offset: u64,
+        /// Bytes to remove.
+        len: u64,
+    },
+}
+
+impl TxnOp {
+    /// Serialises the operation for the journal.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            TxnOp::Write { oid, offset, data } => {
+                out.push(1);
+                out.extend_from_slice(&oid.as_u64().to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            TxnOp::Insert { oid, offset, data } => {
+                out.push(2);
+                out.extend_from_slice(&oid.as_u64().to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(data);
+            }
+            TxnOp::TruncateRange { oid, offset, len } => {
+                out.push(3);
+                out.extend_from_slice(&oid.as_u64().to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialises an operation written by [`encode`](Self::encode).
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < 17 {
+            return Err(OsdError::Corrupt("transaction record too short".into()));
+        }
+        let oid = ObjectId(u64::from_le_bytes(buf[1..9].try_into().expect("u64")));
+        let offset = u64::from_le_bytes(buf[9..17].try_into().expect("u64"));
+        match buf[0] {
+            1 => Ok(TxnOp::Write {
+                oid,
+                offset,
+                data: buf[17..].to_vec(),
+            }),
+            2 => Ok(TxnOp::Insert {
+                oid,
+                offset,
+                data: buf[17..].to_vec(),
+            }),
+            3 => {
+                if buf.len() < 25 {
+                    return Err(OsdError::Corrupt("truncate record too short".into()));
+                }
+                Ok(TxnOp::TruncateRange {
+                    oid,
+                    offset,
+                    len: u64::from_le_bytes(buf[17..25].try_into().expect("u64")),
+                })
+            }
+            other => Err(OsdError::Corrupt(format!(
+                "unknown transaction opcode {other}"
+            ))),
+        }
+    }
+
+    fn apply(&self, store: &ObjectStore) -> Result<()> {
+        match self {
+            TxnOp::Write { oid, offset, data } => store.write(*oid, *offset, data),
+            TxnOp::Insert { oid, offset, data } => store.insert(*oid, *offset, data),
+            TxnOp::TruncateRange { oid, offset, len } => {
+                store.truncate_range(*oid, *offset, *len)
+            }
+        }
+    }
+}
+
+/// A transactional facade over an [`ObjectStore`].
+pub struct TxnStore {
+    store: Arc<ObjectStore>,
+    journal: Journal<Arc<dyn hfad_storage::BlockDevice>>,
+    next_txn: AtomicU64,
+}
+
+impl TxnStore {
+    /// Wraps `store`, placing the journal in the region its superblock
+    /// reserved. The store must have been created with
+    /// `journal_blocks > 0`.
+    pub fn new(store: Arc<ObjectStore>) -> Result<Self> {
+        let sb = store.superblock();
+        if sb.journal_blocks == 0 {
+            return Err(OsdError::Corrupt(
+                "store was created without a journal region".to_string(),
+            ));
+        }
+        let journal = Journal::new(
+            Arc::clone(&store.context().device),
+            sb.journal_start,
+            sb.journal_blocks,
+        )?;
+        Ok(TxnStore {
+            store,
+            journal,
+            next_txn: AtomicU64::new(1),
+        })
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Begins a new transaction.
+    pub fn begin(&self) -> Transaction<'_> {
+        Transaction {
+            txn_store: self,
+            id: self.next_txn.fetch_add(1, Ordering::Relaxed),
+            ops: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Re-applies every committed transaction found in the journal to the
+    /// store (idempotent for redo-only operations on fresh stores).
+    pub fn replay(&self) -> Result<u64> {
+        let mut applied = 0;
+        for (_txn, payloads) in self.journal.committed_payloads()? {
+            for payload in payloads {
+                TxnOp::decode(&payload)?.apply(&self.store)?;
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Truncates the journal after a checkpoint.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.journal.reset()?;
+        Ok(())
+    }
+}
+
+/// An open transaction; buffered operations are applied atomically (with
+/// respect to crashes before commit) when [`commit`](Self::commit) is
+/// called.
+pub struct Transaction<'a> {
+    txn_store: &'a TxnStore,
+    id: u64,
+    ops: Vec<TxnOp>,
+    closed: bool,
+}
+
+impl Transaction<'_> {
+    fn check_open(&self) -> Result<()> {
+        if self.closed {
+            Err(OsdError::TransactionClosed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Transaction id (for diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if no operations have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Buffers a write.
+    pub fn write(&mut self, oid: ObjectId, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_open()?;
+        self.ops.push(TxnOp::Write {
+            oid,
+            offset,
+            data: data.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// Buffers a mid-object insert.
+    pub fn insert(&mut self, oid: ObjectId, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_open()?;
+        self.ops.push(TxnOp::Insert {
+            oid,
+            offset,
+            data: data.to_vec(),
+        });
+        Ok(())
+    }
+
+    /// Buffers a range truncate.
+    pub fn truncate_range(&mut self, oid: ObjectId, offset: u64, len: u64) -> Result<()> {
+        self.check_open()?;
+        self.ops.push(TxnOp::TruncateRange { oid, offset, len });
+        Ok(())
+    }
+
+    /// Logs, syncs and applies the buffered operations.
+    pub fn commit(mut self) -> Result<()> {
+        self.check_open()?;
+        self.closed = true;
+        let journal = &self.txn_store.journal;
+        journal.append(self.id, RecordKind::Begin, b"")?;
+        for op in &self.ops {
+            journal.append(self.id, RecordKind::Data, &op.encode())?;
+        }
+        journal.append(self.id, RecordKind::Commit, b"")?;
+        journal.sync()?;
+        for op in &self.ops {
+            op.apply(&self.txn_store.store)?;
+        }
+        Ok(())
+    }
+
+    /// Discards the buffered operations, recording an abort in the journal.
+    pub fn abort(mut self) -> Result<()> {
+        self.check_open()?;
+        self.closed = true;
+        let journal = &self.txn_store.journal;
+        journal.append(self.id, RecordKind::Abort, b"")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use hfad_storage::MemDevice;
+
+    fn txn_store() -> TxnStore {
+        let device = Arc::new(MemDevice::with_capacity(16 * 1024 * 1024));
+        let store = Arc::new(
+            ObjectStore::create(
+                device,
+                StoreConfig {
+                    journal_blocks: 256,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        TxnStore::new(store).unwrap()
+    }
+
+    #[test]
+    fn committed_transaction_applies() {
+        let ts = txn_store();
+        let oid = ts.store().create_default(0).unwrap();
+        let mut txn = ts.begin();
+        txn.write(oid, 0, b"transactional hello").unwrap();
+        txn.insert(oid, 13, b" brave").unwrap();
+        txn.commit().unwrap();
+        assert_eq!(
+            ts.store().read(oid, 0, 100).unwrap(),
+            b"transactional brave hello".to_vec()
+        );
+    }
+
+    #[test]
+    fn aborted_transaction_leaves_no_trace() {
+        let ts = txn_store();
+        let oid = ts.store().create_default(0).unwrap();
+        ts.store().write(oid, 0, b"original").unwrap();
+        let mut txn = ts.begin();
+        txn.write(oid, 0, b"clobbered").unwrap();
+        txn.abort().unwrap();
+        assert_eq!(ts.store().read(oid, 0, 100).unwrap(), b"original".to_vec());
+        // Replay must not resurrect the aborted write either.
+        ts.replay().unwrap();
+        assert_eq!(ts.store().read(oid, 0, 100).unwrap(), b"original".to_vec());
+    }
+
+    #[test]
+    fn replay_reapplies_committed_operations() {
+        let ts = txn_store();
+        let oid = ts.store().create_default(0).unwrap();
+        let mut txn = ts.begin();
+        txn.write(oid, 0, b"abcdef").unwrap();
+        txn.truncate_range(oid, 1, 2).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(ts.store().read(oid, 0, 100).unwrap(), b"adef".to_vec());
+        // Simulate the post-crash redo path: wipe the object, replay the log.
+        ts.store().truncate(oid, 0).unwrap();
+        let applied = ts.replay().unwrap();
+        assert_eq!(applied, 2);
+        assert_eq!(ts.store().read(oid, 0, 100).unwrap(), b"adef".to_vec());
+    }
+
+    #[test]
+    fn checkpoint_empties_journal() {
+        let ts = txn_store();
+        let oid = ts.store().create_default(0).unwrap();
+        let mut txn = ts.begin();
+        txn.write(oid, 0, b"x").unwrap();
+        txn.commit().unwrap();
+        ts.checkpoint().unwrap();
+        assert_eq!(ts.replay().unwrap(), 0);
+    }
+
+    #[test]
+    fn store_without_journal_rejected() {
+        let store = Arc::new(ObjectStore::in_memory(4 * 1024 * 1024).unwrap());
+        assert!(TxnStore::new(store).is_err());
+    }
+
+    #[test]
+    fn txn_op_round_trip() {
+        for op in [
+            TxnOp::Write {
+                oid: ObjectId(3),
+                offset: 10,
+                data: b"abc".to_vec(),
+            },
+            TxnOp::Insert {
+                oid: ObjectId(4),
+                offset: 0,
+                data: vec![],
+            },
+            TxnOp::TruncateRange {
+                oid: ObjectId(5),
+                offset: 100,
+                len: 50,
+            },
+        ] {
+            assert_eq!(TxnOp::decode(&op.encode()).unwrap(), op);
+        }
+        assert!(TxnOp::decode(&[9u8; 30]).is_err());
+        assert!(TxnOp::decode(&[1u8; 4]).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests: a byte-accessible object behaves exactly like an
+//! in-memory `Vec<u8>` under arbitrary interleavings of write, insert,
+//! range-truncate and read.
+
+use proptest::prelude::*;
+
+use hfad_osd::{ObjectId, ObjectStore, StoreConfig};
+use hfad_storage::MemDevice;
+use std::sync::Arc;
+
+/// Operations applied to both the object under test and a `Vec<u8>` model.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { offset_frac: u8, data: Vec<u8> },
+    Insert { offset_frac: u8, data: Vec<u8> },
+    TruncateRange { offset_frac: u8, len: u16 },
+    Truncate { size: u16 },
+    Read { offset_frac: u8, len: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let data = prop::collection::vec(any::<u8>(), 0..300);
+    prop_oneof![
+        (any::<u8>(), data.clone()).prop_map(|(offset_frac, data)| Op::Write { offset_frac, data }),
+        (any::<u8>(), data).prop_map(|(offset_frac, data)| Op::Insert { offset_frac, data }),
+        (any::<u8>(), any::<u16>()).prop_map(|(offset_frac, len)| Op::TruncateRange {
+            offset_frac,
+            len: len % 500
+        }),
+        any::<u16>().prop_map(|size| Op::Truncate { size: size % 2000 }),
+        (any::<u8>(), any::<u16>()).prop_map(|(offset_frac, len)| Op::Read {
+            offset_frac,
+            len: len % 500
+        }),
+    ]
+}
+
+/// Maps a fraction byte to an offset within (or just past) the current size.
+fn offset_for(frac: u8, size: u64) -> u64 {
+    if size == 0 {
+        0
+    } else {
+        (u64::from(frac) * size) / 255
+    }
+}
+
+fn small_store(max_extent: u64) -> ObjectStore {
+    let device = Arc::new(MemDevice::new(32_768, 512));
+    ObjectStore::create(
+        device,
+        StoreConfig {
+            max_extent_bytes: max_extent,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The object agrees byte for byte with a Vec<u8> model under any
+    /// sequence of operations, for both small and large extent sizes.
+    #[test]
+    fn object_matches_vec_model(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        max_extent in prop_oneof![Just(128u64), Just(1024u64), Just(64 * 1024u64)],
+    ) {
+        let store = small_store(max_extent);
+        let oid = store.create_default(0).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Write { offset_frac, data } => {
+                    let offset = offset_for(offset_frac, model.len() as u64);
+                    store.write(oid, offset, &data).unwrap();
+                    let end = offset as usize + data.len();
+                    if end > model.len() {
+                        model.resize(end, 0);
+                    }
+                    model[offset as usize..end].copy_from_slice(&data);
+                }
+                Op::Insert { offset_frac, data } => {
+                    let offset = offset_for(offset_frac, model.len() as u64);
+                    store.insert(oid, offset, &data).unwrap();
+                    model.splice(offset as usize..offset as usize, data.iter().copied());
+                }
+                Op::TruncateRange { offset_frac, len } => {
+                    let offset = offset_for(offset_frac, model.len() as u64);
+                    store.truncate_range(oid, offset, u64::from(len)).unwrap();
+                    let start = (offset as usize).min(model.len());
+                    let end = (start + len as usize).min(model.len());
+                    model.drain(start..end);
+                }
+                Op::Truncate { size } => {
+                    store.truncate(oid, u64::from(size)).unwrap();
+                    model.resize(usize::from(size), 0);
+                }
+                Op::Read { offset_frac, len } => {
+                    let offset = offset_for(offset_frac, model.len() as u64);
+                    let got = store.read(oid, offset, u64::from(len)).unwrap();
+                    let start = (offset as usize).min(model.len());
+                    let end = (start + len as usize).min(model.len());
+                    prop_assert_eq!(&got, &model[start..end]);
+                }
+            }
+            prop_assert_eq!(store.len(oid).unwrap(), model.len() as u64);
+        }
+        // Final full read must match the model exactly.
+        let all = store.read(oid, 0, model.len() as u64 + 10).unwrap();
+        prop_assert_eq!(all, model);
+    }
+
+    /// Deleting an object always returns the allocator to its pre-creation
+    /// state, regardless of the operations performed on it.
+    #[test]
+    fn delete_reclaims_everything(
+        writes in prop::collection::vec((0u64..100_000, prop::collection::vec(any::<u8>(), 1..600)), 1..12)
+    ) {
+        let store = small_store(4096);
+        let free_before = store.stats().allocator.free_blocks;
+        let oid = store.create_default(0).unwrap();
+        for (offset, data) in writes {
+            store.write(oid, offset, &data).unwrap();
+        }
+        store.delete(oid).unwrap();
+        prop_assert_eq!(store.stats().allocator.free_blocks, free_before);
+    }
+
+    /// Object ids handed out concurrently are unique and all objects remain
+    /// independently readable.
+    #[test]
+    fn objects_are_isolated(payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..200), 2..12)) {
+        let store = small_store(1024);
+        let mut oids: Vec<ObjectId> = Vec::new();
+        for payload in &payloads {
+            let oid = store.create_default(0).unwrap();
+            store.write(oid, 0, payload).unwrap();
+            oids.push(oid);
+        }
+        for (oid, payload) in oids.iter().zip(&payloads) {
+            prop_assert_eq!(&store.read(*oid, 0, payload.len() as u64).unwrap(), payload);
+        }
+        let unique: std::collections::HashSet<_> = oids.iter().collect();
+        prop_assert_eq!(unique.len(), oids.len());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the POSIX compatibility layer.
+
+use core::fmt;
+
+use hfad_core::HfadError;
+
+/// Errors produced by the POSIX veneer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PosixError {
+    /// Error from the underlying hFAD file system.
+    Hfad(HfadError),
+    /// The path does not exist.
+    NotFound(String),
+    /// The path already exists.
+    AlreadyExists(String),
+    /// A directory was required but a file was found (or vice versa).
+    NotADirectory(String),
+    /// The operation targets a directory where a file is required.
+    IsADirectory(String),
+    /// A directory being removed still has entries.
+    DirectoryNotEmpty(String),
+    /// The path was empty or malformed.
+    InvalidPath(String),
+}
+
+impl fmt::Display for PosixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosixError::Hfad(e) => write!(f, "hfad error: {e}"),
+            PosixError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            PosixError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            PosixError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            PosixError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            PosixError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+            PosixError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PosixError {}
+
+impl From<HfadError> for PosixError {
+    fn from(e: HfadError) -> Self {
+        PosixError::Hfad(e)
+    }
+}
+
+/// Convenience alias used throughout the POSIX crate.
+pub type Result<T> = std::result::Result<T, PosixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(PosixError::NotFound("/a".into()).to_string().contains("/a"));
+        let e: PosixError = HfadError::EmptyName.into();
+        assert!(matches!(e, PosixError::Hfad(_)));
+    }
+}

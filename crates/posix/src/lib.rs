@@ -1,0 +1,16 @@
+//! # hfad-posix
+//!
+//! The POSIX compatibility veneer over the hFAD native API ("we support
+//! POSIX naming as a thin layer atop the native API", §3.1.1). A path is
+//! just the value of a `POSIX/<path>` tag; directories are tagged objects;
+//! `readdir` is a single `PARENT/<dir>` index lookup. The veneer satisfies
+//! the paper's backwards-compatibility requirement without reintroducing a
+//! hierarchical disk layout.
+
+pub mod error;
+pub mod path;
+pub mod vfs;
+
+pub use error::{PosixError, Result};
+pub use path::{components, join, normalize, split_parent};
+pub use vfs::{parent_tag, PosixDirEntry, PosixFs, Stat, FLAG_DIRECTORY};

@@ -1,0 +1,99 @@
+//! Path normalisation helpers for the POSIX veneer.
+//!
+//! POSIX paths are "simply one name among many possible names" (§3.1.1);
+//! they are stored verbatim as `POSIX/<path>` tag values, so consistent
+//! normalisation matters: `/a//b/`, `/a/./b` and `/a/b` must be the same
+//! name.
+
+use crate::error::{PosixError, Result};
+
+/// Normalises a path to the canonical form stored in the POSIX index:
+/// absolute, no trailing slash (except the root itself), no empty or `.`
+/// components.
+pub fn normalize(path: &str) -> Result<String> {
+    if path.is_empty() {
+        return Err(PosixError::InvalidPath(path.to_string()));
+    }
+    let components = components(path)?;
+    if components.is_empty() {
+        return Ok("/".to_string());
+    }
+    Ok(format!("/{}", components.join("/")))
+}
+
+/// Splits a path into its non-empty components, rejecting `..` (the veneer
+/// does not implement relative traversal).
+pub fn components(path: &str) -> Result<Vec<String>> {
+    if path.is_empty() {
+        return Err(PosixError::InvalidPath(path.to_string()));
+    }
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => continue,
+            ".." => return Err(PosixError::InvalidPath(path.to_string())),
+            other => out.push(other.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a normalised path into `(parent, name)`.
+///
+/// The root has no parent and returns an error.
+pub fn split_parent(path: &str) -> Result<(String, String)> {
+    let comps = components(path)?;
+    let Some((name, parents)) = comps.split_last() else {
+        return Err(PosixError::InvalidPath(path.to_string()));
+    };
+    let parent = if parents.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", parents.join("/"))
+    };
+    Ok((parent, name.clone()))
+}
+
+/// Joins a parent path and a child name.
+pub fn join(parent: &str, name: &str) -> String {
+    if parent == "/" {
+        format!("/{name}")
+    } else {
+        format!("{parent}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_canonicalises() {
+        assert_eq!(normalize("/a//b/").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/./b").unwrap(), "/a/b");
+        assert_eq!(normalize("a/b").unwrap(), "/a/b");
+        assert_eq!(normalize("/").unwrap(), "/");
+        assert_eq!(normalize("///").unwrap(), "/");
+        assert!(normalize("").is_err());
+        assert!(normalize("/a/../b").is_err());
+    }
+
+    #[test]
+    fn split_parent_works() {
+        assert_eq!(
+            split_parent("/a/b/c").unwrap(),
+            ("/a/b".to_string(), "c".to_string())
+        );
+        assert_eq!(
+            split_parent("/top").unwrap(),
+            ("/".to_string(), "top".to_string())
+        );
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn join_handles_root() {
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a", "b"), "/a/b");
+    }
+}

@@ -1,0 +1,303 @@
+//! A write-back block cache.
+//!
+//! The paper's §2.3 argument is about how many index traversals separate a
+//! search term from a data block "even if a system can capture all the
+//! indexes in memory". [`CachedDevice`] lets the experiments run both ways:
+//! with a cold cache every traversal costs a physical block read, with a
+//! warm cache the traversals still show up as cache hits, which E1 reports
+//! separately.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::device::{BlockDevice, DeviceCounters};
+use crate::error::Result;
+
+/// Statistics for a [`CachedDevice`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read requests satisfied from the cache.
+    pub hits: u64,
+    /// Read requests that went to the underlying device.
+    pub misses: u64,
+    /// Dirty blocks written back due to eviction or flush.
+    pub writebacks: u64,
+    /// Blocks evicted (clean or dirty).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when no reads have been issued.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheEntry {
+    data: Vec<u8>,
+    dirty: bool,
+    /// Logical timestamp of last access, used for LRU eviction.
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<u64, CacheEntry>,
+    stats: CacheStats,
+}
+
+/// An LRU write-back cache wrapping another [`BlockDevice`].
+pub struct CachedDevice<D: BlockDevice> {
+    inner: D,
+    capacity_blocks: usize,
+    clock: AtomicU64,
+    cache: Mutex<CacheInner>,
+}
+
+impl<D: BlockDevice> CachedDevice<D> {
+    /// Wraps `inner` with a cache holding up to `capacity_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_blocks` is zero.
+    pub fn new(inner: D, capacity_blocks: usize) -> Self {
+        assert!(capacity_blocks > 0, "cache capacity must be non-zero");
+        CachedDevice {
+            inner,
+            capacity_blocks,
+            clock: AtomicU64::new(0),
+            cache: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Cache statistics snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Drops every clean cached block and writes back dirty ones, leaving
+    /// the cache cold. Used by experiments between cold-cache iterations.
+    pub fn invalidate(&self) -> Result<()> {
+        let mut guard = self.cache.lock();
+        let keys: Vec<u64> = guard.entries.keys().copied().collect();
+        for block in keys {
+            if let Some(entry) = guard.entries.remove(&block) {
+                if entry.dirty {
+                    self.inner.write_block(block, &entry.data)?;
+                    guard.stats.writebacks += 1;
+                }
+                guard.stats.evictions += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Evicts the least recently used entry if the cache is over capacity.
+    fn maybe_evict(&self, guard: &mut CacheInner) -> Result<()> {
+        while guard.entries.len() > self.capacity_blocks {
+            let victim = guard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(b, _)| *b)
+                .expect("cache over capacity implies at least one entry");
+            let entry = guard.entries.remove(&victim).expect("victim present");
+            if entry.dirty {
+                self.inner.write_block(victim, &entry.data)?;
+                guard.stats.writebacks += 1;
+            }
+            guard.stats.evictions += 1;
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_access(block, buf.len())?;
+        let now = self.tick();
+        let mut guard = self.cache.lock();
+        if let Some(entry) = guard.entries.get_mut(&block) {
+            entry.last_used = now;
+            buf.copy_from_slice(&entry.data);
+            guard.stats.hits += 1;
+            return Ok(());
+        }
+        guard.stats.misses += 1;
+        // Read through to the device while holding the lock: correctness
+        // over concurrency for the cache path; the uncached MemDevice is the
+        // device used in contention experiments.
+        self.inner.read_block(block, buf)?;
+        guard.entries.insert(
+            block,
+            CacheEntry {
+                data: buf.to_vec(),
+                dirty: false,
+                last_used: now,
+            },
+        );
+        self.maybe_evict(&mut guard)?;
+        Ok(())
+    }
+
+    fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+        self.check_access(block, buf.len())?;
+        let now = self.tick();
+        let mut guard = self.cache.lock();
+        guard.entries.insert(
+            block,
+            CacheEntry {
+                data: buf.to_vec(),
+                dirty: true,
+                last_used: now,
+            },
+        );
+        self.maybe_evict(&mut guard)?;
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        let mut guard = self.cache.lock();
+        let dirty_blocks: Vec<u64> = guard
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(b, _)| *b)
+            .collect();
+        for block in dirty_blocks {
+            if let Some(entry) = guard.entries.get_mut(&block) {
+                self.inner.write_block(block, &entry.data)?;
+                entry.dirty = false;
+                guard.stats.writebacks += 1;
+            }
+        }
+        self.inner.flush()
+    }
+
+    fn counters(&self) -> DeviceCounters {
+        self.inner.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    fn make(capacity: usize) -> CachedDevice<MemDevice> {
+        CachedDevice::new(MemDevice::new(64, 128), capacity)
+    }
+
+    #[test]
+    fn read_after_write_hits_cache() {
+        let dev = make(8);
+        let data = vec![7u8; 128];
+        dev.write_block(3, &data).unwrap();
+        let mut out = vec![0u8; 128];
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out, data);
+        let stats = dev.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        // Write-back: nothing reached the device yet.
+        assert_eq!(dev.counters().writes, 0);
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_blocks() {
+        let dev = make(8);
+        let data = vec![9u8; 128];
+        dev.write_block(0, &data).unwrap();
+        dev.write_block(1, &data).unwrap();
+        dev.flush().unwrap();
+        assert_eq!(dev.counters().writes, 2);
+        // A second flush must not rewrite clean blocks.
+        dev.flush().unwrap();
+        assert_eq!(dev.counters().writes, 2);
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_preserves_data() {
+        let dev = make(2);
+        for block in 0..5u64 {
+            let data = vec![block as u8; 128];
+            dev.write_block(block, &data).unwrap();
+        }
+        let stats = dev.cache_stats();
+        assert!(stats.evictions >= 3);
+        assert!(stats.writebacks >= 3);
+        // Every block must still read back correctly (possibly via device).
+        for block in 0..5u64 {
+            let mut out = vec![0u8; 128];
+            dev.read_block(block, &mut out).unwrap();
+            assert!(out.iter().all(|&b| b == block as u8), "block {block}");
+        }
+    }
+
+    #[test]
+    fn cold_read_counts_as_miss() {
+        let dev = make(4);
+        // Populate the underlying device directly so the cache is cold.
+        let data = vec![0x42u8; 128];
+        dev.inner().write_block(7, &data).unwrap();
+        let mut out = vec![0u8; 128];
+        dev.read_block(7, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(dev.cache_stats().misses, 1);
+        // Second read is a hit.
+        dev.read_block(7, &mut out).unwrap();
+        assert_eq!(dev.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidate_writes_back_and_empties() {
+        let dev = make(8);
+        let data = vec![1u8; 128];
+        dev.write_block(2, &data).unwrap();
+        dev.invalidate().unwrap();
+        assert_eq!(dev.counters().writes, 1);
+        let mut out = vec![0u8; 128];
+        dev.read_block(2, &mut out).unwrap();
+        assert_eq!(out, data);
+        // After invalidation the read must have been a miss.
+        assert_eq!(dev.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_ratio_reports() {
+        let dev = make(8);
+        let data = vec![1u8; 128];
+        dev.write_block(0, &data).unwrap();
+        let mut out = vec![0u8; 128];
+        for _ in 0..4 {
+            dev.read_block(0, &mut out).unwrap();
+        }
+        assert!((dev.cache_stats().hit_ratio() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,470 @@
+//! Simulated block devices.
+//!
+//! The paper's prototype sits on a raw device under Linux/FUSE. Here the
+//! same role is played by [`BlockDevice`] implementations that can be backed
+//! by memory ([`MemDevice`]) or by a regular file ([`FileDevice`]). All
+//! higher layers (allocator, B-tree, OSD, indices) are written against the
+//! trait, so the choice of backing store never leaks upward.
+//!
+//! Every device keeps [`DeviceCounters`] so experiments can report the
+//! number of physical block reads and writes an operation performed — the
+//! unit in which the paper's §2.3 "index traversal" argument is made.
+
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Result, StorageError};
+
+/// Default block size used throughout the workspace.
+pub const DEFAULT_BLOCK_SIZE: usize = 4096;
+
+/// Running counts of physical device operations.
+///
+/// Counters are monotonically increasing; experiments snapshot them before
+/// and after an operation and subtract.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCounters {
+    /// Number of block reads served.
+    pub reads: u64,
+    /// Number of block writes served.
+    pub writes: u64,
+    /// Number of explicit flushes.
+    pub flushes: u64,
+}
+
+impl DeviceCounters {
+    /// Difference between a later snapshot and an earlier one.
+    pub fn delta_since(&self, earlier: &DeviceCounters) -> DeviceCounters {
+        DeviceCounters {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            flushes: self.flushes - earlier.flushes,
+        }
+    }
+
+    /// Total block operations (reads + writes).
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+#[derive(Debug, Default)]
+struct AtomicCounters {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    flushes: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn snapshot(&self) -> DeviceCounters {
+        DeviceCounters {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A fixed-block-size random access storage device.
+///
+/// Implementations must be safe to use from many threads concurrently.
+pub trait BlockDevice: Send + Sync {
+    /// Size of one block in bytes. Constant over the life of the device.
+    fn block_size(&self) -> usize;
+
+    /// Number of blocks on the device.
+    fn block_count(&self) -> u64;
+
+    /// Reads block `block` into `buf`. `buf.len()` must equal
+    /// [`block_size`](Self::block_size).
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf` to block `block`. `buf.len()` must equal
+    /// [`block_size`](Self::block_size).
+    fn write_block(&self, block: u64, buf: &[u8]) -> Result<()>;
+
+    /// Forces buffered data to stable storage.
+    fn flush(&self) -> Result<()>;
+
+    /// Snapshot of the physical operation counters.
+    fn counters(&self) -> DeviceCounters;
+
+    /// Total capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.block_count() * self.block_size() as u64
+    }
+
+    /// Validates a block number and buffer length, returning the appropriate
+    /// error. Helper for implementors.
+    fn check_access(&self, block: u64, buf_len: usize) -> Result<()> {
+        if block >= self.block_count() {
+            return Err(StorageError::OutOfRange {
+                block,
+                device_blocks: self.block_count(),
+            });
+        }
+        if buf_len != self.block_size() {
+            return Err(StorageError::BadBufferLength {
+                got: buf_len,
+                expected: self.block_size(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Blanket implementation so `Arc<dyn BlockDevice>` and `Arc<MemDevice>` can
+/// be used interchangeably where a device is expected.
+impl<D: BlockDevice + ?Sized> BlockDevice for Arc<D> {
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn block_count(&self) -> u64 {
+        (**self).block_count()
+    }
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        (**self).read_block(block, buf)
+    }
+    fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+        (**self).write_block(block, buf)
+    }
+    fn flush(&self) -> Result<()> {
+        (**self).flush()
+    }
+    fn counters(&self) -> DeviceCounters {
+        (**self).counters()
+    }
+}
+
+/// Number of blocks guarded by one lock stripe in [`MemDevice`].
+///
+/// Striping keeps unrelated concurrent accesses (the paper's
+/// `/home/nick` vs `/home/margo` example) from serialising on a single
+/// device-wide lock, which would mask namespace-level contention effects in
+/// experiment E2.
+const STRIPE_BLOCKS: u64 = 1024;
+
+/// An in-memory block device with striped locking.
+pub struct MemDevice {
+    block_size: usize,
+    block_count: u64,
+    stripes: Vec<RwLock<Vec<u8>>>,
+    counters: AtomicCounters,
+}
+
+impl MemDevice {
+    /// Creates a zero-filled in-memory device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero or `block_count` is zero; a device
+    /// with no capacity is a configuration bug, not a runtime condition.
+    pub fn new(block_count: u64, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be non-zero");
+        assert!(block_count > 0, "block count must be non-zero");
+        let stripe_count = block_count.div_ceil(STRIPE_BLOCKS);
+        let mut stripes = Vec::with_capacity(stripe_count as usize);
+        for s in 0..stripe_count {
+            let blocks_in_stripe = if s == stripe_count - 1 {
+                block_count - s * STRIPE_BLOCKS
+            } else {
+                STRIPE_BLOCKS
+            };
+            stripes.push(RwLock::new(vec![0u8; blocks_in_stripe as usize * block_size]));
+        }
+        MemDevice {
+            block_size,
+            block_count,
+            stripes,
+            counters: AtomicCounters::default(),
+        }
+    }
+
+    /// Creates a device with the [`DEFAULT_BLOCK_SIZE`] and enough blocks to
+    /// hold `capacity_bytes` bytes (rounded up).
+    pub fn with_capacity(capacity_bytes: u64) -> Self {
+        let blocks = capacity_bytes.div_ceil(DEFAULT_BLOCK_SIZE as u64).max(1);
+        MemDevice::new(blocks, DEFAULT_BLOCK_SIZE)
+    }
+
+    fn locate(&self, block: u64) -> (usize, usize) {
+        let stripe = (block / STRIPE_BLOCKS) as usize;
+        let offset = (block % STRIPE_BLOCKS) as usize * self.block_size;
+        (stripe, offset)
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_access(block, buf.len())?;
+        let (stripe, offset) = self.locate(block);
+        let guard = self.stripes[stripe].read();
+        buf.copy_from_slice(&guard[offset..offset + self.block_size]);
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+        self.check_access(block, buf.len())?;
+        let (stripe, offset) = self.locate(block);
+        let mut guard = self.stripes[stripe].write();
+        guard[offset..offset + self.block_size].copy_from_slice(buf);
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn counters(&self) -> DeviceCounters {
+        self.counters.snapshot()
+    }
+}
+
+/// A block device backed by a regular file.
+///
+/// Used when an experiment needs data to survive process restarts or needs
+/// to exceed available memory; functionally identical to [`MemDevice`].
+#[derive(Debug)]
+pub struct FileDevice {
+    file: File,
+    block_size: usize,
+    block_count: u64,
+    counters: AtomicCounters,
+}
+
+impl FileDevice {
+    /// Creates (or truncates) a file-backed device at `path`.
+    pub fn create<P: AsRef<Path>>(path: P, block_count: u64, block_size: usize) -> Result<Self> {
+        if block_size == 0 || block_count == 0 {
+            return Err(StorageError::Corrupt(
+                "file device requires non-zero geometry".to_string(),
+            ));
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(block_count * block_size as u64)?;
+        Ok(FileDevice {
+            file,
+            block_size,
+            block_count,
+            counters: AtomicCounters::default(),
+        })
+    }
+
+    /// Opens an existing device file with known geometry.
+    pub fn open<P: AsRef<Path>>(path: P, block_size: usize) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if block_size == 0 || len == 0 || len % block_size as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "device file length {len} is not a multiple of block size {block_size}"
+            )));
+        }
+        Ok(FileDevice {
+            file,
+            block_size,
+            block_count: len / block_size as u64,
+            counters: AtomicCounters::default(),
+        })
+    }
+}
+
+impl BlockDevice for FileDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn block_count(&self) -> u64 {
+        self.block_count
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_access(block, buf.len())?;
+        self.file
+            .read_exact_at(buf, block * self.block_size as u64)?;
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+        self.check_access(block, buf.len())?;
+        self.file
+            .write_all_at(buf, block * self.block_size as u64)?;
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.file.sync_data()?;
+        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn counters(&self) -> DeviceCounters {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_device_round_trip() {
+        let dev = MemDevice::new(16, 512);
+        let mut out = vec![0u8; 512];
+        let data = vec![0xABu8; 512];
+        dev.write_block(3, &data).unwrap();
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn mem_device_starts_zeroed() {
+        let dev = MemDevice::new(4, 128);
+        let mut buf = vec![0xFFu8; 128];
+        dev.read_block(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mem_device_rejects_out_of_range() {
+        let dev = MemDevice::new(4, 128);
+        let mut buf = vec![0u8; 128];
+        let err = dev.read_block(4, &mut buf).unwrap_err();
+        assert!(matches!(err, StorageError::OutOfRange { block: 4, .. }));
+    }
+
+    #[test]
+    fn mem_device_rejects_bad_buffer() {
+        let dev = MemDevice::new(4, 128);
+        let buf = vec![0u8; 64];
+        let err = dev.write_block(0, &buf).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::BadBufferLength {
+                got: 64,
+                expected: 128
+            }
+        ));
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let dev = MemDevice::new(8, 256);
+        let before = dev.counters();
+        let buf = vec![1u8; 256];
+        let mut out = vec![0u8; 256];
+        dev.write_block(0, &buf).unwrap();
+        dev.write_block(1, &buf).unwrap();
+        dev.read_block(0, &mut out).unwrap();
+        dev.flush().unwrap();
+        let delta = dev.counters().delta_since(&before);
+        assert_eq!(delta.writes, 2);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.flushes, 1);
+        assert_eq!(delta.total_ops(), 3);
+    }
+
+    #[test]
+    fn striping_covers_whole_device() {
+        // A device larger than one stripe must still address every block.
+        let blocks = STRIPE_BLOCKS * 2 + 7;
+        let dev = MemDevice::new(blocks, 64);
+        let data = vec![0x5Au8; 64];
+        let mut out = vec![0u8; 64];
+        for block in [0, STRIPE_BLOCKS - 1, STRIPE_BLOCKS, blocks - 1] {
+            dev.write_block(block, &data).unwrap();
+            dev.read_block(block, &mut out).unwrap();
+            assert_eq!(out, data, "block {block}");
+        }
+    }
+
+    #[test]
+    fn with_capacity_rounds_up() {
+        let dev = MemDevice::with_capacity(DEFAULT_BLOCK_SIZE as u64 + 1);
+        assert_eq!(dev.block_count(), 2);
+        assert_eq!(dev.capacity_bytes(), 2 * DEFAULT_BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn arc_device_is_usable_through_trait() {
+        let dev = Arc::new(MemDevice::new(4, 128));
+        let data = vec![9u8; 128];
+        dev.write_block(2, &data).unwrap();
+        let mut out = vec![0u8; 128];
+        BlockDevice::read_block(&dev, 2, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn file_device_round_trip() {
+        let dir = std::env::temp_dir().join(format!("hfad-dev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file_device_round_trip.img");
+        {
+            let dev = FileDevice::create(&path, 8, 512).unwrap();
+            let data = vec![0xC3u8; 512];
+            dev.write_block(5, &data).unwrap();
+            dev.flush().unwrap();
+        }
+        {
+            let dev = FileDevice::open(&path, 512).unwrap();
+            assert_eq!(dev.block_count(), 8);
+            let mut out = vec![0u8; 512];
+            dev.read_block(5, &mut out).unwrap();
+            assert!(out.iter().all(|&b| b == 0xC3));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_device_open_rejects_misaligned_length() {
+        let dir = std::env::temp_dir().join(format!("hfad-dev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("misaligned.img");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        let err = FileDevice::open(&path, 512).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_writes_to_distinct_blocks() {
+        let dev = Arc::new(MemDevice::new(STRIPE_BLOCKS * 4, 64));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let dev = Arc::clone(&dev);
+            handles.push(std::thread::spawn(move || {
+                let data = vec![t as u8; 64];
+                for i in 0..100u64 {
+                    dev.write_block(t * STRIPE_BLOCKS / 2 + i, &data).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(dev.counters().writes >= 800);
+    }
+}

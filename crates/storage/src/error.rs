@@ -1,0 +1,131 @@
+//! Error types for the storage layer.
+
+use core::fmt;
+
+/// Errors produced by block devices, allocators, caches and the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A block index was outside the device.
+    OutOfRange {
+        /// The offending block number.
+        block: u64,
+        /// Number of blocks on the device.
+        device_blocks: u64,
+    },
+    /// A buffer passed to a block read/write had the wrong length.
+    BadBufferLength {
+        /// The length the caller supplied.
+        got: usize,
+        /// The device block size.
+        expected: usize,
+    },
+    /// The allocator could not satisfy the request.
+    OutOfSpace {
+        /// Blocks requested.
+        requested: u64,
+        /// Blocks still free (possibly fragmented).
+        free: u64,
+    },
+    /// An extent passed to `free` was not previously allocated, or overlaps
+    /// a free region.
+    InvalidFree {
+        /// First block of the extent.
+        start: u64,
+        /// Length of the extent in blocks.
+        len: u64,
+    },
+    /// An allocation of zero blocks was requested.
+    ZeroAllocation,
+    /// The superblock or a journal record failed validation.
+    Corrupt(String),
+    /// An underlying I/O error (file-backed devices only).
+    Io(String),
+    /// The journal region is full and cannot accept the record.
+    JournalFull {
+        /// Bytes the record needs.
+        needed: usize,
+        /// Bytes available before wrap.
+        available: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfRange {
+                block,
+                device_blocks,
+            } => write!(
+                f,
+                "block {block} out of range (device has {device_blocks} blocks)"
+            ),
+            StorageError::BadBufferLength { got, expected } => {
+                write!(f, "buffer length {got} does not match block size {expected}")
+            }
+            StorageError::OutOfSpace { requested, free } => {
+                write!(f, "out of space: requested {requested} blocks, {free} free")
+            }
+            StorageError::InvalidFree { start, len } => {
+                write!(f, "invalid free of extent [{start}, +{len})")
+            }
+            StorageError::ZeroAllocation => write!(f, "zero-length allocation requested"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt on-disk structure: {msg}"),
+            StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StorageError::JournalFull { needed, available } => {
+                write!(f, "journal full: record needs {needed} bytes, {available} available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(err: std::io::Error) -> Self {
+        StorageError::Io(err.to_string())
+    }
+}
+
+/// Convenience alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_range() {
+        let e = StorageError::OutOfRange {
+            block: 10,
+            device_blocks: 4,
+        };
+        assert!(e.to_string().contains("block 10"));
+        assert!(e.to_string().contains("4 blocks"));
+    }
+
+    #[test]
+    fn display_out_of_space() {
+        let e = StorageError::OutOfSpace {
+            requested: 128,
+            free: 3,
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("3 free"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StorageError::ZeroAllocation, StorageError::ZeroAllocation);
+        assert_ne!(
+            StorageError::ZeroAllocation,
+            StorageError::Corrupt("x".into())
+        );
+    }
+}

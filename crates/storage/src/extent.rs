@@ -1,0 +1,131 @@
+//! Block-level extents.
+//!
+//! An [`Extent`] is a contiguous run of device blocks. The allocators hand
+//! out extents, the OSD layer maps byte ranges of objects onto them, and the
+//! B-tree stores them as values in object extent maps.
+
+/// A contiguous run of blocks on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Extent {
+    /// First block of the run.
+    pub start: u64,
+    /// Number of blocks in the run. Always non-zero for allocated extents.
+    pub len: u64,
+}
+
+impl Extent {
+    /// Creates a new extent covering `len` blocks starting at `start`.
+    pub const fn new(start: u64, len: u64) -> Self {
+        Extent { start, len }
+    }
+
+    /// Block one past the end of the extent.
+    pub const fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Returns `true` if `block` falls inside this extent.
+    pub const fn contains(&self, block: u64) -> bool {
+        block >= self.start && block < self.end()
+    }
+
+    /// Returns `true` if the two extents share at least one block.
+    pub const fn overlaps(&self, other: &Extent) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Returns `true` if `other` begins exactly where `self` ends.
+    pub const fn is_adjacent_before(&self, other: &Extent) -> bool {
+        self.end() == other.start
+    }
+
+    /// Splits the extent at `offset` blocks from its start, returning the
+    /// two halves. Returns `None` if `offset` is zero or `>= len` (no split
+    /// possible).
+    pub fn split_at(&self, offset: u64) -> Option<(Extent, Extent)> {
+        if offset == 0 || offset >= self.len {
+            return None;
+        }
+        Some((
+            Extent::new(self.start, offset),
+            Extent::new(self.start + offset, self.len - offset),
+        ))
+    }
+
+    /// Merges two adjacent extents into one. Returns `None` if they are not
+    /// adjacent (in either order).
+    pub fn merge(&self, other: &Extent) -> Option<Extent> {
+        if self.is_adjacent_before(other) {
+            Some(Extent::new(self.start, self.len + other.len))
+        } else if other.is_adjacent_before(self) {
+            Some(Extent::new(other.start, self.len + other.len))
+        } else {
+            None
+        }
+    }
+
+    /// Number of bytes covered by the extent for a given block size.
+    pub const fn byte_len(&self, block_size: usize) -> u64 {
+        self.len * block_size as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_and_contains() {
+        let e = Extent::new(10, 5);
+        assert_eq!(e.end(), 15);
+        assert!(e.contains(10));
+        assert!(e.contains(14));
+        assert!(!e.contains(15));
+        assert!(!e.contains(9));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Extent::new(0, 10);
+        let b = Extent::new(5, 10);
+        let c = Extent::new(10, 2);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn split_at_interior() {
+        let e = Extent::new(100, 8);
+        let (lo, hi) = e.split_at(3).unwrap();
+        assert_eq!(lo, Extent::new(100, 3));
+        assert_eq!(hi, Extent::new(103, 5));
+        assert_eq!(lo.merge(&hi).unwrap(), e);
+    }
+
+    #[test]
+    fn split_at_boundaries_rejected() {
+        let e = Extent::new(100, 8);
+        assert!(e.split_at(0).is_none());
+        assert!(e.split_at(8).is_none());
+        assert!(e.split_at(9).is_none());
+    }
+
+    #[test]
+    fn merge_requires_adjacency() {
+        let a = Extent::new(0, 4);
+        let b = Extent::new(4, 4);
+        let c = Extent::new(9, 4);
+        assert_eq!(a.merge(&b), Some(Extent::new(0, 8)));
+        assert_eq!(b.merge(&a), Some(Extent::new(0, 8)));
+        assert_eq!(a.merge(&c), None);
+    }
+
+    #[test]
+    fn byte_len_scales_with_block_size() {
+        let e = Extent::new(0, 3);
+        assert_eq!(e.byte_len(4096), 12288);
+        assert_eq!(e.byte_len(512), 1536);
+    }
+}

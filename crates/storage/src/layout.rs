@@ -1,0 +1,236 @@
+//! On-device layout: the superblock and region map.
+//!
+//! Both hFAD's OSD and the hierarchical baseline format their devices with
+//! the same three-region layout so that experiments compare namespace
+//! structure, not disk layout:
+//!
+//! ```text
+//! block 0          : superblock
+//! blocks 1..J      : journal (write-ahead log), optional
+//! blocks J..end    : data area managed by an allocator
+//! ```
+
+use crate::device::BlockDevice;
+use crate::error::{Result, StorageError};
+
+/// Magic number identifying an hFAD-formatted device ("hFAD2009").
+pub const SUPERBLOCK_MAGIC: u64 = 0x6846_4144_2009_0001;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The superblock stored in block 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Must equal [`SUPERBLOCK_MAGIC`].
+    pub magic: u64,
+    /// Format version, currently [`FORMAT_VERSION`].
+    pub version: u32,
+    /// Device block size recorded at format time.
+    pub block_size: u32,
+    /// Total blocks on the device at format time.
+    pub block_count: u64,
+    /// First block of the journal region (0 if no journal).
+    pub journal_start: u64,
+    /// Length of the journal region in blocks (0 if no journal).
+    pub journal_blocks: u64,
+    /// First block of the data area.
+    pub data_start: u64,
+    /// Length of the data area in blocks.
+    pub data_blocks: u64,
+}
+
+impl Superblock {
+    /// Byte length of the encoded superblock.
+    pub const ENCODED_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+
+    /// Lays out a device of `block_count` blocks with a journal of
+    /// `journal_blocks` blocks.
+    pub fn layout(block_count: u64, block_size: usize, journal_blocks: u64) -> Result<Self> {
+        let reserved = 1 + journal_blocks;
+        if block_count <= reserved {
+            return Err(StorageError::Corrupt(format!(
+                "device of {block_count} blocks too small for layout reserving {reserved}"
+            )));
+        }
+        Ok(Superblock {
+            magic: SUPERBLOCK_MAGIC,
+            version: FORMAT_VERSION,
+            block_size: block_size as u32,
+            block_count,
+            journal_start: if journal_blocks > 0 { 1 } else { 0 },
+            journal_blocks,
+            data_start: reserved,
+            data_blocks: block_count - reserved,
+        })
+    }
+
+    /// Encodes the superblock into a buffer of at least
+    /// [`ENCODED_LEN`](Self::ENCODED_LEN) bytes.
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= Self::ENCODED_LEN);
+        buf[0..8].copy_from_slice(&self.magic.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.block_size.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.block_count.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.journal_start.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.journal_blocks.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.data_start.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.data_blocks.to_le_bytes());
+    }
+
+    /// Decodes a superblock, validating magic and version.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < Self::ENCODED_LEN {
+            return Err(StorageError::Corrupt(
+                "superblock buffer too short".to_string(),
+            ));
+        }
+        let le8 = |range: std::ops::Range<usize>| {
+            u64::from_le_bytes(buf[range].try_into().expect("8-byte slice"))
+        };
+        let le4 = |range: std::ops::Range<usize>| {
+            u32::from_le_bytes(buf[range].try_into().expect("4-byte slice"))
+        };
+        let sb = Superblock {
+            magic: le8(0..8),
+            version: le4(8..12),
+            block_size: le4(12..16),
+            block_count: le8(16..24),
+            journal_start: le8(24..32),
+            journal_blocks: le8(32..40),
+            data_start: le8(40..48),
+            data_blocks: le8(48..56),
+        };
+        if sb.magic != SUPERBLOCK_MAGIC {
+            return Err(StorageError::Corrupt(format!(
+                "bad superblock magic {:#x}",
+                sb.magic
+            )));
+        }
+        if sb.version != FORMAT_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported format version {}",
+                sb.version
+            )));
+        }
+        Ok(sb)
+    }
+
+    /// Writes this superblock to block 0 of `device`.
+    pub fn write_to<D: BlockDevice>(&self, device: &D) -> Result<()> {
+        let mut block = vec![0u8; device.block_size()];
+        if device.block_size() < Self::ENCODED_LEN {
+            return Err(StorageError::Corrupt(
+                "block size too small for superblock".to_string(),
+            ));
+        }
+        self.encode(&mut block);
+        device.write_block(0, &block)?;
+        device.flush()
+    }
+
+    /// Reads and validates the superblock from block 0 of `device`.
+    pub fn read_from<D: BlockDevice>(device: &D) -> Result<Self> {
+        let mut block = vec![0u8; device.block_size()];
+        device.read_block(0, &mut block)?;
+        Self::decode(&block)
+    }
+}
+
+/// A 64-bit FNV-1a checksum used by the journal and page formats.
+///
+/// FNV-1a is not cryptographic; it detects the torn writes and stray-byte
+/// corruption the journal recovery path cares about.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    #[test]
+    fn layout_partitions_device() {
+        let sb = Superblock::layout(1000, 4096, 64).unwrap();
+        assert_eq!(sb.journal_start, 1);
+        assert_eq!(sb.journal_blocks, 64);
+        assert_eq!(sb.data_start, 65);
+        assert_eq!(sb.data_blocks, 935);
+        assert_eq!(sb.data_start + sb.data_blocks, sb.block_count);
+    }
+
+    #[test]
+    fn layout_without_journal() {
+        let sb = Superblock::layout(100, 4096, 0).unwrap();
+        assert_eq!(sb.journal_start, 0);
+        assert_eq!(sb.journal_blocks, 0);
+        assert_eq!(sb.data_start, 1);
+        assert_eq!(sb.data_blocks, 99);
+    }
+
+    #[test]
+    fn layout_rejects_tiny_device() {
+        assert!(Superblock::layout(10, 4096, 20).is_err());
+        assert!(Superblock::layout(1, 4096, 0).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let sb = Superblock::layout(5000, 4096, 128).unwrap();
+        let mut buf = vec![0u8; Superblock::ENCODED_LEN];
+        sb.encode(&mut buf);
+        let decoded = Superblock::decode(&buf).unwrap();
+        assert_eq!(decoded, sb);
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic() {
+        let sb = Superblock::layout(5000, 4096, 128).unwrap();
+        let mut buf = vec![0u8; Superblock::ENCODED_LEN];
+        sb.encode(&mut buf);
+        buf[0] ^= 0xFF;
+        assert!(matches!(
+            Superblock::decode(&buf),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn device_round_trip() {
+        let dev = MemDevice::new(256, 4096);
+        let sb = Superblock::layout(256, 4096, 16).unwrap();
+        sb.write_to(&dev).unwrap();
+        let read = Superblock::read_from(&dev).unwrap();
+        assert_eq!(read, sb);
+    }
+
+    #[test]
+    fn unformatted_device_rejected() {
+        let dev = MemDevice::new(16, 4096);
+        assert!(Superblock::read_from(&dev).is_err());
+    }
+
+    #[test]
+    fn fnv1a_known_values() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv1a_detects_single_bit_flip() {
+        let a = fnv1a(b"hello world");
+        let b = fnv1a(b"hello worle");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,16 @@
+//! # hfad-workload
+//!
+//! Synthetic corpora, vocabularies and distributions for the hFAD
+//! experiments. The paper ("Hierarchical File Systems Are Dead", HotOS
+//! 2009) publishes no traces or datasets; these generators produce
+//! deterministic, seeded workloads whose shape follows the paper's
+//! motivation — photo libraries, mail stores and mixed document corpora
+//! with Zipf-skewed term and tag popularity.
+
+pub mod corpus;
+pub mod names;
+pub mod zipf;
+
+pub use corpus::{directories, documents, mail_store, photo_library, CorpusConfig, Item};
+pub use names::{app_name, deep_path, deep_path_dirs, sentence, user_name, word, VOCABULARY};
+pub use zipf::Zipf;

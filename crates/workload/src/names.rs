@@ -1,0 +1,125 @@
+//! Vocabulary and pathname generation.
+
+use rand::Rng;
+
+/// A small English-like vocabulary used to synthesise document text, tags
+/// and file names deterministically.
+pub const VOCABULARY: &[&str] = &[
+    "storage", "system", "index", "search", "photo", "beach", "vacation", "family", "report",
+    "budget", "quarterly", "meeting", "notes", "draft", "final", "project", "kernel", "device",
+    "driver", "network", "latency", "throughput", "cache", "memory", "buffer", "thread", "lock",
+    "namespace", "directory", "hierarchy", "object", "extent", "allocator", "journal", "commit",
+    "transaction", "query", "fulltext", "tag", "metadata", "archive", "backup", "music", "video",
+    "camera", "sunset", "mountain", "city", "travel", "recipe", "garden", "invoice", "receipt",
+    "taxes", "insurance", "mortgage", "email", "inbox", "attachment", "calendar", "schedule",
+    "holiday", "birthday", "wedding", "concert", "museum", "library", "paper", "review",
+    "experiment", "benchmark", "measurement", "analysis", "figure", "table", "dataset", "sample",
+    "cluster", "server", "client", "protocol", "packet", "stream", "filesystem", "block",
+    "inode", "pathname", "lookup", "traversal", "btree", "hash", "bitmap", "segment", "log",
+    "snapshot", "replica", "mirror", "quota", "permission", "owner", "group",
+];
+
+/// Returns the `i`-th vocabulary word (wrapping around).
+pub fn word(i: usize) -> &'static str {
+    VOCABULARY[i % VOCABULARY.len()]
+}
+
+/// Generates a sentence of `len` words chosen by `pick` (a function from a
+/// word index to a vocabulary rank, usually backed by a Zipf sampler).
+pub fn sentence(len: usize, mut pick: impl FnMut() -> usize) -> String {
+    let mut out = String::new();
+    for i in 0..len {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(word(pick()));
+    }
+    out
+}
+
+/// Generates a deterministic path of the given depth, e.g.
+/// `/d0-3/d1-7/.../file-42.txt`.
+pub fn deep_path(depth: usize, seed: u64, file_index: u64) -> String {
+    let mut path = String::new();
+    for level in 0..depth {
+        path.push_str(&format!("/d{level}-{}", (seed + level as u64) % 10));
+    }
+    path.push_str(&format!("/file-{file_index}.txt"));
+    path
+}
+
+/// The directories along [`deep_path`] (useful for `mkdir -p`-style setup).
+pub fn deep_path_dirs(depth: usize, seed: u64) -> Vec<String> {
+    let mut dirs = Vec::new();
+    let mut prefix = String::new();
+    for level in 0..depth {
+        prefix.push_str(&format!("/d{level}-{}", (seed + level as u64) % 10));
+        dirs.push(prefix.clone());
+    }
+    dirs
+}
+
+/// Picks a random user name.
+pub fn user_name<R: Rng>(rng: &mut R) -> &'static str {
+    const USERS: &[&str] = &["margo", "nick", "alex", "rivka", "sam", "jo", "lee", "pat"];
+    USERS[rng.gen_range(0..USERS.len())]
+}
+
+/// Picks a random application name.
+pub fn app_name<R: Rng>(rng: &mut R) -> &'static str {
+    const APPS: &[&str] = &[
+        "photo-manager",
+        "mail-client",
+        "quicken",
+        "word-processor",
+        "music-player",
+        "web-browser",
+    ];
+    APPS[rng.gen_range(0..APPS.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn vocabulary_is_nontrivial_and_unique() {
+        assert!(VOCABULARY.len() >= 90);
+        let unique: std::collections::HashSet<_> = VOCABULARY.iter().collect();
+        assert_eq!(unique.len(), VOCABULARY.len());
+        assert_eq!(word(0), word(VOCABULARY.len()));
+    }
+
+    #[test]
+    fn sentence_has_requested_length() {
+        let mut i = 0;
+        let s = sentence(5, || {
+            i += 1;
+            i
+        });
+        assert_eq!(s.split(' ').count(), 5);
+    }
+
+    #[test]
+    fn deep_path_shape() {
+        let p = deep_path(3, 7, 42);
+        assert_eq!(p.matches('/').count(), 4);
+        assert!(p.ends_with("/file-42.txt"));
+        let dirs = deep_path_dirs(3, 7);
+        assert_eq!(dirs.len(), 3);
+        assert!(p.starts_with(&dirs[2]));
+        assert_eq!(deep_path(0, 0, 1), "/file-1.txt");
+    }
+
+    #[test]
+    fn user_and_app_names_come_from_fixed_sets() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert!(!user_name(&mut rng).is_empty());
+            assert!(!app_name(&mut rng).is_empty());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! A Zipf-distributed sampler.
+//!
+//! Desktop corpora are heavily skewed: a few tags, terms and directories
+//! are used constantly while most appear once. The workload generators use
+//! a Zipf distribution to reproduce that skew.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over the ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `theta` (`theta = 0`
+    /// is uniform; `theta ≈ 1` is classic Zipf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero; an empty distribution cannot be sampled.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf distribution needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cumulative.push(total);
+        }
+        for value in &mut cumulative {
+            *value /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns `true` if the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+        assert_eq!(z.len(), 100);
+    }
+
+    #[test]
+    fn skew_favours_low_ranks() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = 0;
+        let samples = 10_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // With theta≈1, the top 1% of ranks should receive well over 10% of
+        // the probability mass.
+        assert!(low > samples / 10, "low-rank count {low}");
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((600..1400).contains(&c), "count {c} not near uniform");
+        }
+    }
+}
