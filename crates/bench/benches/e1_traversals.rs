@@ -1,11 +1,11 @@
 //! E1: search term → data block latency at increasing path depth.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hfad_bench::setup::{build_hfad, build_hierfs};
 use hfad_core::HfadConfig;
 use hfad_hierfs::HierConfig;
 use hfad_workload::Item;
+use std::time::Duration;
 
 fn corpus(depth: usize, n: usize) -> Vec<Item> {
     (0..n)
@@ -34,16 +34,22 @@ fn bench(c: &mut Criterion) {
         let items = corpus(depth, 60);
         let term = "marker00030";
         let (hier, idx) = build_hierfs(&items, HierConfig::noatime());
-        group.bench_with_input(BenchmarkId::new("hierfs_search_read", depth), &depth, |b, _| {
-            b.iter(|| idx.search_and_read(&hier, &[term], 4096).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hierfs_search_read", depth),
+            &depth,
+            |b, _| b.iter(|| idx.search_and_read(&hier, &[term], 4096).unwrap()),
+        );
         let (hfad, _) = build_hfad(&items, HfadConfig::eager());
-        group.bench_with_input(BenchmarkId::new("hfad_search_read", depth), &depth, |b, _| {
-            b.iter(|| {
-                let hits = hfad.search_text(&[term]).unwrap();
-                hfad.read(hits[0], 0, 4096).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hfad_search_read", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let hits = hfad.search_text(&[term]).unwrap();
+                    hfad.read(hits[0], 0, 4096).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -2,12 +2,12 @@
 
 use std::sync::Arc;
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hfad_bench::setup::{build_hfad, build_hierfs};
 use hfad_core::{HfadConfig, TagValue};
 use hfad_hierfs::HierConfig;
 use hfad_workload::Item;
+use std::time::Duration;
 
 fn corpus() -> Vec<Item> {
     let mut items = Vec::new();
@@ -36,44 +36,52 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(900));
     for threads in [2usize, 8] {
-        group.bench_with_input(BenchmarkId::new("hierfs_atime_stat", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let handles: Vec<_> = (0..t)
-                    .map(|w| {
-                        let hier = Arc::clone(&hier);
-                        std::thread::spawn(move || {
-                            let user = if w % 2 == 0 { "nick" } else { "margo" };
-                            for i in 0..50 {
-                                hier.stat(&format!("/home/{user}/file-{i:04}.txt")).unwrap();
-                            }
+        group.bench_with_input(
+            BenchmarkId::new("hierfs_atime_stat", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let handles: Vec<_> = (0..t)
+                        .map(|w| {
+                            let hier = Arc::clone(&hier);
+                            std::thread::spawn(move || {
+                                let user = if w % 2 == 0 { "nick" } else { "margo" };
+                                for i in 0..50 {
+                                    hier.stat(&format!("/home/{user}/file-{i:04}.txt")).unwrap();
+                                }
+                            })
                         })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().unwrap();
-                }
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("hfad_lookup_meta", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let handles: Vec<_> = (0..t)
-                    .map(|w| {
-                        let hfad = Arc::clone(&hfad);
-                        std::thread::spawn(move || {
-                            let user = if w % 2 == 0 { "nick" } else { "margo" };
-                            for i in 0..50 {
-                                let path = format!("/home/{user}/file-{i:04}.txt");
-                                let hits = hfad.lookup(&[TagValue::posix(path)]).unwrap();
-                                hfad.meta(hits[0]).unwrap();
-                            }
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hfad_lookup_meta", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let handles: Vec<_> = (0..t)
+                        .map(|w| {
+                            let hfad = Arc::clone(&hfad);
+                            std::thread::spawn(move || {
+                                let user = if w % 2 == 0 { "nick" } else { "margo" };
+                                for i in 0..50 {
+                                    let path = format!("/home/{user}/file-{i:04}.txt");
+                                    let hits = hfad.lookup(&[TagValue::posix(path)]).unwrap();
+                                    hfad.meta(hits[0]).unwrap();
+                                }
+                            })
                         })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().unwrap();
-                }
-            })
-        });
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

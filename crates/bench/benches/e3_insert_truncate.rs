@@ -1,10 +1,10 @@
 //! E3: mid-file insert — extent splice vs read-modify-rewrite.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hfad_bench::setup::build_hierfs;
 use hfad_core::{Hfad, HfadConfig};
 use hfad_hierfs::HierConfig;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_insert_truncate");
@@ -18,12 +18,17 @@ fn bench(c: &mut Criterion) {
         let fs = Hfad::in_memory(256 * 1024 * 1024, HfadConfig::eager()).unwrap();
         let oid = fs.create(&[]).unwrap();
         fs.write(oid, 0, &body).unwrap();
-        group.bench_with_input(BenchmarkId::new("hfad_insert_mid", size_kib), &size_kib, |b, _| {
-            b.iter(|| {
-                fs.insert(oid, size_kib * 512, &payload).unwrap();
-                fs.truncate_range(oid, size_kib * 512, payload.len() as u64).unwrap();
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("hfad_insert_mid", size_kib),
+            &size_kib,
+            |b, _| {
+                b.iter(|| {
+                    fs.insert(oid, size_kib * 512, &payload).unwrap();
+                    fs.truncate_range(oid, size_kib * 512, payload.len() as u64)
+                        .unwrap();
+                })
+            },
+        );
 
         let (hier, _) = build_hierfs(&[], HierConfig::noatime());
         hier.create_file("/victim").unwrap();
@@ -33,7 +38,8 @@ fn bench(c: &mut Criterion) {
             &size_kib,
             |b, _| {
                 b.iter(|| {
-                    hier.insert_via_rewrite("/victim", size_kib * 512, &payload).unwrap();
+                    hier.insert_via_rewrite("/victim", size_kib * 512, &payload)
+                        .unwrap();
                     hier.remove_range_via_rewrite("/victim", size_kib * 512, payload.len() as u64)
                         .unwrap();
                 })

@@ -1,10 +1,10 @@
 //! E4: full-text query latency and ingest throughput.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hfad_bench::setup::build_hfad;
 use hfad_core::HfadConfig;
 use hfad_workload::mail_store;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_fulltext");

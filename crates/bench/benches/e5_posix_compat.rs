@@ -1,11 +1,11 @@
 //! E5: POSIX metadata operations — veneer vs hierarchical baseline.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use hfad_bench::setup::{build_hierfs, build_posix};
 use hfad_core::HfadConfig;
 use hfad_hierfs::HierConfig;
 use hfad_workload::{documents, CorpusConfig};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let items = documents(&CorpusConfig {
@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(900));
-    group.bench_function("posix_veneer_stat", |b| b.iter(|| posix.stat(&probe).unwrap()));
+    group.bench_function("posix_veneer_stat", |b| {
+        b.iter(|| posix.stat(&probe).unwrap())
+    });
     group.bench_function("hierfs_stat", |b| b.iter(|| hier.stat(&probe).unwrap()));
     group.bench_function("posix_veneer_readdir", |b| {
         b.iter(|| posix.readdir(&probe_dir).unwrap())

@@ -2,11 +2,11 @@
 
 use std::sync::Arc;
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hfad_core::{Hfad, HfadConfig};
 use hfad_osd::{AllocatorKind, ObjectStore, StoreConfig};
 use hfad_storage::MemDevice;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_ablation");

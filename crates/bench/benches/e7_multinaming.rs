@@ -1,10 +1,10 @@
 //! E7: one object in N collections — tags vs copies.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hfad_bench::setup::build_hierfs;
 use hfad_core::{Hfad, HfadConfig, TagValue};
 use hfad_hierfs::HierConfig;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_multinaming");
@@ -19,7 +19,8 @@ fn bench(c: &mut Criterion) {
                 let oid = fs.create(&[]).unwrap();
                 fs.write(oid, 0, &body).unwrap();
                 for c in 0..n {
-                    fs.add_tags(oid, &[TagValue::udef(format!("collection-{c}"))]).unwrap();
+                    fs.add_tags(oid, &[TagValue::udef(format!("collection-{c}"))])
+                        .unwrap();
                 }
             })
         });

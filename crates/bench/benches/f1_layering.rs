@@ -1,12 +1,12 @@
 //! F1: layering overhead — native hFAD naming vs the POSIX veneer vs the
 //! hierarchical baseline for a path lookup + 4 KiB read.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use hfad_bench::setup::{build_hfad, build_hierfs, build_posix};
 use hfad_core::{HfadConfig, TagValue};
 use hfad_hierfs::HierConfig;
 use hfad_workload::{documents, CorpusConfig};
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let items = documents(&CorpusConfig {

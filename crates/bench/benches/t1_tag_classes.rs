@@ -1,10 +1,10 @@
 //! T1: lookup latency for every tag class of Table 1.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use hfad_bench::setup::build_hfad;
 use hfad_core::{HfadConfig, Tag, TagValue};
 use hfad_workload::photo_library;
+use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let items = photo_library(500, 11);
@@ -22,7 +22,10 @@ fn bench(c: &mut Criterion) {
         ("udef", TagValue::udef("beach")),
         ("user", TagValue::user("margo")),
         ("app", TagValue::app("photo-manager")),
-        ("id_fastpath", TagValue::new(Tag::Id, probe_oid.as_u64().to_string())),
+        (
+            "id_fastpath",
+            TagValue::new(Tag::Id, probe_oid.as_u64().to_string()),
+        ),
     ];
     for (name, tv) in cases {
         group.bench_function(name, |b| {

@@ -213,7 +213,9 @@ pub fn e1_traversals(scale: Scale) -> Table {
         // inode → extent map → data.
         let (hier, hier_index) = build_hierfs(&items, HierConfig::noatime());
         // Warm the probe once, then count.
-        hier_index.search_and_read(&hier, &[&probe_term], 4096).unwrap();
+        hier_index
+            .search_and_read(&hier, &[&probe_term], 4096)
+            .unwrap();
         let trav_before = hier.counters();
         let dev_before = hier.device_counters();
         let hier_lat = mean_latency(iters, || {
@@ -381,7 +383,13 @@ pub fn e2_concurrency(scale: Scale) -> Table {
 pub fn e3_insert_truncate(scale: Scale) -> Table {
     let sizes: &[u64] = match scale {
         Scale::Quick => &[64 * 1024, 256 * 1024, 1024 * 1024],
-        Scale::Full => &[64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024, 16 * 1024 * 1024],
+        Scale::Full => &[
+            64 * 1024,
+            256 * 1024,
+            1024 * 1024,
+            4 * 1024 * 1024,
+            16 * 1024 * 1024,
+        ],
     };
     let iters = scale.pick(5, 20);
     let payload = vec![0xA5u8; 4096];
@@ -405,7 +413,8 @@ pub fn e3_insert_truncate(scale: Scale) -> Table {
             fs.insert(oid, size / 2, &payload).unwrap();
         });
         let truncate_lat = mean_latency(iters, || {
-            fs.truncate_range(oid, size / 2, payload.len() as u64).unwrap();
+            fs.truncate_range(oid, size / 2, payload.len() as u64)
+                .unwrap();
         });
 
         // Baseline: read tail, rewrite shifted.
@@ -413,7 +422,8 @@ pub fn e3_insert_truncate(scale: Scale) -> Table {
         hier.create_file("/victim").unwrap();
         hier.write("/victim", 0, &body).unwrap();
         let hier_insert_lat = mean_latency(iters, || {
-            hier.insert_via_rewrite("/victim", size / 2, &payload).unwrap();
+            hier.insert_via_rewrite("/victim", size / 2, &payload)
+                .unwrap();
         });
         let hier_truncate_lat = mean_latency(iters, || {
             hier.remove_range_via_rewrite("/victim", size / 2, payload.len() as u64)
@@ -485,16 +495,8 @@ pub fn e4_fulltext(scale: Scale) -> Table {
             "eager ingest docs/s".into(),
             ops_per_sec(n as u64, eager_elapsed),
         ]);
-        table.push_row(vec![
-            n.to_string(),
-            "1-term query µs".into(),
-            us(q1),
-        ]);
-        table.push_row(vec![
-            n.to_string(),
-            "3-term conjunction µs".into(),
-            us(q3),
-        ]);
+        table.push_row(vec![n.to_string(), "1-term query µs".into(), us(q1)]);
+        table.push_row(vec![n.to_string(), "3-term conjunction µs".into(), us(q3)]);
 
         // Lazy ingest: enqueue everything, then measure time to drain.
         let (lazy_fs, lazy_elapsed) = time(|| {
@@ -530,13 +532,19 @@ pub fn e5_posix_compat(scale: Scale) -> Table {
         &["operation", "count", "posix-veneer ops/s", "hierfs ops/s"],
     );
 
-    let hfad = Arc::new(Hfad::in_memory(crate::setup::DEFAULT_CAPACITY, HfadConfig::eager()).unwrap());
+    let hfad =
+        Arc::new(Hfad::in_memory(crate::setup::DEFAULT_CAPACITY, HfadConfig::eager()).unwrap());
     let posix = hfad_posix::PosixFs::new(hfad).unwrap();
     let (hier, _) = build_hierfs(&[], HierConfig::default());
 
     let paths: Vec<(String, String)> = (0..dirs)
         .flat_map(|d| {
-            (0..files_per_dir).map(move |f| (format!("/work/dir{d:03}"), format!("/work/dir{d:03}/file{f:03}")))
+            (0..files_per_dir).map(move |f| {
+                (
+                    format!("/work/dir{d:03}"),
+                    format!("/work/dir{d:03}/file{f:03}"),
+                )
+            })
         })
         .collect();
 
@@ -772,7 +780,9 @@ pub fn e6_ablation(scale: Scale) -> Table {
         let oid = plain.create_default(0).unwrap();
         let (_, plain_elapsed) = time(|| {
             for i in 0..objects {
-                plain.write(oid, (i * 4096) as u64 % (1 << 20), &body[..4096]).unwrap();
+                plain
+                    .write(oid, (i * 4096) as u64 % (1 << 20), &body[..4096])
+                    .unwrap();
             }
         });
 
@@ -792,7 +802,8 @@ pub fn e6_ablation(scale: Scale) -> Table {
         let (_, txn_elapsed) = time(|| {
             for i in 0..objects {
                 let mut txn = txn_store.begin();
-                txn.write(oid, (i * 4096) as u64 % (1 << 20), &body[..4096]).unwrap();
+                txn.write(oid, (i * 4096) as u64 % (1 << 20), &body[..4096])
+                    .unwrap();
                 txn.commit().unwrap();
                 if i % 64 == 63 {
                     txn_store.checkpoint().unwrap();

@@ -94,9 +94,6 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(us(std::time::Duration::from_micros(1500)), "1500.00");
-        assert_eq!(
-            ops_per_sec(1000, std::time::Duration::from_secs(2)),
-            "500"
-        );
+        assert_eq!(ops_per_sec(1000, std::time::Duration::from_secs(2)), "500");
     }
 }

@@ -130,7 +130,10 @@ mod tests {
             .unwrap()
             .map(|e| e.unwrap())
             .collect();
-        let keys: Vec<_> = entries.iter().map(|(k, _)| String::from_utf8_lossy(k).to_string()).collect();
+        let keys: Vec<_> = entries
+            .iter()
+            .map(|(k, _)| String::from_utf8_lossy(k).to_string())
+            .collect();
         assert_eq!(keys, vec!["k00010", "k00011", "k00012", "k00013", "k00014"]);
     }
 

@@ -68,7 +68,8 @@ impl LeafNode {
 
     /// Index of `key` if present, or the insertion position.
     pub fn search(&self, key: &[u8]) -> std::result::Result<usize, usize> {
-        self.entries.binary_search_by(|(k, _)| k.as_slice().cmp(key))
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
     }
 }
 

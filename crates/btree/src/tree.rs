@@ -556,8 +556,11 @@ mod tests {
         {
             let mut tree = BTree::create(context.clone()).unwrap();
             for i in 0..200u32 {
-                tree.insert(format!("key{i:04}").as_bytes(), format!("val{i}").as_bytes())
-                    .unwrap();
+                tree.insert(
+                    format!("key{i:04}").as_bytes(),
+                    format!("val{i}").as_bytes(),
+                )
+                .unwrap();
             }
             root = tree.root_page();
         }

@@ -97,7 +97,10 @@ mod tests {
         let fs = fs();
         let oid = fs.create(&[TagValue::posix("/data/blob")]).unwrap();
         fs.write(oid, 0, b"some opaque application bytes").unwrap();
-        assert_eq!(fs.read_all(oid).unwrap(), b"some opaque application bytes".to_vec());
+        assert_eq!(
+            fs.read_all(oid).unwrap(),
+            b"some opaque application bytes".to_vec()
+        );
         assert_eq!(fs.read(oid, 5, 6).unwrap(), b"opaque".to_vec());
         assert_eq!(fs.len(oid).unwrap(), 29);
     }
@@ -108,7 +111,10 @@ mod tests {
         let oid = fs.create(&[]).unwrap();
         fs.write(oid, 0, b"hierarchical systems").unwrap();
         fs.insert(oid, 13, b"file ").unwrap();
-        assert_eq!(fs.read_all(oid).unwrap(), b"hierarchical file systems".to_vec());
+        assert_eq!(
+            fs.read_all(oid).unwrap(),
+            b"hierarchical file systems".to_vec()
+        );
         fs.truncate_range(oid, 0, 13).unwrap();
         assert_eq!(fs.read_all(oid).unwrap(), b"file systems".to_vec());
         fs.truncate(oid, 4).unwrap();

@@ -2,6 +2,7 @@
 
 use core::fmt;
 
+use hfad_btree::BTreeError;
 use hfad_index::IndexError;
 use hfad_osd::OsdError;
 use hfad_storage::StorageError;
@@ -13,6 +14,8 @@ pub enum HfadError {
     Osd(OsdError),
     /// Error from an index store or query.
     Index(IndexError),
+    /// Error from the B-tree substrate.
+    Btree(BTreeError),
     /// Error from the storage substrate.
     Storage(StorageError),
     /// A naming operation matched no object when exactly one was required.
@@ -28,6 +31,7 @@ impl fmt::Display for HfadError {
         match self {
             HfadError::Osd(e) => write!(f, "osd error: {e}"),
             HfadError::Index(e) => write!(f, "index error: {e}"),
+            HfadError::Btree(e) => write!(f, "b-tree error: {e}"),
             HfadError::Storage(e) => write!(f, "storage error: {e}"),
             HfadError::NotFound(name) => write!(f, "no object named by {name}"),
             HfadError::InvalidIdValue(v) => write!(f, "not a valid object id: {v}"),
@@ -50,6 +54,12 @@ impl From<IndexError> for HfadError {
     }
 }
 
+impl From<BTreeError> for HfadError {
+    fn from(e: BTreeError) -> Self {
+        HfadError::Btree(e)
+    }
+}
+
 impl From<StorageError> for HfadError {
     fn from(e: StorageError) -> Self {
         HfadError::Storage(e)
@@ -65,12 +75,19 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(HfadError::NotFound("POSIX//x".into()).to_string().contains("POSIX//x"));
-        assert!(HfadError::InvalidIdValue("abc".into()).to_string().contains("abc"));
+        assert!(HfadError::NotFound("POSIX//x".into())
+            .to_string()
+            .contains("POSIX//x"));
+        assert!(HfadError::InvalidIdValue("abc".into())
+            .to_string()
+            .contains("abc"));
         let e: HfadError = OsdError::NoSuchObject(1).into();
         assert!(matches!(e, HfadError::Osd(_)));
         let e: HfadError = IndexError::IndexerStopped.into();
         assert!(matches!(e, HfadError::Index(_)));
+        let e: HfadError = BTreeError::EmptyKey.into();
+        assert!(e.to_string().contains("b-tree"));
+        assert!(matches!(e, HfadError::Btree(_)));
         let e: HfadError = StorageError::ZeroAllocation.into();
         assert!(matches!(e, HfadError::Storage(_)));
     }

@@ -60,10 +60,9 @@ impl Hfad {
         registry.register(Arc::clone(&keyvalue) as Arc<dyn IndexStore>);
         registry.register(Arc::clone(&fulltext) as Arc<dyn IndexStore>);
         let lazy = match config.indexing {
-            IndexingMode::Lazy => Some(LazyIndexer::new(
-                Arc::clone(&fulltext),
-                config.lazy_workers,
-            )),
+            IndexingMode::Lazy => {
+                Some(LazyIndexer::new(Arc::clone(&fulltext), config.lazy_workers))
+            }
             IndexingMode::Eager => None,
         };
         Ok(Hfad {

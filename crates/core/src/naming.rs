@@ -213,16 +213,17 @@ mod tests {
             fs.lookup(&[TagValue::new(Tag::Id, "xyz")]),
             Err(HfadError::InvalidIdValue(_))
         ));
-        assert!(fs
-            .lookup(&[TagValue::new(Tag::Id, "99999")])
-            .is_err());
+        assert!(fs.lookup(&[TagValue::new(Tag::Id, "99999")]).is_err());
     }
 
     #[test]
     fn lookup_one_and_not_found() {
         let fs = fs();
         let oid = fs.create(&[TagValue::posix("/etc/passwd")]).unwrap();
-        assert_eq!(fs.lookup_one(&[TagValue::posix("/etc/passwd")]).unwrap(), oid);
+        assert_eq!(
+            fs.lookup_one(&[TagValue::posix("/etc/passwd")]).unwrap(),
+            oid
+        );
         assert!(matches!(
             fs.lookup_one(&[TagValue::posix("/etc/shadow")]),
             Err(HfadError::NotFound(_))
@@ -245,7 +246,10 @@ mod tests {
                 b"memo about the holiday schedule",
             )
             .unwrap();
-        assert_eq!(fs.search_text(&["storage", "report"]).unwrap(), vec![report]);
+        assert_eq!(
+            fs.search_text(&["storage", "report"]).unwrap(),
+            vec![report]
+        );
         assert!(fs.search_text(&["storage", "holiday"]).unwrap().is_empty());
         assert!(matches!(fs.search_text(&[]), Err(HfadError::EmptyName)));
     }
@@ -271,7 +275,10 @@ mod tests {
             )
             .unwrap();
         fs.delete(oid).unwrap();
-        assert!(fs.lookup(&[TagValue::posix("/tmp/scratch")]).unwrap().is_empty());
+        assert!(fs
+            .lookup(&[TagValue::posix("/tmp/scratch")])
+            .unwrap()
+            .is_empty());
         assert!(fs.lookup(&[TagValue::udef("temp")]).unwrap().is_empty());
         assert!(fs.search_text(&["scratch"]).unwrap().is_empty());
         assert!(fs.meta(oid).is_err());

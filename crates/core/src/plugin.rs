@@ -82,12 +82,7 @@ impl IndexStore for AttributeIndex {
 
     fn lookup(&self, _tag: &Tag, value: &str) -> IndexResult<Vec<ObjectId>> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        Ok(self
-            .postings
-            .read()
-            .get(value)
-            .cloned()
-            .unwrap_or_default())
+        Ok(self.postings.read().get(value).cloned().unwrap_or_default())
     }
 
     fn remove_object(&self, oid: ObjectId) -> IndexResult<()> {
@@ -108,12 +103,7 @@ impl IndexStore for AttributeIndex {
     }
 
     fn stats(&self) -> IndexStats {
-        let postings = self
-            .postings
-            .read()
-            .values()
-            .map(|v| v.len() as u64)
-            .sum();
+        let postings = self.postings.read().values().map(|v| v.len() as u64).sum();
         IndexStats {
             postings,
             inserts: self.inserts.load(Ordering::Relaxed),
@@ -139,9 +129,12 @@ mod tests {
         let idx = AttributeIndex::new("IMAGE");
         assert!(idx.handles(&Tag::Custom("IMAGE".into())));
         assert!(!idx.handles(&Tag::Posix));
-        idx.insert(&idx.tag().clone(), "640x480", ObjectId(1)).unwrap();
-        idx.insert(&idx.tag().clone(), "640x480", ObjectId(2)).unwrap();
-        idx.insert(&idx.tag().clone(), "1920x1080", ObjectId(3)).unwrap();
+        idx.insert(&idx.tag().clone(), "640x480", ObjectId(1))
+            .unwrap();
+        idx.insert(&idx.tag().clone(), "640x480", ObjectId(2))
+            .unwrap();
+        idx.insert(&idx.tag().clone(), "1920x1080", ObjectId(3))
+            .unwrap();
         assert_eq!(
             idx.lookup(&idx.tag().clone(), "640x480").unwrap(),
             vec![ObjectId(1), ObjectId(2)]
@@ -168,7 +161,8 @@ mod tests {
             .unwrap();
         // The plug-in resolves its namespace…
         assert_eq!(
-            fs.lookup(&[TagValue::new(image_tag.clone(), "1920x1080")]).unwrap(),
+            fs.lookup(&[TagValue::new(image_tag.clone(), "1920x1080")])
+                .unwrap(),
             vec![photo]
         );
         // …and composes with built-in tags in a conjunction.

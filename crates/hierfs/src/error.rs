@@ -74,8 +74,12 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        assert!(HierError::NotFound("/a/b".into()).to_string().contains("/a/b"));
-        assert!(HierError::DirectoryNotEmpty("/d".into()).to_string().contains("not empty"));
+        assert!(HierError::NotFound("/a/b".into())
+            .to_string()
+            .contains("/a/b"));
+        assert!(HierError::DirectoryNotEmpty("/d".into())
+            .to_string()
+            .contains("not empty"));
         let e: HierError = BTreeError::EmptyKey.into();
         assert!(matches!(e, HierError::BTree(_)));
         let e: HierError = OsdError::NoSuchObject(2).into();

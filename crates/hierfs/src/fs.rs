@@ -256,11 +256,7 @@ impl HierFs {
 
     /// Mutates a directory's entry tree under its write lock, persisting a
     /// changed root page and entry count back to the inode table.
-    fn with_dir_mut<R>(
-        &self,
-        dir_ino: u64,
-        f: impl FnOnce(&mut BTree) -> Result<R>,
-    ) -> Result<R> {
+    fn with_dir_mut<R>(&self, dir_ino: u64, f: impl FnOnce(&mut BTree) -> Result<R>) -> Result<R> {
         let mut inode = self.load_inode(dir_ino)?;
         let root = self.dir_root(&inode, "<dir>")?;
         let mut tree = BTree::open(self.ctx.clone(), root);
@@ -430,8 +426,7 @@ impl HierFs {
         let size = self.store.len(oid)?;
         let tail = self.store.read(oid, offset, size - offset)?;
         self.store.write(oid, offset, data)?;
-        self.store
-            .write(oid, offset + data.len() as u64, &tail)?;
+        self.store.write(oid, offset + data.len() as u64, &tail)?;
         let mut inode = inode;
         inode.size = self.store.len(oid)?;
         inode.mtime = unix_now();
@@ -621,7 +616,10 @@ mod tests {
             fs.read_all("/home/margo/mail.mbox").unwrap(),
             b"From: nick\nSubject: hi\n".to_vec()
         );
-        assert_eq!(fs.read("/home/margo/mail.mbox", 6, 4).unwrap(), b"nick".to_vec());
+        assert_eq!(
+            fs.read("/home/margo/mail.mbox", 6, 4).unwrap(),
+            b"nick".to_vec()
+        );
         let st = fs.stat("/home/margo/mail.mbox").unwrap();
         assert!(!st.is_dir());
         assert_eq!(st.size, 23);

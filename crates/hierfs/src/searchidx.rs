@@ -144,8 +144,12 @@ mod tests {
         )
         .unwrap();
         fs.create_file("/home/nick/notes.txt").unwrap();
-        fs.write("/home/nick/notes.txt", 0, b"notes about file systems and btrees")
-            .unwrap();
+        fs.write(
+            "/home/nick/notes.txt",
+            0,
+            b"notes about file systems and btrees",
+        )
+        .unwrap();
         let idx = SearchIndex::new(&fs).unwrap();
         idx.index_file(&fs, "/home/margo/paper.txt").unwrap();
         idx.index_file(&fs, "/home/nick/notes.txt").unwrap();

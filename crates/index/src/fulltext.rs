@@ -227,7 +227,8 @@ mod tests {
             .unwrap();
         idx.index_document(ObjectId(2), "nick beach workshop photo")
             .unwrap();
-        idx.index_document(ObjectId(3), "margo workshop slides").unwrap();
+        idx.index_document(ObjectId(3), "margo workshop slides")
+            .unwrap();
         assert_eq!(
             idx.query_all(&["beach", "photo"]).unwrap(),
             vec![ObjectId(1), ObjectId(2)]
@@ -268,7 +269,10 @@ mod tests {
         let idx = index();
         idx.insert(&Tag::FullText, "annual report 2009", ObjectId(5))
             .unwrap();
-        assert_eq!(idx.lookup(&Tag::FullText, "report").unwrap(), vec![ObjectId(5)]);
+        assert_eq!(
+            idx.lookup(&Tag::FullText, "report").unwrap(),
+            vec![ObjectId(5)]
+        );
         assert_eq!(
             idx.lookup(&Tag::FullText, "annual 2009").unwrap(),
             vec![ObjectId(5)]

@@ -137,7 +137,9 @@ impl IndexStore for KeyValueIndex {
         let shard = self.shard_for(tag, value);
         let fresh = {
             let mut forward = shard.forward.write();
-            forward.insert(&forward_key(tag, value, oid), &[])?.is_none()
+            forward
+                .insert(&forward_key(tag, value, oid), &[])?
+                .is_none()
         };
         {
             let mut reverse = shard.reverse.write();
@@ -311,10 +313,7 @@ mod tests {
         idx.insert(&Tag::App, "quicken", ObjectId(1)).unwrap();
         idx.insert(&Tag::App, "quicken", ObjectId(2)).unwrap();
         idx.remove(&Tag::App, "quicken", ObjectId(1)).unwrap();
-        assert_eq!(
-            idx.lookup(&Tag::App, "quicken").unwrap(),
-            vec![ObjectId(2)]
-        );
+        assert_eq!(idx.lookup(&Tag::App, "quicken").unwrap(), vec![ObjectId(2)]);
         // Removing a missing posting is a no-op.
         idx.remove(&Tag::App, "quicken", ObjectId(42)).unwrap();
         assert_eq!(idx.stats().postings, 1);
@@ -402,8 +401,12 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..50u64 {
                     let oid = ObjectId(t * 1000 + i);
-                    idx.insert(&Tag::Udef, &format!("tag-{t}-{i}"), oid).unwrap();
-                    assert_eq!(idx.lookup(&Tag::Udef, &format!("tag-{t}-{i}")).unwrap(), vec![oid]);
+                    idx.insert(&Tag::Udef, &format!("tag-{t}-{i}"), oid)
+                        .unwrap();
+                    assert_eq!(
+                        idx.lookup(&Tag::Udef, &format!("tag-{t}-{i}")).unwrap(),
+                        vec![oid]
+                    );
                 }
             }));
         }
@@ -416,7 +419,8 @@ mod tests {
     #[test]
     fn unicode_values_round_trip() {
         let idx = index();
-        idx.insert(&Tag::Udef, "семейные фото ☀", ObjectId(11)).unwrap();
+        idx.insert(&Tag::Udef, "семейные фото ☀", ObjectId(11))
+            .unwrap();
         assert_eq!(
             idx.lookup(&Tag::Udef, "семейные фото ☀").unwrap(),
             vec![ObjectId(11)]

@@ -248,7 +248,9 @@ mod tests {
         // After drop, the document may or may not be indexed depending on
         // scheduling, but the process must not hang or crash. Give the
         // absent case a definitive check by re-indexing synchronously.
-        index.index_document(ObjectId(10), "cleanup finished").unwrap();
+        index
+            .index_document(ObjectId(10), "cleanup finished")
+            .unwrap();
         assert!(!index.lookup_term("cleanup").unwrap().is_empty());
     }
 }

@@ -61,9 +61,7 @@ impl Query {
         match self {
             Query::Term(_) => 1,
             Query::And(qs) | Query::Or(qs) => qs.iter().map(Query::term_count).sum(),
-            Query::AndNot { positive, negative } => {
-                positive.term_count() + negative.term_count()
-            }
+            Query::AndNot { positive, negative } => positive.term_count() + negative.term_count(),
         }
     }
 
@@ -160,10 +158,7 @@ mod tests {
     #[test]
     fn conjunction_matches_paper_semantics() {
         let r = registry();
-        let q = Query::conjunction(vec![
-            TagValue::udef("beach"),
-            TagValue::user("margo"),
-        ]);
+        let q = Query::conjunction(vec![TagValue::udef("beach"), TagValue::user("margo")]);
         assert_eq!(q.evaluate(&r).unwrap(), vec![ObjectId(1)]);
         // No query need uniquely define a data item: broader conjunctions
         // return multiple objects.

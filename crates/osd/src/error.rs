@@ -75,7 +75,9 @@ mod tests {
             len: 5,
         };
         assert!(e.to_string().contains("[20, +5)"));
-        assert!(OsdError::TransactionClosed.to_string().contains("committed"));
+        assert!(OsdError::TransactionClosed
+            .to_string()
+            .contains("committed"));
     }
 
     #[test]

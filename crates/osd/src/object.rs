@@ -364,7 +364,11 @@ impl Object {
             if hi <= lo {
                 continue;
             }
-            self.write_extent_data(&value, lo - start, &data[(lo - offset) as usize..(hi - offset) as usize])?;
+            self.write_extent_data(
+                &value,
+                lo - start,
+                &data[(lo - offset) as usize..(hi - offset) as usize],
+            )?;
             covered.push((lo, hi));
         }
         covered.sort_unstable();
@@ -372,7 +376,10 @@ impl Object {
         let mut cursor = offset;
         for (lo, hi) in &covered {
             if *lo > cursor {
-                self.add_data_extents(cursor, &data[(cursor - offset) as usize..(lo - offset) as usize])?;
+                self.add_data_extents(
+                    cursor,
+                    &data[(cursor - offset) as usize..(lo - offset) as usize],
+                )?;
             }
             cursor = cursor.max(*hi);
         }
@@ -508,7 +515,13 @@ mod tests {
         let device = Arc::new(MemDevice::new(16384, 512));
         let allocator = Arc::new(BuddyAllocator::new(1, 16383));
         let ctx = TreeContext::new(device, allocator);
-        Object::create(ObjectId(1), ctx, ObjectMeta::new(0, 0, 0o644, 1), max_extent).unwrap()
+        Object::create(
+            ObjectId(1),
+            ctx,
+            ObjectMeta::new(0, 0, 0o644, 1),
+            max_extent,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -584,7 +597,10 @@ mod tests {
         obj.write(0, b"middle").unwrap();
         obj.insert(0, b"start-").unwrap();
         obj.insert(obj.len(), b"-end").unwrap();
-        assert_eq!(obj.read(0, obj.len()).unwrap(), b"start-middle-end".to_vec());
+        assert_eq!(
+            obj.read(0, obj.len()).unwrap(),
+            b"start-middle-end".to_vec()
+        );
     }
 
     #[test]
@@ -665,7 +681,10 @@ mod tests {
         let device = Arc::new(MemDevice::new(16384, 512));
         let allocator = Arc::new(BuddyAllocator::new(1, 16383));
         let free_before = allocator.stats().free_blocks;
-        let ctx = TreeContext::new(device, Arc::clone(&allocator) as Arc<dyn hfad_storage::Allocator>);
+        let ctx = TreeContext::new(
+            device,
+            Arc::clone(&allocator) as Arc<dyn hfad_storage::Allocator>,
+        );
         let mut obj =
             Object::create(ObjectId(9), ctx, ObjectMeta::new(0, 0, 0o644, 1), 256).unwrap();
         obj.write(0, &vec![7u8; 5000]).unwrap();

@@ -371,10 +371,7 @@ mod tests {
         let allocated = s.stats().allocator.allocated_blocks;
         s.delete(oid).unwrap();
         assert!(s.stats().allocator.allocated_blocks < allocated);
-        assert!(matches!(
-            s.read(oid, 0, 1),
-            Err(OsdError::NoSuchObject(_))
-        ));
+        assert!(matches!(s.read(oid, 0, 1), Err(OsdError::NoSuchObject(_))));
         assert_eq!(s.object_count(), 0);
     }
 

@@ -113,9 +113,7 @@ impl TxnOp {
         match self {
             TxnOp::Write { oid, offset, data } => store.write(*oid, *offset, data),
             TxnOp::Insert { oid, offset, data } => store.insert(*oid, *offset, data),
-            TxnOp::TruncateRange { oid, offset, len } => {
-                store.truncate_range(*oid, *offset, *len)
-            }
+            TxnOp::TruncateRange { oid, offset, len } => store.truncate_range(*oid, *offset, *len),
         }
     }
 }

@@ -319,10 +319,7 @@ impl PosixFs {
         self.fs.remove_tag(oid, &parent_tag(), &from_parent)?;
         self.fs.add_tags(
             oid,
-            &[
-                TagValue::posix(to),
-                TagValue::new(parent_tag(), to_parent),
-            ],
+            &[TagValue::posix(to), TagValue::new(parent_tag(), to_parent)],
         )?;
         Ok(())
     }
@@ -353,9 +350,16 @@ mod tests {
         p.mkdir("/home").unwrap();
         p.mkdir("/home/margo").unwrap();
         p.create("/home/margo/mail.mbox").unwrap();
-        p.write("/home/margo/mail.mbox", 0, b"Subject: hFAD\n").unwrap();
-        assert_eq!(p.read_all("/home/margo/mail.mbox").unwrap(), b"Subject: hFAD\n".to_vec());
-        assert_eq!(p.read("/home/margo/mail.mbox", 9, 4).unwrap(), b"hFAD".to_vec());
+        p.write("/home/margo/mail.mbox", 0, b"Subject: hFAD\n")
+            .unwrap();
+        assert_eq!(
+            p.read_all("/home/margo/mail.mbox").unwrap(),
+            b"Subject: hFAD\n".to_vec()
+        );
+        assert_eq!(
+            p.read("/home/margo/mail.mbox", 9, 4).unwrap(),
+            b"hFAD".to_vec()
+        );
         let st = p.stat("/home/margo/mail.mbox").unwrap();
         assert!(!st.is_dir);
         assert_eq!(st.size, 14);
@@ -388,13 +392,22 @@ mod tests {
     #[test]
     fn missing_parent_and_duplicates_rejected() {
         let p = posix();
-        assert!(matches!(p.create("/no/such/dir/file"), Err(PosixError::NotFound(_))));
+        assert!(matches!(
+            p.create("/no/such/dir/file"),
+            Err(PosixError::NotFound(_))
+        ));
         p.mkdir("/d").unwrap();
         assert!(matches!(p.mkdir("/d"), Err(PosixError::AlreadyExists(_))));
         p.create("/d/f").unwrap();
-        assert!(matches!(p.create("/d/f"), Err(PosixError::AlreadyExists(_))));
+        assert!(matches!(
+            p.create("/d/f"),
+            Err(PosixError::AlreadyExists(_))
+        ));
         // Files are not directories and vice versa.
-        assert!(matches!(p.readdir("/d/f"), Err(PosixError::NotADirectory(_))));
+        assert!(matches!(
+            p.readdir("/d/f"),
+            Err(PosixError::NotADirectory(_))
+        ));
         assert!(matches!(p.read_all("/d"), Err(PosixError::IsADirectory(_))));
     }
 
@@ -403,7 +416,10 @@ mod tests {
         let p = posix();
         p.mkdir("/d").unwrap();
         p.create("/d/f").unwrap();
-        assert!(matches!(p.rmdir("/d"), Err(PosixError::DirectoryNotEmpty(_))));
+        assert!(matches!(
+            p.rmdir("/d"),
+            Err(PosixError::DirectoryNotEmpty(_))
+        ));
         p.unlink("/d/f").unwrap();
         assert!(!p.exists("/d/f"));
         p.rmdir("/d").unwrap();

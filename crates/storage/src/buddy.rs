@@ -122,7 +122,10 @@ impl Allocator for BuddyAllocator {
                 free: inner.stats.free_blocks,
             });
         };
-        let offset = *inner.free_lists[order as usize].iter().next().expect("non-empty");
+        let offset = *inner.free_lists[order as usize]
+            .iter()
+            .next()
+            .expect("non-empty");
         inner.free_lists[order as usize].remove(&offset);
         // Split down to the wanted order, returning the upper halves to the
         // free lists.

@@ -175,7 +175,10 @@ impl MemDevice {
             } else {
                 STRIPE_BLOCKS
             };
-            stripes.push(RwLock::new(vec![0u8; blocks_in_stripe as usize * block_size]));
+            stripes.push(RwLock::new(vec![
+                0u8;
+                blocks_in_stripe as usize * block_size
+            ]));
         }
         MemDevice {
             block_size,

@@ -60,7 +60,10 @@ impl fmt::Display for StorageError {
                 "block {block} out of range (device has {device_blocks} blocks)"
             ),
             StorageError::BadBufferLength { got, expected } => {
-                write!(f, "buffer length {got} does not match block size {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match block size {expected}"
+                )
             }
             StorageError::OutOfSpace { requested, free } => {
                 write!(f, "out of space: requested {requested} blocks, {free} free")
@@ -72,7 +75,10 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt on-disk structure: {msg}"),
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
             StorageError::JournalFull { needed, available } => {
-                write!(f, "journal full: record needs {needed} bytes, {available} available")
+                write!(
+                    f,
+                    "journal full: record needs {needed} bytes, {available} available"
+                )
             }
         }
     }

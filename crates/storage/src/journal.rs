@@ -158,8 +158,7 @@ impl<D: BlockDevice> Journal<D> {
             let mut frame = vec![0u8; frame_len as usize];
             self.read_bytes(offset, &mut frame)?;
             let body_len = frame_len as usize - FRAME_TRAILER;
-            let stored_crc =
-                u64::from_le_bytes(frame[body_len..].try_into().expect("8-byte crc"));
+            let stored_crc = u64::from_le_bytes(frame[body_len..].try_into().expect("8-byte crc"));
             if fnv1a(&frame[..body_len]) != stored_crc {
                 break;
             }

@@ -90,7 +90,10 @@ pub fn documents(config: &CorpusConfig) -> Vec<Item> {
         let ntags = rng.gen_range(0..=config.max_tags_per_item);
         let mut tags = Vec::with_capacity(ntags + 2);
         for _ in 0..ntags {
-            tags.push(("UDEF".to_string(), word(tag_dist.sample(&mut rng)).to_string()));
+            tags.push((
+                "UDEF".to_string(),
+                word(tag_dist.sample(&mut rng)).to_string(),
+            ));
         }
         tags.push(("USER".to_string(), user_name(&mut rng).to_string()));
         tags.push(("APP".to_string(), app_name(&mut rng).to_string()));
@@ -229,10 +232,7 @@ mod tests {
             assert!(photo.tags.len() >= 3);
             assert!(photo.path.starts_with("/photos/"));
             assert!(photo.size >= 64 * 1024);
-            assert!(photo
-                .tags
-                .iter()
-                .any(|(t, _)| t == "UDEF"));
+            assert!(photo.tags.iter().any(|(t, _)| t == "UDEF"));
         }
     }
 
@@ -255,7 +255,10 @@ mod tests {
         // Parent always sorts before child.
         for (i, dir) in dirs.iter().enumerate() {
             if let Some(parent) = dir.rfind('/').filter(|&p| p > 0).map(|p| &dir[..p]) {
-                assert!(dirs[..i].iter().any(|d| d == parent), "{dir} before {parent}");
+                assert!(
+                    dirs[..i].iter().any(|d| d == parent),
+                    "{dir} before {parent}"
+                );
             }
         }
     }

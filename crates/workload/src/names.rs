@@ -5,18 +5,107 @@ use rand::Rng;
 /// A small English-like vocabulary used to synthesise document text, tags
 /// and file names deterministically.
 pub const VOCABULARY: &[&str] = &[
-    "storage", "system", "index", "search", "photo", "beach", "vacation", "family", "report",
-    "budget", "quarterly", "meeting", "notes", "draft", "final", "project", "kernel", "device",
-    "driver", "network", "latency", "throughput", "cache", "memory", "buffer", "thread", "lock",
-    "namespace", "directory", "hierarchy", "object", "extent", "allocator", "journal", "commit",
-    "transaction", "query", "fulltext", "tag", "metadata", "archive", "backup", "music", "video",
-    "camera", "sunset", "mountain", "city", "travel", "recipe", "garden", "invoice", "receipt",
-    "taxes", "insurance", "mortgage", "email", "inbox", "attachment", "calendar", "schedule",
-    "holiday", "birthday", "wedding", "concert", "museum", "library", "paper", "review",
-    "experiment", "benchmark", "measurement", "analysis", "figure", "table", "dataset", "sample",
-    "cluster", "server", "client", "protocol", "packet", "stream", "filesystem", "block",
-    "inode", "pathname", "lookup", "traversal", "btree", "hash", "bitmap", "segment", "log",
-    "snapshot", "replica", "mirror", "quota", "permission", "owner", "group",
+    "storage",
+    "system",
+    "index",
+    "search",
+    "photo",
+    "beach",
+    "vacation",
+    "family",
+    "report",
+    "budget",
+    "quarterly",
+    "meeting",
+    "notes",
+    "draft",
+    "final",
+    "project",
+    "kernel",
+    "device",
+    "driver",
+    "network",
+    "latency",
+    "throughput",
+    "cache",
+    "memory",
+    "buffer",
+    "thread",
+    "lock",
+    "namespace",
+    "directory",
+    "hierarchy",
+    "object",
+    "extent",
+    "allocator",
+    "journal",
+    "commit",
+    "transaction",
+    "query",
+    "fulltext",
+    "tag",
+    "metadata",
+    "archive",
+    "backup",
+    "music",
+    "video",
+    "camera",
+    "sunset",
+    "mountain",
+    "city",
+    "travel",
+    "recipe",
+    "garden",
+    "invoice",
+    "receipt",
+    "taxes",
+    "insurance",
+    "mortgage",
+    "email",
+    "inbox",
+    "attachment",
+    "calendar",
+    "schedule",
+    "holiday",
+    "birthday",
+    "wedding",
+    "concert",
+    "museum",
+    "library",
+    "paper",
+    "review",
+    "experiment",
+    "benchmark",
+    "measurement",
+    "analysis",
+    "figure",
+    "table",
+    "dataset",
+    "sample",
+    "cluster",
+    "server",
+    "client",
+    "protocol",
+    "packet",
+    "stream",
+    "filesystem",
+    "block",
+    "inode",
+    "pathname",
+    "lookup",
+    "traversal",
+    "btree",
+    "hash",
+    "bitmap",
+    "segment",
+    "log",
+    "snapshot",
+    "replica",
+    "mirror",
+    "quota",
+    "permission",
+    "owner",
+    "group",
 ];
 
 /// Returns the `i`-th vocabulary word (wrapping around).

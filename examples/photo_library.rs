@@ -82,11 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "objects: {}, index postings: {}",
         stats.store.objects,
-        stats
-            .indices
-            .iter()
-            .map(|(_, s)| s.postings)
-            .sum::<u64>()
+        stats.indices.iter().map(|(_, s)| s.postings).sum::<u64>()
     );
     Ok(())
 }

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     fs.create("/home/margo/projects/hfad/todo.txt")?;
     fs.append("/home/margo/projects/hfad/todo.txt", b"- write the paper\n")?;
-    fs.append("/home/margo/projects/hfad/todo.txt", b"- bury the hierarchy\n")?;
+    fs.append(
+        "/home/margo/projects/hfad/todo.txt",
+        b"- bury the hierarchy\n",
+    )?;
 
     println!("ls /home/margo/projects/hfad:");
     for entry in fs.readdir("/home/margo/projects/hfad")? {

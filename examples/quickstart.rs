@@ -58,10 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .search()
         .refine(TagValue::user("margo"))
         .refine(TagValue::udef("vacation"));
-    println!(
-        "refine margo -> vacation -> {} object(s)",
-        cursor.count()?
-    );
+    println!("refine margo -> vacation -> {} object(s)", cursor.count()?);
 
     // 5. Byte-level access: read, splice into the middle, remove a range.
     fs.insert(report, 18, b"(draft) ")?;

@@ -182,10 +182,7 @@ fn byte_level_operations_survive_mixed_use() {
     fs.truncate(oid, 5).unwrap();
     assert_eq!(fs.read_all(oid).unwrap(), b"abcde".to_vec());
     // The object is still reachable by its name after all that surgery.
-    assert_eq!(
-        fs.lookup(&[TagValue::posix("/log")]).unwrap(),
-        vec![oid]
-    );
+    assert_eq!(fs.lookup(&[TagValue::posix("/log")]).unwrap(), vec![oid]);
 }
 
 #[test]

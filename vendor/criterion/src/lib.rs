@@ -1,0 +1,356 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter`,
+//! `BenchmarkId`, `Throughput`) backed by a simple warm-up + fixed-window
+//! wall-clock measurement. Statistical analysis, plotting and CLI flags of
+//! real criterion are intentionally absent; `--test` mode (what
+//! `cargo test --benches` passes) runs every benchmark exactly once.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration annotation; used to print a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Hints the optimiser that `value` is used, preventing dead-code
+/// elimination of benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs bench binaries with `--test`; run
+        // each benchmark once there so suites stay fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let report = run_benchmark(
+            self.test_mode,
+            Duration::from_millis(300),
+            Duration::from_millis(900),
+            f,
+        );
+        print_report(&name, &report, None);
+        self
+    }
+}
+
+/// A named collection of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        // The stand-in measures one fixed window instead of N samples.
+        self
+    }
+
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let report = run_benchmark(
+            self.criterion.test_mode,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        print_report(&label, &report, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Anything accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the measuring.
+pub struct Bencher {
+    mode: BencherMode,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+enum BencherMode {
+    Measure {
+        warm_up_time: Duration,
+        measurement_time: Duration,
+    },
+    RunOnce,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BencherMode::RunOnce => {
+                let start = Instant::now();
+                black_box(routine());
+                self.iterations = 1;
+                self.elapsed = start.elapsed();
+            }
+            BencherMode::Measure {
+                warm_up_time,
+                measurement_time,
+            } => {
+                // Warm up and count how many iterations fit, so the
+                // measurement loop can batch iterations between clock
+                // reads — reading the clock every iteration would add
+                // tens of nanoseconds to each one, drowning the
+                // nanosecond-scale fast paths this harness compares.
+                let mut warm_iters = 0u64;
+                let warm_up_start = Instant::now();
+                while warm_up_start.elapsed() < warm_up_time {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let warm_elapsed = warm_up_start.elapsed();
+                // Aim for ~100 clock reads over the measurement window.
+                let per_iter = warm_elapsed.as_secs_f64() / warm_iters.max(1) as f64;
+                let batch =
+                    ((measurement_time.as_secs_f64() / per_iter.max(1e-9)) / 100.0).max(1.0) as u64;
+                let mut iterations = 0u64;
+                let start = Instant::now();
+                loop {
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    iterations += batch;
+                    if start.elapsed() >= measurement_time {
+                        break;
+                    }
+                }
+                self.iterations = iterations;
+                self.elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+struct Report {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+fn run_benchmark<F>(
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) -> Report
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        mode: if test_mode {
+            BencherMode::RunOnce
+        } else {
+            BencherMode::Measure {
+                warm_up_time,
+                measurement_time,
+            }
+        },
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    Report {
+        iterations: bencher.iterations.max(1),
+        elapsed: bencher.elapsed,
+    }
+}
+
+fn print_report(label: &str, report: &Report, throughput: Option<Throughput>) {
+    let per_iter = report.elapsed.as_secs_f64() / report.iterations as f64;
+    let time = format_seconds(per_iter);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  thrpt: {:.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            format!("  thrpt: {:.0} B/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    eprintln!(
+        "{label:<50} time: {time:>10}  ({} iters){rate}",
+        report.iterations
+    );
+}
+
+fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let report = run_benchmark(
+            false,
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+            |b| b.iter(|| black_box(1 + 1)),
+        );
+        assert!(report.iterations >= 1);
+        assert!(report.elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn run_once_mode_runs_exactly_once() {
+        let mut count = 0;
+        let report = run_benchmark(
+            true,
+            Duration::from_millis(100),
+            Duration::from_millis(100),
+            |b| {
+                b.iter(|| count += 1);
+            },
+        );
+        assert_eq!(count, 1);
+        assert_eq!(report.iterations, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("query", 64);
+        assert_eq!(id.label, "query/64");
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the slice of the rand 0.8 API this workspace uses:
+//! [`Rng::gen`], [`Rng::gen_range`] (half-open and inclusive integer
+//! ranges), [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`]. The generator is a splitmix64-seeded xorshift64* —
+//! deterministic, fast and statistically fine for synthetic workloads
+//! (not cryptographic).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn from_offset(base: Self, offset: u64) -> Self;
+    fn span(start: Self, end_exclusive: Self) -> u64;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_offset(base: Self, offset: u64) -> Self {
+                base.wrapping_add(offset as $t)
+            }
+            fn span(start: Self, end_exclusive: Self) -> u64 {
+                (end_exclusive as i128).wrapping_sub(start as i128) as u64
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`Rng::gen_range`] can sample a `T` from. Mirroring rand
+/// 0.8, these are blanket impls over one type parameter so an untyped
+/// range literal unifies with the call site's expected output type.
+pub trait SampleRange<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = T::span(self.start, self.end);
+        T::from_offset(self.start, rng.next_u64() % span)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let span = T::span(start, end);
+        if span == u64::MAX {
+            // Full-domain inclusive range: every raw draw is valid.
+            return T::from_offset(start, rng.next_u64());
+        }
+        T::from_offset(start, rng.next_u64() % (span + 1))
+    }
+}
+
+/// A random number generator.
+pub trait Rng {
+    /// The raw 64-bit output every other method derives from.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from the type's full domain
+    /// (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Seedable generators; only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xorshift64* generator seeded via splitmix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // splitmix64 scrambles low-entropy seeds (0, 1, 2, ...) into
+            // well-distributed initial states and never yields zero state.
+            let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(1u64..=3);
+            assert!((1..=3).contains(&y));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn floats_cover_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            lo |= f < 0.1;
+            hi |= f > 0.9;
+        }
+        assert!(lo && hi, "samples never reached the interval's edges");
+    }
+}

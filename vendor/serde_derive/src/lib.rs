@@ -1,0 +1,151 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! A syn/quote-free derive that supports exactly what this workspace
+//! derives on: non-generic structs with named fields. The parser walks the
+//! raw token stream — attributes and `pub` modifiers are skipped, field
+//! names are idents directly followed by `:`, and fields are split on
+//! commas at angle-bracket depth zero (commas nested in `<...>` or any
+//! delimited group belong to the field's type).
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+struct Parsed {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn parse_named_struct(input: TokenStream, trait_name: &str) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(token) = iter.next() {
+        match token {
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(g.stream());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        return Err(format!(
+                            "derive({trait_name}) stand-in does not support generic structs"
+                        ));
+                    }
+                    other => {
+                        return Err(format!(
+                            "derive({trait_name}) stand-in supports only named-field structs, \
+                             found {other:?}"
+                        ));
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                return Err(format!(
+                    "derive({trait_name}) stand-in does not support enums"
+                ));
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| format!("derive({trait_name}): no struct found"))?;
+    let body = body.ok_or_else(|| format!("derive({trait_name}): no struct body found"))?;
+
+    // Collect field names: an ident at angle-depth 0 immediately followed
+    // by a single `:` (not `::`), at the start of a field (i.e. after a
+    // top-level comma or the body's start).
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_field_start = true;
+    let mut arrow_pending = false;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        // A `>` that completes a `->` (e.g. in `Box<dyn Fn() -> u64>`) is
+        // not a closing angle bracket; the `-` of an arrow is always a
+        // joint punct.
+        let gt_is_arrow = arrow_pending;
+        arrow_pending = matches!(
+            &token,
+            TokenTree::Punct(p) if p.as_char() == '-' && p.spacing() == Spacing::Joint
+        );
+        match &token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' => {
+                    // Skip the attribute's `[...]` group.
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        tokens.next();
+                    }
+                }
+                '<' => angle_depth += 1,
+                '>' if !gt_is_arrow => angle_depth -= 1,
+                ',' if angle_depth == 0 => at_field_start = true,
+                _ => {}
+            },
+            TokenTree::Ident(ident) if angle_depth == 0 && at_field_start => {
+                let word = ident.to_string();
+                if word == "pub" {
+                    // Visibility; possibly followed by `(crate)` etc.
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                } else if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    fields.push(word);
+                    at_field_start = false;
+                } else {
+                    return Err(format!(
+                        "derive({trait_name}): expected `{word}: Type`, tuple structs are \
+                         not supported"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(Parsed { name, fields })
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_named_struct(input, "Serialize") {
+        Ok(parsed) => parsed,
+        Err(msg) => return error(&msg),
+    };
+    let entries: String = parsed
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::value::Value {{\n\
+                ::serde::value::Value::Object(vec![{entries}])\n\
+            }}\n\
+         }}",
+        name = parsed.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_named_struct(input, "Deserialize") {
+        Ok(parsed) => parsed,
+        Err(msg) => return error(&msg),
+    };
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}

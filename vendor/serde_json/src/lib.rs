@@ -1,0 +1,213 @@
+//! Offline stand-in for `serde_json`: pretty-prints the [`Value`] tree
+//! produced by the `serde` stand-in.
+
+pub use serde::value::Value;
+
+/// Serialisation error. The stand-in can only fail on non-finite floats,
+/// which JSON cannot represent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out)?;
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out)?;
+    Ok(out)
+}
+
+fn write_value(
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if !x.is_finite() {
+                return Err(Error(format!("non-finite float {x} is not valid JSON")));
+            }
+            // Keep floats round-trippable and visually distinct from ints.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&x.to_string());
+            }
+        }
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            write_seq(
+                items.iter(),
+                indent,
+                depth,
+                out,
+                |item, indent, depth, out| write_value(item, indent, depth, out),
+            )?;
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            write_entries(entries, indent, depth, out)?;
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_seq<'a, I, F>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: F,
+) -> Result<(), Error>
+where
+    I: ExactSizeIterator<Item = &'a Value>,
+    F: FnMut(&Value, Option<usize>, usize, &mut String) -> Result<(), Error>,
+{
+    out.push('[');
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        newline_indent(indent, depth + 1, out);
+        write_item(item, indent, depth + 1, out)?;
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        newline_indent(indent, depth, out);
+    }
+    out.push(']');
+    Ok(())
+}
+
+fn write_entries(
+    entries: &[(String, Value)],
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), Error> {
+    for (i, (key, value)) in entries.iter().enumerate() {
+        newline_indent(indent, depth + 1, out);
+        write_string(key, out);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(value, indent, depth + 1, out)?;
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+    }
+    if !entries.is_empty() {
+        newline_indent(indent, depth, out);
+    }
+    Ok(())
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    struct Point {
+        x: u64,
+        label: String,
+    }
+
+    impl Serialize for Point {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("x".to_string(), self.x.to_value()),
+                ("label".to_string(), self.label.to_value()),
+            ])
+        }
+    }
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let p = Point {
+            x: 3,
+            label: "a \"quoted\" name".to_string(),
+        };
+        let rendered = to_string_pretty(&vec![p]).unwrap();
+        assert!(rendered.contains("\"x\": 3"));
+        assert!(rendered.contains("\\\"quoted\\\""));
+        assert!(rendered.starts_with("[\n"));
+    }
+
+    #[test]
+    fn compact_round_trip_shapes() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(
+            to_string(&vec!["a".to_string(), "b".to_string()]).unwrap(),
+            "[\"a\",\"b\"]"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn derive_handles_arrow_in_field_type() {
+        // Regression test for the derive's token parser: the `->` inside
+        // the field type must not be read as a closing angle bracket,
+        // which would silently drop every later field from the impl.
+        #[derive(serde::Serialize)]
+        struct WithArrow {
+            before: u64,
+            callback: std::marker::PhantomData<fn() -> u64>,
+            after: String,
+        }
+        let v = WithArrow {
+            before: 1,
+            callback: std::marker::PhantomData,
+            after: "kept".to_string(),
+        };
+        let rendered = to_string(&v).unwrap();
+        assert!(rendered.contains("\"after\":\"kept\""), "{rendered}");
+    }
+}
