@@ -1,9 +1,10 @@
-//! E2: throughput of unrelated path accesses under concurrency.
+//! E2: throughput of unrelated path accesses under concurrency, plus the
+//! object-store shard ablation (single global lock vs striped shards).
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hfad_bench::setup::{build_hfad, build_hierfs};
+use hfad_bench::setup::{build_hfad, build_hierfs, build_sharded_store, store_churn_op};
 use hfad_core::{HfadConfig, TagValue};
 use hfad_hierfs::HierConfig;
 use hfad_workload::Item;
@@ -82,6 +83,43 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+    }
+    group.finish();
+
+    // The shard ablation one layer down: raw object-store create/open
+    // throughput, single-shard (the old global-lock design) vs 8 shards.
+    // The N-shard row should pull ahead of the 1-shard row as the thread
+    // count grows on a multi-core machine.
+    let mut group = c.benchmark_group("e2_store_shards");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(900));
+    for shards in [1usize, 8] {
+        let (store, pool) = build_sharded_store(shards, 256);
+        for threads in [2usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("osd_create_open_{shards}shard"), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        let handles: Vec<_> = (0..t)
+                            .map(|w| {
+                                let store = Arc::clone(&store);
+                                let pool = Arc::clone(&pool);
+                                std::thread::spawn(move || {
+                                    for i in 0..100usize {
+                                        store_churn_op(&store, &pool, w, i);
+                                    }
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            h.join().unwrap();
+                        }
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfad_bench::setup::{build_sharded_store, store_churn_op};
 use hfad_core::{Hfad, HfadConfig};
 use hfad_osd::{AllocatorKind, ObjectStore, StoreConfig};
 use hfad_storage::MemDevice;
@@ -36,6 +37,34 @@ fn bench(c: &mut Criterion) {
                         if i % 2 == 1 {
                             store.delete(oid).unwrap();
                         }
+                    }
+                })
+            },
+        );
+    }
+
+    // Store lock shards: multi-thread create/open churn against the
+    // single-shard (global-lock) baseline vs a striped store.
+    for shards in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("store_shards_create_open", shards),
+            &shards,
+            |b, &shards| {
+                let (store, pool) = build_sharded_store(shards, 128);
+                b.iter(|| {
+                    let handles: Vec<_> = (0..4usize)
+                        .map(|t| {
+                            let store = Arc::clone(&store);
+                            let pool = Arc::clone(&pool);
+                            std::thread::spawn(move || {
+                                for i in 0..50usize {
+                                    store_churn_op(&store, &pool, t, i);
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
                     }
                 })
             },

@@ -370,6 +370,26 @@ pub fn e2_concurrency(scale: Scale) -> Table {
             "hfad".into(),
             ops_per_sec(ops, duration),
         ]);
+
+        // The same claim one layer down: raw object-store create/open
+        // throughput with the single-shard (global-lock-equivalent)
+        // configuration vs the sharded hot path. The shard count is the
+        // only variable; the workload is `setup::store_churn_op`.
+        for store_shards in [1usize, 8] {
+            let (store, pool) = crate::setup::build_sharded_store(store_shards, 256);
+            let op = {
+                let store = Arc::clone(&store);
+                Arc::new(move |t: usize, i: usize| {
+                    crate::setup::store_churn_op(&store, &pool, t, i);
+                }) as Arc<dyn Fn(usize, usize) + Send + Sync>
+            };
+            let ops = run_threads(threads, op);
+            table.push_row(vec![
+                threads.to_string(),
+                format!("hfad-osd ({} shard)", store.shard_count()),
+                ops_per_sec(ops, duration),
+            ]);
+        }
     }
     table
 }
@@ -750,6 +770,40 @@ pub fn e6_ablation(scale: Scale) -> Table {
         ]);
     }
 
+    // Store lock shards: the tentpole ablation — create/open throughput of
+    // the object store itself with a sharded vs a global-lock
+    // (single-shard) table and open-object map.
+    for shards in [1usize, 4, 16] {
+        let (store, pool) = crate::setup::build_sharded_store(shards, 128);
+        let threads = 4usize;
+        let per_thread = objects;
+        let (_, elapsed) = time(|| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let store = Arc::clone(&store);
+                    let pool = Arc::clone(&pool);
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            crate::setup::store_churn_op(&store, &pool, t, i);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        table.push_row(vec![
+            "store shards".into(),
+            store.shard_count().to_string(),
+            "-".into(),
+            format!(
+                "{} create/open ops/s across {threads} threads",
+                ops_per_sec((threads * per_thread) as u64, elapsed)
+            ),
+        ]);
+    }
+
     // Index shards.
     for shards in [1usize, 4, 16] {
         let fs = Hfad::in_memory(
@@ -931,12 +985,38 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
 mod tests {
     use super::*;
 
+    /// Runs all nine experiments end to end at quick scale (~30 s): the
+    /// full-coverage smoke test for the experiment table. Too slow for the
+    /// default test run, so it is gated behind `--ignored`; run it with
+    /// `cargo test -p hfad_bench -- --ignored` (CI runs the cheap
+    /// single-experiment tests below on every push instead).
     #[test]
+    #[ignore = "runs every experiment at quick scale (~30 s); use cargo test -- --ignored"]
     fn every_experiment_id_resolves() {
         for id in ["t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7"] {
             assert!(run_one(id, Scale::Quick).is_some() || id.is_empty());
         }
         assert!(run_one("e99", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn unknown_experiment_id_rejected() {
+        assert!(run_one("e99", Scale::Quick).is_none());
+        assert!(run_one("", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn e6_reports_store_shard_ablation() {
+        let table = e6_ablation(Scale::Quick);
+        let shard_rows: Vec<_> = table
+            .rows
+            .iter()
+            .filter(|r| r[0] == "store shards")
+            .collect();
+        // 1 (the global-lock baseline), 4 and 16 shards must all be
+        // measured so the sharded-vs-global comparison is in the table.
+        let settings: Vec<&str> = shard_rows.iter().map(|r| r[1].as_str()).collect();
+        assert_eq!(settings, vec!["1", "4", "16"]);
     }
 
     #[test]

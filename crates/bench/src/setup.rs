@@ -1,14 +1,65 @@
-//! Shared fixtures: populated hFAD / hierarchical / POSIX instances.
+//! Shared fixtures: populated hFAD / hierarchical / POSIX instances, plus
+//! the raw object-store fixture and workload used by the E2/E6 store-shard
+//! ablations.
 
 use std::sync::Arc;
 
 use hfad_core::{Hfad, HfadConfig, ObjectId, Tag, TagValue};
 use hfad_hierfs::{HierConfig, HierFs, SearchIndex};
+use hfad_osd::{ObjectStore, StoreConfig};
 use hfad_posix::PosixFs;
+use hfad_storage::MemDevice;
 use hfad_workload::Item;
 
 /// Default backing-store capacity for experiment instances.
 pub const DEFAULT_CAPACITY: u64 = 512 * 1024 * 1024;
+
+/// One create+delete per this many operations in [`store_churn_op`]; the
+/// rest are opens. Keeping the ratio in one place guarantees the E2/E6
+/// experiment tables and the criterion benches measure the same mix.
+pub const STORE_CHURN_EVERY: usize = 32;
+
+/// Builds a raw [`ObjectStore`] with `shards` lock shards (0 = auto) and a
+/// pool of `pool_size` pre-created objects for the open side of the
+/// shard-ablation workload.
+pub fn build_sharded_store(
+    shards: usize,
+    pool_size: usize,
+) -> (Arc<ObjectStore>, Arc<Vec<ObjectId>>) {
+    let device = Arc::new(MemDevice::with_capacity(64 * 1024 * 1024));
+    let store = Arc::new(
+        ObjectStore::create(
+            device,
+            StoreConfig {
+                shards,
+                ..Default::default()
+            },
+        )
+        .expect("create sharded store"),
+    );
+    let pool = Arc::new(
+        (0..pool_size)
+            .map(|_| store.create_default(0).expect("create pool object"))
+            .collect::<Vec<_>>(),
+    );
+    (store, pool)
+}
+
+/// One iteration of the store shard-ablation workload for thread `t`,
+/// iteration `i`: a create+delete every [`STORE_CHURN_EVERY`]th operation
+/// (so storage stays bounded), otherwise an open (`meta`) of a pooled
+/// object. The single-shard configuration funnels every iteration through
+/// one lock; the sharded configuration spreads them.
+pub fn store_churn_op(store: &ObjectStore, pool: &[ObjectId], t: usize, i: usize) {
+    if i % STORE_CHURN_EVERY == 0 {
+        let oid = store.create_default(t as u32).expect("churn create");
+        store.delete(oid).expect("churn delete");
+    } else {
+        store
+            .meta(pool[(t * 31 + i) % pool.len()])
+            .expect("churn open");
+    }
+}
 
 /// Converts a corpus item's `(tag, value)` pairs into hFAD tag values,
 /// including the item's POSIX path.

@@ -22,6 +22,11 @@ pub struct HfadConfig {
     pub journal_blocks: u64,
     /// Data-area allocator.
     pub allocator: AllocatorKind,
+    /// Number of lock shards for the OSD object table and open-object map
+    /// (`0` auto-sizes to the machine's available parallelism; see
+    /// [`StoreConfig::shards`]). Set to `1` to reproduce a
+    /// single-global-lock store, the E2/E6 contention baseline.
+    pub store_shards: usize,
     /// Number of shards in the key/value and full-text indices.
     pub index_shards: usize,
     /// Number of background indexing threads (only used in lazy mode).
@@ -36,6 +41,7 @@ impl Default for HfadConfig {
             max_extent_bytes: DEFAULT_MAX_EXTENT_BYTES,
             journal_blocks: 0,
             allocator: AllocatorKind::Buddy,
+            store_shards: 0,
             index_shards: 16,
             lazy_workers: 2,
             indexing: IndexingMode::Lazy,
@@ -50,6 +56,7 @@ impl HfadConfig {
             max_extent_bytes: self.max_extent_bytes,
             journal_blocks: self.journal_blocks,
             allocator: self.allocator,
+            shards: self.store_shards,
         }
     }
 
@@ -75,6 +82,7 @@ mod tests {
         assert!(c.lazy_workers >= 1);
         assert_eq!(c.store_config().max_extent_bytes, c.max_extent_bytes);
         assert_eq!(c.store_config().journal_blocks, 0);
+        assert_eq!(c.store_config().shards, c.store_shards);
     }
 
     #[test]

@@ -66,4 +66,4 @@ pub use refine::SearchCursor;
 // Re-export the vocabulary types callers need to name and address objects,
 // so `hfad-core` is usable without importing the substrate crates.
 pub use hfad_index::{Query, Tag, TagValue};
-pub use hfad_osd::{ObjectId, ObjectMeta, Security};
+pub use hfad_osd::{AllocatorKind, ObjectId, ObjectMeta, Security, StoreConfig, StoreStats};

@@ -13,7 +13,7 @@
 //! directories — become measurable:
 //!
 //! * [`fs::HierFs`] — the file system (mkdir/create/read/write/rename/
-//!   unlink/readdir/stat), with [`TraversalCounters`](fs::TraversalCounters)
+//!   unlink/readdir/stat), with [`fs::TraversalCounters`]
 //!   recording the namespace work every operation performs.
 //! * [`searchidx::SearchIndex`] — a desktop-search index layered on top of
 //!   the file system whose postings are *pathnames*, reproducing the

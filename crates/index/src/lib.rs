@@ -8,8 +8,8 @@
 //!
 //! * [`tag`] — the tag vocabulary of Table 1 (`POSIX`, `FULLTEXT`, `USER`,
 //!   `UDEF`, `APP`, `ID`) plus custom plug-in tags.
-//! * [`store`] — the [`IndexStore`](store::IndexStore) trait and the
-//!   [`IndexRegistry`](store::IndexRegistry) that routes tags to stores.
+//! * [`store`] — the [`store::IndexStore`] trait and the
+//!   [`store::IndexRegistry`] that routes tags to stores.
 //! * [`keyvalue`] — a sharded, B-tree backed key/value index for simple
 //!   attributes.
 //! * [`fulltext`] — an inverted full-text index (the Lucene role in the

@@ -11,8 +11,10 @@
 //! are device extents — with the object metadata stored under a reserved
 //! "NULL" key, exactly as the paper's §3.4 sketch describes.
 //!
-//! * [`store::ObjectStore`] — OID allocation, the object table, per-object
-//!   locking, create/delete and all data operations.
+//! * [`store::ObjectStore`] — OID allocation, the sharded object table,
+//!   per-object locking, create/delete and all data operations.
+//! * [`shard`] — the lock-striping primitives behind the store's hot path
+//!   ([`ShardedMap`], shard-count resolution and key routing).
 //! * [`object::Object`] — the extent-map object itself.
 //! * [`meta::ObjectMeta`] — security attributes, times and size.
 //! * [`txn::TxnStore`] — the optional transactional wrapper (write-ahead
@@ -22,6 +24,7 @@ pub mod error;
 pub mod meta;
 pub mod object;
 pub mod oid;
+pub mod shard;
 pub mod store;
 pub mod txn;
 
@@ -29,5 +32,6 @@ pub use error::{OsdError, Result};
 pub use meta::{unix_now, ObjectMeta, Security};
 pub use object::{Object, ObjectStats, DEFAULT_MAX_EXTENT_BYTES};
 pub use oid::ObjectId;
+pub use shard::{resolve_shard_count, shard_index, ShardedMap, MAX_SHARDS};
 pub use store::{AllocatorKind, ObjectStore, StoreConfig, StoreStats};
 pub use txn::{Transaction, TxnOp, TxnStore};

@@ -1,11 +1,39 @@
-//! The object store: OID allocation, the object table and per-object locks.
+//! The object store: OID allocation, the sharded object table and
+//! per-object locks.
 //!
 //! This is the paper's OSD layer (§3.3): it presents "the abstraction of a
 //! uniquely identified container of bytes". It is comparable to the ZFS DMU
 //! except that, as in the paper, it provides individual objects rather than
 //! object sets, and transactionality is optional (see [`crate::txn`]).
+//!
+//! # Sharding and locking model
+//!
+//! The paper's concurrency claim (§2.3) is that unrelated operations on an
+//! object store share no namespace state and therefore no locks. The store
+//! realises that claim by striping its two pieces of shared hot-path state
+//! across `N` shards routed by a hash of the [`ObjectId`]
+//! (see [`crate::shard`]):
+//!
+//! * **Object table** — `N` independent B-trees, each behind its own
+//!   `RwLock`, mapping `OID → extent-map root page`. Create, remove and
+//!   root-pointer updates for objects in different shards never contend.
+//! * **Open-object map** — a [`ShardedMap`] of `OID → Arc<Mutex<Object>>`
+//!   handles. Opening an object locks only its shard, and a cache-miss
+//!   load (a table read plus object reconstruction) blocks only same-shard
+//!   opens, not the whole store.
+//! * **Per-object lock** — each open object is guarded by its own `Mutex`;
+//!   all data operations (`read`/`write`/`insert`/`truncate`) take only
+//!   that lock plus, when the extent-map root moved, the object's table
+//!   shard.
+//!
+//! `N` defaults to the next power of two at or above the machine's
+//! available parallelism and is overridable via [`StoreConfig::shards`];
+//! `shards = 1` reproduces the old single-global-lock behaviour and is the
+//! contention baseline measured by the E2/E6 experiments. OID allocation
+//! is a single atomic counter and the block allocator and device have their
+//! own internal synchronisation, so no global lock remains on the
+//! open/create/remove path.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -20,26 +48,42 @@ use crate::error::{OsdError, Result};
 use crate::meta::{unix_now, ObjectMeta};
 use crate::object::{Object, DEFAULT_MAX_EXTENT_BYTES};
 use crate::oid::ObjectId;
+use crate::shard::{resolve_shard_count, shard_index, ShardedMap};
 
 /// Which allocator manages the data area (ablated in experiment E6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AllocatorKind {
-    /// The paper's buddy allocator.
+    /// The paper's buddy allocator: power-of-two block runs with splitting
+    /// and coalescing, so freed extents are reclaimed and refused
+    /// allocations are rare until the device is genuinely full.
     #[default]
     Buddy,
-    /// A never-reclaiming bump allocator (ablation baseline).
+    /// A never-reclaiming bump allocator (ablation baseline): allocation is
+    /// a pointer increment, `free` is a no-op, so deleted objects leak
+    /// their blocks.
     Bump,
 }
 
 /// Configuration for a new [`ObjectStore`].
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
-    /// Maximum bytes covered by a single extent.
+    /// Maximum bytes covered by a single extent. Larger extents mean fewer
+    /// extent-map entries per object but coarser mid-file splices; the
+    /// trade-off is swept by experiment E6.
     pub max_extent_bytes: u64,
-    /// Blocks reserved for the write-ahead journal (0 disables it).
+    /// Blocks reserved for the write-ahead journal (0 disables it; a
+    /// journal is required by [`crate::txn::TxnStore`]).
     pub journal_blocks: u64,
     /// Allocator for the data area.
     pub allocator: AllocatorKind,
+    /// Number of lock shards for the object table and open-object map.
+    ///
+    /// `0` (the default) auto-sizes to the next power of two at or above
+    /// the machine's available parallelism; explicit values are rounded up
+    /// to a power of two and capped at [`crate::shard::MAX_SHARDS`]. Set
+    /// to `1` to reproduce a single-global-lock store (the E2/E6
+    /// contention baseline).
+    pub shards: usize,
 }
 
 impl Default for StoreConfig {
@@ -48,15 +92,18 @@ impl Default for StoreConfig {
             max_extent_bytes: DEFAULT_MAX_EXTENT_BYTES,
             journal_blocks: 0,
             allocator: AllocatorKind::Buddy,
+            shards: 0,
         }
     }
 }
 
-/// Aggregate statistics for a store.
+/// Aggregate statistics for a store, summed across all shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Number of live objects.
+    /// Number of live objects (sum of the per-shard live counts).
     pub objects: u64,
+    /// Number of lock shards the store was created with.
+    pub shards: usize,
     /// Physical device counters.
     pub device: DeviceCounters,
     /// Data-area allocator statistics.
@@ -68,18 +115,25 @@ struct OpenObject {
     persisted_root: u64,
 }
 
+/// One stripe of the object table: an independent `OID → root page`
+/// B-tree plus the live-object count for the stripe.
+struct TableShard {
+    tree: RwLock<BTree>,
+    live: AtomicU64,
+}
+
 /// The object storage device.
 ///
-/// All methods take `&self`; concurrency control is one lock per object
-/// plus a reader/writer lock on the object table. This is the locking
-/// granularity the paper contrasts with a hierarchical namespace, where
-/// unrelated operations still synchronise on shared ancestor directories.
+/// All methods take `&self`; see the [module documentation](self) for the
+/// sharding and locking model. This is the locking granularity the paper
+/// contrasts with a hierarchical namespace, where unrelated operations
+/// still synchronise on shared ancestor directories.
 pub struct ObjectStore {
     ctx: TreeContext,
     superblock: Superblock,
     config: StoreConfig,
-    table: RwLock<BTree>,
-    objects: Mutex<HashMap<u64, Arc<Mutex<OpenObject>>>>,
+    tables: Box<[TableShard]>,
+    objects: ShardedMap<Arc<Mutex<OpenObject>>>,
     next_oid: AtomicU64,
 }
 
@@ -103,13 +157,20 @@ impl ObjectStore {
             )),
         };
         let ctx = TreeContext::new(device, allocator);
-        let table = BTree::create(ctx.clone())?;
+        let shard_count = resolve_shard_count(config.shards);
+        let mut tables = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            tables.push(TableShard {
+                tree: RwLock::new(BTree::create(ctx.clone())?),
+                live: AtomicU64::new(0),
+            });
+        }
         Ok(ObjectStore {
             ctx,
             superblock,
             config,
-            table: RwLock::new(table),
-            objects: Mutex::new(HashMap::new()),
+            tables: tables.into_boxed_slice(),
+            objects: ShardedMap::new(shard_count),
             next_oid: AtomicU64::new(1),
         })
     }
@@ -136,33 +197,54 @@ impl ObjectStore {
         &self.ctx
     }
 
-    /// Aggregate statistics.
+    /// Number of lock shards (the resolved value of
+    /// [`StoreConfig::shards`]; always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The shard `oid` routes to, in `0..shard_count()`. Two objects in
+    /// the same shard share a table lock and an open-map stripe; objects
+    /// in different shards share no namespace locks at all.
+    pub fn shard_of(&self, oid: ObjectId) -> usize {
+        shard_index(oid.as_u64(), self.tables.len())
+    }
+
+    fn table(&self, oid: ObjectId) -> &TableShard {
+        &self.tables[self.shard_of(oid)]
+    }
+
+    /// Aggregate statistics, summed across shards.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             objects: self.object_count(),
+            shards: self.tables.len(),
             device: self.ctx.device.counters(),
             allocator: self.ctx.allocator.stats(),
         }
     }
 
-    /// Number of live objects.
+    /// Number of live objects (sum of the per-shard live counts; O(shards),
+    /// no table scan).
     pub fn object_count(&self) -> u64 {
-        self.table
-            .read()
-            .scan_all()
-            .map(|v| v.len() as u64)
-            .unwrap_or(0)
+        self.tables
+            .iter()
+            .map(|s| s.live.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Every live object id, in ascending order.
+    /// Every live object id, in ascending order (merged across shards).
     pub fn list(&self) -> Result<Vec<ObjectId>> {
-        let table = self.table.read();
         let mut out = Vec::new();
-        for (key, _) in table.scan_all()? {
-            if let Some(oid) = ObjectId::from_key(&key) {
-                out.push(oid);
+        for shard in self.tables.iter() {
+            let tree = shard.tree.read();
+            for (key, _) in tree.scan_all()? {
+                if let Some(oid) = ObjectId::from_key(&key) {
+                    out.push(oid);
+                }
             }
         }
+        out.sort_unstable();
         Ok(out)
     }
 
@@ -171,11 +253,19 @@ impl ObjectStore {
         let oid = ObjectId(self.next_oid.fetch_add(1, Ordering::Relaxed));
         let object = Object::create(oid, self.ctx.clone(), meta, self.config.max_extent_bytes)?;
         let root = object.root_page();
+        let shard = self.table(oid);
+        // Hold the open-map shard lock across both publications (table
+        // entry, then handle), mirroring delete: a concurrent operation on
+        // this oid blocks on the shard lock and then observes either
+        // nothing or the fully created object, never the table entry
+        // without its handle.
+        let mut map_shard = self.objects.lock_shard(oid.as_u64());
         {
-            let mut table = self.table.write();
-            table.insert(&oid.to_key(), &root.to_le_bytes())?;
+            let mut tree = shard.tree.write();
+            tree.insert(&oid.to_key(), &root.to_le_bytes())?;
         }
-        self.objects.lock().insert(
+        shard.live.fetch_add(1, Ordering::Relaxed);
+        map_shard.insert(
             oid.as_u64(),
             Arc::new(Mutex::new(OpenObject {
                 object,
@@ -191,36 +281,31 @@ impl ObjectStore {
     }
 
     fn load_object(&self, oid: ObjectId) -> Result<Arc<Mutex<OpenObject>>> {
-        let mut map = self.objects.lock();
-        if let Some(entry) = map.get(&oid.as_u64()) {
-            return Ok(Arc::clone(entry));
-        }
-        // Not open: fetch the root page from the table and reconstruct.
-        let root_bytes = {
-            let table = self.table.read();
-            table.get(&oid.to_key())?
-        };
-        let Some(root_bytes) = root_bytes else {
-            return Err(OsdError::NoSuchObject(oid.as_u64()));
-        };
-        let root = u64::from_le_bytes(
-            root_bytes
-                .as_slice()
-                .try_into()
-                .map_err(|_| OsdError::Corrupt("object table value is not a root page".into()))?,
-        );
-        let tree = BTree::open(self.ctx.clone(), root);
-        let meta_bytes = tree
-            .get(&[0x00])?
-            .ok_or_else(|| OsdError::Corrupt(format!("object {oid} has no metadata record")))?;
-        let meta = ObjectMeta::decode(&meta_bytes)?;
-        let object = Object::from_parts(oid, tree, meta, self.config.max_extent_bytes);
-        let entry = Arc::new(Mutex::new(OpenObject {
-            object,
-            persisted_root: root,
-        }));
-        map.insert(oid.as_u64(), Arc::clone(&entry));
-        Ok(entry)
+        self.objects.get_or_try_insert_with(oid.as_u64(), || {
+            // Not open: fetch the root page from the table shard and
+            // reconstruct. Only this shard's opens wait on the load.
+            let root_bytes = {
+                let tree = self.table(oid).tree.read();
+                tree.get(&oid.to_key())?
+            };
+            let Some(root_bytes) = root_bytes else {
+                return Err(OsdError::NoSuchObject(oid.as_u64()));
+            };
+            let root =
+                u64::from_le_bytes(root_bytes.as_slice().try_into().map_err(|_| {
+                    OsdError::Corrupt("object table value is not a root page".into())
+                })?);
+            let tree = BTree::open(self.ctx.clone(), root);
+            let meta_bytes = tree
+                .get(&[0x00])?
+                .ok_or_else(|| OsdError::Corrupt(format!("object {oid} has no metadata record")))?;
+            let meta = ObjectMeta::decode(&meta_bytes)?;
+            let object = Object::from_parts(oid, tree, meta, self.config.max_extent_bytes);
+            Ok(Arc::new(Mutex::new(OpenObject {
+                object,
+                persisted_root: root,
+            })))
+        })
     }
 
     /// Runs `f` with exclusive access to the object, persisting the new
@@ -235,8 +320,8 @@ impl ObjectStore {
         let result = f(&mut guard.object)?;
         let root = guard.object.root_page();
         if root != guard.persisted_root {
-            let mut table = self.table.write();
-            table.insert(&oid.to_key(), &root.to_le_bytes())?;
+            let mut tree = self.table(oid).tree.write();
+            tree.insert(&oid.to_key(), &root.to_le_bytes())?;
             guard.persisted_root = root;
         }
         Ok(result)
@@ -298,19 +383,43 @@ impl ObjectStore {
     }
 
     /// Deletes an object, freeing all of its storage.
+    ///
+    /// Fails with [`OsdError::Corrupt`] (and changes nothing) if another
+    /// thread currently holds the object's handle; fails with
+    /// [`OsdError::NoSuchObject`] if the object does not exist.
     pub fn delete(&self, oid: ObjectId) -> Result<()> {
         let entry = self.load_object(oid)?;
-        // Take the object out of the open table first so concurrent callers
-        // fail with NoSuchObject rather than racing the destroy.
-        self.objects.lock().remove(&oid.as_u64());
-        {
-            let mut table = self.table.write();
-            table.delete(&oid.to_key())?;
-        }
-        let open = Arc::try_unwrap(entry)
-            .map_err(|_| OsdError::Corrupt(format!("object {oid} still in use during delete")))?
-            .into_inner();
-        open.object.destroy()
+        let shard = self.table(oid);
+        let open = {
+            // Hold the open-map shard lock across both the ownership check
+            // and the table removal: concurrent opens of this object block
+            // on the same shard lock (load_object holds it while reading
+            // the table), so once the table entry is gone they observe
+            // NoSuchObject rather than resurrecting a handle over storage
+            // the destroy below is about to free. Lock order is map shard
+            // → table shard, the same as the load path.
+            let mut map_shard = self.objects.lock_shard(oid.as_u64());
+            map_shard.remove(&oid.as_u64());
+            match Arc::try_unwrap(entry) {
+                Ok(open) => {
+                    let removed = shard.tree.write().delete(&oid.to_key())?;
+                    if removed.is_some() {
+                        shard.live.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    open
+                }
+                Err(entry) => {
+                    // Another thread still uses the object: put the handle
+                    // back and fail without touching table, counter or
+                    // storage, so the store stays fully consistent.
+                    map_shard.insert(oid.as_u64(), entry);
+                    return Err(OsdError::Corrupt(format!(
+                        "object {oid} still in use during delete"
+                    )));
+                }
+            }
+        };
+        open.into_inner().object.destroy()
     }
 }
 
@@ -320,6 +429,18 @@ mod tests {
 
     fn store() -> ObjectStore {
         ObjectStore::in_memory(32 * 1024 * 1024).unwrap()
+    }
+
+    fn sharded_store(shards: usize) -> ObjectStore {
+        let device = Arc::new(hfad_storage::MemDevice::with_capacity(32 * 1024 * 1024));
+        ObjectStore::create(
+            device,
+            StoreConfig {
+                shards,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -475,5 +596,171 @@ mod tests {
         let unique: std::collections::HashSet<_> = all.iter().collect();
         assert_eq!(unique.len(), all.len());
         assert_eq!(s.object_count(), 200);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding-specific coverage.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn shard_count_resolution() {
+        assert_eq!(sharded_store(1).shard_count(), 1);
+        assert_eq!(sharded_store(3).shard_count(), 4);
+        assert_eq!(sharded_store(8).shard_count(), 8);
+        // Auto (0) resolves to a power of two ≥ 1.
+        let auto = sharded_store(0);
+        assert!(auto.shard_count().is_power_of_two());
+        assert_eq!(auto.stats().shards, auto.shard_count());
+    }
+
+    /// Creates objects until `want` oids land in the same shard as each
+    /// other and `want` in a different one, returning `(same, other)`.
+    fn colliding_oids(s: &ObjectStore, want: usize) -> (Vec<ObjectId>, Vec<ObjectId>) {
+        let probe = s.create_default(0).unwrap();
+        let target = s.shard_of(probe);
+        let mut same = vec![probe];
+        let mut other = Vec::new();
+        while same.len() < want || other.len() < want {
+            let oid = s.create_default(0).unwrap();
+            if s.shard_of(oid) == target {
+                same.push(oid);
+            } else if other.len() < want {
+                other.push(oid);
+            }
+        }
+        (same, other)
+    }
+
+    #[test]
+    fn same_shard_and_cross_shard_lifecycle() {
+        let s = sharded_store(4);
+        let (same, other) = colliding_oids(&s, 3);
+        // Interleave writes/deletes on same-shard and cross-shard oids; the
+        // shard routing must never confuse one object for another.
+        for (i, oid) in same.iter().chain(other.iter()).enumerate() {
+            s.write(*oid, 0, format!("payload {i}").as_bytes()).unwrap();
+        }
+        s.delete(same[1]).unwrap();
+        s.delete(other[0]).unwrap();
+        assert!(matches!(
+            s.read(same[1], 0, 1),
+            Err(OsdError::NoSuchObject(_))
+        ));
+        assert!(matches!(
+            s.read(other[0], 0, 1),
+            Err(OsdError::NoSuchObject(_))
+        ));
+        // Survivors in both shards still read back correctly.
+        assert_eq!(s.read(same[0], 0, 100).unwrap(), b"payload 0".to_vec());
+        assert_eq!(s.read(same[2], 0, 100).unwrap(), b"payload 2".to_vec());
+        let expected = format!("payload {}", same.len() + 1).into_bytes();
+        assert_eq!(s.read(other[1], 0, 100).unwrap(), expected);
+        let listed = s.list().unwrap();
+        assert!(!listed.contains(&same[1]) && !listed.contains(&other[0]));
+        assert_eq!(listed.len() as u64, s.object_count());
+    }
+
+    #[test]
+    fn reopen_after_cache_eviction_crosses_shards() {
+        // An object whose open handle was evicted must reload through
+        // load_object's cold path from the correct table shard.
+        let s = sharded_store(8);
+        let (same, other) = colliding_oids(&s, 2);
+        for oid in same.iter().chain(other.iter()) {
+            s.write(*oid, 0, oid.to_string().as_bytes()).unwrap();
+        }
+        // Force table splits in every touched shard.
+        for _ in 0..200 {
+            s.create_default(0).unwrap();
+        }
+        // Evict the cached handles (test-only: the map is private) so the
+        // reads below cannot be served from the open-object cache.
+        for oid in same.iter().chain(other.iter()) {
+            s.objects.remove(oid.as_u64()).expect("handle was cached");
+        }
+        for oid in same.iter().chain(other.iter()) {
+            assert_eq!(
+                s.read(*oid, 0, 100).unwrap(),
+                oid.to_string().into_bytes(),
+                "oid {oid} in shard {} misrouted on cold reload",
+                s.shard_of(*oid)
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_create_remove_keeps_object_count_consistent() {
+        // StoreStats.objects is a per-shard counter sum; under concurrent
+        // create/delete churn it must end exactly equal to the number of
+        // surviving objects in the table.
+        let s = Arc::new(sharded_store(4));
+        let threads = 8;
+        let per_thread = 40;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut survivors = 0u64;
+                for i in 0..per_thread {
+                    let oid = s.create_default(0).unwrap();
+                    if i % 2 == 0 {
+                        s.delete(oid).unwrap();
+                    } else {
+                        survivors += 1;
+                    }
+                }
+                survivors
+            }));
+        }
+        let expected: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(s.object_count(), expected);
+        assert_eq!(s.stats().objects, expected);
+        assert_eq!(s.list().unwrap().len() as u64, expected);
+    }
+
+    #[test]
+    fn delete_while_in_use_fails_cleanly_and_retry_succeeds() {
+        let s = Arc::new(sharded_store(4));
+        let oid = s.create_default(0).unwrap();
+        s.write(oid, 0, b"guarded").unwrap();
+        let (in_cs_tx, in_cs_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let s2 = Arc::clone(&s);
+        let holder = std::thread::spawn(move || {
+            s2.with_object(oid, |o| {
+                in_cs_tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+                o.read(0, 7)
+            })
+            .unwrap()
+        });
+        in_cs_rx.recv().unwrap();
+        // Another thread holds the object's handle: delete must refuse and
+        // leave table, counter and storage untouched.
+        assert!(matches!(s.delete(oid), Err(OsdError::Corrupt(_))));
+        assert_eq!(s.object_count(), 1);
+        done_tx.send(()).unwrap();
+        assert_eq!(holder.join().unwrap(), b"guarded".to_vec());
+        // The failed delete must not have half-deleted anything: the object
+        // is still fully usable, and a retry now succeeds.
+        assert_eq!(s.read(oid, 0, 100).unwrap(), b"guarded".to_vec());
+        s.delete(oid).unwrap();
+        assert_eq!(s.object_count(), 0);
+        assert!(s.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_shard_store_still_correct() {
+        let s = sharded_store(1);
+        assert_eq!(s.shard_count(), 1);
+        let a = s.create_default(0).unwrap();
+        let b = s.create_default(0).unwrap();
+        assert_eq!(s.shard_of(a), 0);
+        assert_eq!(s.shard_of(b), 0);
+        s.write(a, 0, b"one").unwrap();
+        s.write(b, 0, b"two").unwrap();
+        s.delete(a).unwrap();
+        assert_eq!(s.read(b, 0, 100).unwrap(), b"two".to_vec());
+        assert_eq!(s.object_count(), 1);
     }
 }

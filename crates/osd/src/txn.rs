@@ -6,6 +6,12 @@
 //! data operations are buffered in a [`Transaction`], logged to the
 //! write-ahead journal at commit, synced, and only then applied to the
 //! store. Experiment E6 ablates its cost against the plain store.
+//!
+//! The journal is intentionally a single serial log even though the store
+//! underneath is sharded (see [`crate::store`]): commit ordering is a
+//! durability property, not a namespace property, so transactions pay one
+//! append stream while the applied operations still spread across the
+//! store's shards.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

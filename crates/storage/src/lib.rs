@@ -7,10 +7,10 @@
 //! buddy storage allocator at the lowest layer of its OSD. This crate
 //! provides that substrate entirely in user space:
 //!
-//! * [`device`] — the [`BlockDevice`](device::BlockDevice) trait with
-//!   in-memory ([`MemDevice`](device::MemDevice)) and file-backed
-//!   ([`FileDevice`](device::FileDevice)) implementations, plus physical
-//!   operation counters used by the experiments.
+//! * [`device`] — the [`device::BlockDevice`] trait with in-memory
+//!   ([`device::MemDevice`]) and file-backed ([`device::FileDevice`])
+//!   implementations, plus physical operation counters used by the
+//!   experiments.
 //! * [`alloc`], [`buddy`], [`bump`] — the allocator abstraction, the
 //!   paper's buddy allocator and a bump allocator used for ablation.
 //! * [`extent`] — contiguous block runs handed out by allocators and stored
