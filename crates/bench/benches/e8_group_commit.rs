@@ -1,0 +1,32 @@
+//! E8: group commit — batched vs sync-per-commit transactional
+//! throughput on a journal device with a serialised ~0.3 ms flush.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfad_bench::experiments::{e8_commit_storm, e8_txn_store};
+use hfad_storage::GroupCommitConfig;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_group_commit");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(900));
+
+    for threads in [1usize, 4] {
+        for (label, config) in [
+            ("sync_per_commit", GroupCommitConfig::unbatched()),
+            ("group_commit", GroupCommitConfig::default()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    let ts = e8_txn_store(config);
+                    e8_commit_storm(&ts, threads, 8)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -950,6 +950,118 @@ pub fn e7_multinaming(scale: Scale) -> Table {
     table
 }
 
+// ---------------------------------------------------------------------
+// E8 — §3.3 group commit: amortising the transactional flush.
+// ---------------------------------------------------------------------
+
+/// The flush latency E8 charges the journal device, emulating a storage
+/// device whose FLUSH CACHE takes ~0.3 ms and executes serially.
+pub const E8_FLUSH_DELAY: Duration = Duration::from_micros(300);
+
+/// Builds the transactional store E8 measures: an [`ObjectStore`] whose
+/// device pays [`E8_FLUSH_DELAY`] per sync, wrapped by a [`hfad_osd::TxnStore`]
+/// with the given group-commit policy.
+pub fn e8_txn_store(config: hfad_storage::GroupCommitConfig) -> Arc<hfad_osd::TxnStore> {
+    let device = Arc::new(hfad_storage::FlushDelayDevice::new(
+        MemDevice::with_capacity(64 * 1024 * 1024),
+        E8_FLUSH_DELAY,
+    ));
+    let store = Arc::new(
+        ObjectStore::create(
+            device,
+            StoreConfig {
+                journal_blocks: 2048,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    Arc::new(hfad_osd::TxnStore::with_config(store, config).unwrap())
+}
+
+/// Runs `threads` committers, each committing `per_thread` small
+/// transactions, and returns the elapsed wall-clock time.
+pub fn e8_commit_storm(
+    ts: &Arc<hfad_osd::TxnStore>,
+    threads: usize,
+    per_thread: usize,
+) -> Duration {
+    let oids: Vec<_> = (0..threads)
+        .map(|_| ts.store().create_default(0).unwrap())
+        .collect();
+    let (_, elapsed) = time(|| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ts = Arc::clone(ts);
+                let oid = oids[t];
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let mut txn = ts.begin();
+                        txn.write(
+                            oid,
+                            (i % 64 * 64) as u64,
+                            format!("c{t:02}-{i:04}").as_bytes(),
+                        )
+                        .unwrap();
+                        txn.commit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    elapsed
+}
+
+/// E8: group-commit throughput — commits/sec at 1..N concurrent
+/// committers, batched vs the sync-per-commit baseline, on a device with
+/// a realistic (serialised, ~0.3 ms) flush latency.
+pub fn e8_group_commit(scale: Scale) -> Table {
+    let per_thread = scale.pick(40, 200);
+
+    let mut table = Table::new(
+        "E8",
+        "Group commit: commits/s vs concurrent committers, batched vs sync-per-commit",
+        "the OSD \"may be transactional\" (§3.3); group commit makes the transactional choice \
+         scale by amortising one journal flush across every concurrently committing txn",
+        &[
+            "committers",
+            "batching",
+            "commits/s",
+            "flushes",
+            "mean batch",
+        ],
+    );
+
+    for &threads in &[1usize, 2, 4, 8] {
+        for (label, config) in [
+            (
+                "sync-per-commit",
+                hfad_storage::GroupCommitConfig::unbatched(),
+            ),
+            (
+                "group-commit(64)",
+                hfad_storage::GroupCommitConfig::default(),
+            ),
+        ] {
+            let ts = e8_txn_store(config);
+            let elapsed = e8_commit_storm(&ts, threads, per_thread);
+            let stats = ts.group_commit_stats();
+            let mean_batch = stats.commits as f64 / stats.batches.max(1) as f64;
+            table.push_row(vec![
+                threads.to_string(),
+                label.to_string(),
+                ops_per_sec((threads * per_thread) as u64, elapsed),
+                stats.flushes.to_string(),
+                format!("{mean_batch:.1}"),
+            ]);
+        }
+    }
+    table
+}
+
 /// Runs every experiment at the given scale, in declaration order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -962,10 +1074,11 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e5_posix_compat(scale),
         e6_ablation(scale),
         e7_multinaming(scale),
+        e8_group_commit(scale),
     ]
 }
 
-/// Looks an experiment up by id (`t1`, `f1`, `e1` … `e7`).
+/// Looks an experiment up by id (`t1`, `f1`, `e1` … `e8`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "t1" => Some(t1_tag_classes(scale)),
@@ -977,6 +1090,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e5" => Some(e5_posix_compat(scale)),
         "e6" => Some(e6_ablation(scale)),
         "e7" => Some(e7_multinaming(scale)),
+        "e8" => Some(e8_group_commit(scale)),
         _ => None,
     }
 }
@@ -985,7 +1099,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
 mod tests {
     use super::*;
 
-    /// Runs all nine experiments end to end at quick scale (~30 s): the
+    /// Runs all ten experiments end to end at quick scale (~30 s): the
     /// full-coverage smoke test for the experiment table. Too slow for the
     /// default test run, so it is gated behind `--ignored`; run it with
     /// `cargo test -p hfad_bench -- --ignored` (CI runs the cheap
@@ -993,10 +1107,42 @@ mod tests {
     #[test]
     #[ignore = "runs every experiment at quick scale (~30 s); use cargo test -- --ignored"]
     fn every_experiment_id_resolves() {
-        for id in ["t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7"] {
+        for id in ["t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"] {
             assert!(run_one(id, Scale::Quick).is_some() || id.is_empty());
         }
         assert!(run_one("e99", Scale::Quick).is_none());
+    }
+
+    /// The tentpole claim of the group-commit PR: with four or more
+    /// concurrent committers on a device with real flush latency, batched
+    /// commits must deliver at least twice the sync-per-commit
+    /// throughput, because one flush is amortised across the batch.
+    ///
+    /// Wall-clock sensitive, so it only runs in release builds (CI's
+    /// release test step); under debug + `--ignored` it is skipped.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "timing-sensitive; run with cargo test --release -p hfad_bench"
+    )]
+    fn e8_batched_at_least_doubles_unbatched_at_four_committers() {
+        let threads = 4usize;
+        let per_thread = 30usize;
+        let unbatched = e8_txn_store(hfad_storage::GroupCommitConfig::unbatched());
+        let unbatched_elapsed = e8_commit_storm(&unbatched, threads, per_thread);
+        let batched = e8_txn_store(hfad_storage::GroupCommitConfig::default());
+        let batched_elapsed = e8_commit_storm(&batched, threads, per_thread);
+        let speedup = unbatched_elapsed.as_secs_f64() / batched_elapsed.as_secs_f64();
+        assert!(
+            speedup >= 2.0,
+            "group commit speedup at {threads} committers was only {speedup:.2}x \
+             (unbatched {unbatched_elapsed:?}, batched {batched_elapsed:?})"
+        );
+        // And it must flush strictly less often for the same commits.
+        let u = unbatched.group_commit_stats();
+        let b = batched.group_commit_stats();
+        assert_eq!(u.commits, b.commits);
+        assert!(b.flushes < u.flushes);
     }
 
     #[test]

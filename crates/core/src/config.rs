@@ -1,6 +1,9 @@
 //! Configuration for an hFAD instance.
 
+use std::time::Duration;
+
 use hfad_osd::{AllocatorKind, StoreConfig, DEFAULT_MAX_EXTENT_BYTES};
+use hfad_storage::GroupCommitConfig;
 
 /// How full-text content indexing is performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,6 +23,18 @@ pub struct HfadConfig {
     pub max_extent_bytes: u64,
     /// Blocks reserved for the write-ahead journal (0 disables it).
     pub journal_blocks: u64,
+    /// Maximum transactions a group-commit batch may contain when a
+    /// transactional store is layered on top (see
+    /// [`hfad_osd::TxnStore::with_config`]). `0` disables batching and
+    /// reproduces the sync-per-commit baseline measured by the E8
+    /// ablation.
+    pub journal_batch: usize,
+    /// Microseconds a group-commit leader waits for more committers
+    /// before flushing an underfull batch. `0` (the default) flushes
+    /// whatever is queued immediately; batches then form only while a
+    /// previous flush is in flight, adding no latency for lone
+    /// committers.
+    pub journal_batch_wait_us: u64,
     /// Data-area allocator.
     pub allocator: AllocatorKind,
     /// Number of lock shards for the OSD object table and open-object map
@@ -40,6 +55,8 @@ impl Default for HfadConfig {
         HfadConfig {
             max_extent_bytes: DEFAULT_MAX_EXTENT_BYTES,
             journal_blocks: 0,
+            journal_batch: GroupCommitConfig::default().max_batch,
+            journal_batch_wait_us: 0,
             allocator: AllocatorKind::Buddy,
             store_shards: 0,
             index_shards: 16,
@@ -57,6 +74,15 @@ impl HfadConfig {
             journal_blocks: self.journal_blocks,
             allocator: self.allocator,
             shards: self.store_shards,
+        }
+    }
+
+    /// Derives the group-commit policy for a transactional store layered
+    /// over this instance's object store.
+    pub fn group_commit_config(&self) -> GroupCommitConfig {
+        GroupCommitConfig {
+            max_batch: self.journal_batch,
+            max_wait: Duration::from_micros(self.journal_batch_wait_us),
         }
     }
 
@@ -83,6 +109,22 @@ mod tests {
         assert_eq!(c.store_config().max_extent_bytes, c.max_extent_bytes);
         assert_eq!(c.store_config().journal_blocks, 0);
         assert_eq!(c.store_config().shards, c.store_shards);
+        // Group commit defaults: batching on, zero leader wait.
+        assert!(c.journal_batch > 0);
+        assert_eq!(c.group_commit_config().max_batch, c.journal_batch);
+        assert_eq!(c.group_commit_config().max_wait, Duration::ZERO);
+    }
+
+    #[test]
+    fn journal_batch_knobs_map_to_group_commit_config() {
+        let c = HfadConfig {
+            journal_batch: 0,
+            journal_batch_wait_us: 250,
+            ..Default::default()
+        };
+        let gc = c.group_commit_config();
+        assert_eq!(gc.max_batch, 0, "0 must mean the unbatched baseline");
+        assert_eq!(gc.max_wait, Duration::from_micros(250));
     }
 
     #[test]

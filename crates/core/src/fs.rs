@@ -42,6 +42,11 @@ pub struct Hfad {
     pub(crate) fulltext: Arc<FullTextIndex>,
     pub(crate) lazy: Option<LazyIndexer>,
     pub(crate) config: HfadConfig,
+    /// Lazily built, shared transactional wrapper — see
+    /// [`txn_store`](Self::txn_store). One journal region must have
+    /// exactly one writer, so the handle is cached and every caller
+    /// gets the same instance.
+    pub(crate) txn: parking_lot::Mutex<Option<Arc<hfad_osd::TxnStore>>>,
 }
 
 impl Hfad {
@@ -71,6 +76,7 @@ impl Hfad {
             fulltext,
             lazy,
             config,
+            txn: parking_lot::Mutex::new(None),
         })
     }
 
@@ -90,6 +96,33 @@ impl Hfad {
     /// experiments that need raw counters).
     pub fn store(&self) -> &Arc<ObjectStore> {
         &self.store
+    }
+
+    /// The transactional wrapper over the object store, configured by
+    /// this instance's `journal_batch` / `journal_batch_wait_us` knobs.
+    ///
+    /// Requires the instance to have been created with
+    /// `journal_blocks > 0` so a journal region exists. Commits issued
+    /// through the returned [`hfad_osd::TxnStore`] ride the group-commit
+    /// pipeline: concurrent transactions share one journal append and one
+    /// device flush per batch (`journal_batch == 0` restores the
+    /// sync-per-commit baseline).
+    ///
+    /// The wrapper is built on first use and cached: a journal region
+    /// admits exactly one writer, so every call returns the **same**
+    /// shared instance (two independent `TxnStore`s over one region
+    /// would overwrite each other's acknowledged frames).
+    pub fn txn_store(&self) -> Result<Arc<hfad_osd::TxnStore>> {
+        let mut slot = self.txn.lock();
+        if let Some(ts) = slot.as_ref() {
+            return Ok(Arc::clone(ts));
+        }
+        let ts = Arc::new(hfad_osd::TxnStore::with_config(
+            Arc::clone(&self.store),
+            self.config.group_commit_config(),
+        )?);
+        *slot = Some(Arc::clone(&ts));
+        Ok(ts)
     }
 
     /// The index registry (exposed so plug-in index stores can be
@@ -216,6 +249,34 @@ mod tests {
             Hfad::parse_id_value("not-a-number"),
             Err(HfadError::InvalidIdValue(_))
         ));
+    }
+
+    #[test]
+    fn txn_store_uses_configured_group_commit() {
+        let fs = Hfad::in_memory(
+            16 * 1024 * 1024,
+            HfadConfig {
+                journal_blocks: 256,
+                journal_batch: 8,
+                ..HfadConfig::eager()
+            },
+        )
+        .unwrap();
+        let ts = fs.txn_store().unwrap();
+        // Repeated calls must hand back the same shared writer: two
+        // independent journals over one region would clobber each other.
+        assert!(Arc::ptr_eq(&ts, &fs.txn_store().unwrap()));
+        let oid = fs.create(&[]).unwrap();
+        let mut txn = ts.begin();
+        txn.write(oid, 0, b"durable").unwrap();
+        txn.commit().unwrap();
+        assert_eq!(fs.read(oid, 0, 7).unwrap(), b"durable".to_vec());
+        let stats = ts.group_commit_stats();
+        assert_eq!(stats.commits, 1);
+        assert!(stats.max_batch <= 8);
+        // Without a journal region the wrapper must be refused.
+        let plain = Hfad::in_memory(4 * 1024 * 1024, HfadConfig::default()).unwrap();
+        assert!(plain.txn_store().is_err());
     }
 
     #[test]

@@ -146,6 +146,19 @@ impl ObjectStore {
             config.journal_blocks,
         )?;
         superblock.write_to(&device)?;
+        if superblock.journal_blocks > 0 {
+            // Formatting must leave an *empty* journal: the device may be
+            // reused, and `Journal::new` adopts any surviving valid
+            // frames (so a later `TxnStore` would resurrect and replay
+            // the previous instance's transactions). Opening + resetting
+            // destroys every stale frame in the region.
+            hfad_storage::Journal::new(
+                Arc::clone(&device),
+                superblock.journal_start,
+                superblock.journal_blocks,
+            )?
+            .reset()?;
+        }
         let allocator: Arc<dyn Allocator> = match config.allocator {
             AllocatorKind::Buddy => Arc::new(BuddyAllocator::new(
                 superblock.data_start,

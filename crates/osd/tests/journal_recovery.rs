@@ -1,0 +1,306 @@
+//! Crash-recovery torture tests at the transactional-store level.
+//!
+//! Where `hfad-storage`'s suite tortures raw journal frames, this one
+//! asserts the end-to-end property the OSD promises: after a crash —
+//! simulated by corrupting the journal tail on the shared device and
+//! re-running redo recovery — the object store contains **exactly** the
+//! effects of acknowledged commits, and never those of aborted or
+//! half-written transactions. Every scenario runs at group-commit batch
+//! sizes 0 (sync-per-commit baseline), 1 and N with identical results.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hfad_osd::{ObjectId, ObjectStore, OsdError, StoreConfig, TxnStore};
+use hfad_storage::{BlockDevice, GroupCommitConfig, MemDevice, StorageError};
+
+const BATCH_SIZES: [usize; 3] = [0, 1, 8];
+
+fn config_for(max_batch: usize) -> GroupCommitConfig {
+    GroupCommitConfig {
+        max_batch,
+        max_wait: Duration::ZERO,
+    }
+}
+
+struct Rig {
+    device: Arc<MemDevice>,
+    ts: TxnStore,
+}
+
+fn rig(max_batch: usize) -> Rig {
+    let device = Arc::new(MemDevice::with_capacity(16 * 1024 * 1024));
+    let store = Arc::new(
+        ObjectStore::create(
+            Arc::clone(&device) as Arc<dyn BlockDevice>,
+            StoreConfig {
+                journal_blocks: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let ts = TxnStore::with_config(store, config_for(max_batch)).unwrap();
+    Rig { device, ts }
+}
+
+impl Rig {
+    /// XORs one byte at `off` within the journal region.
+    fn corrupt_journal_byte(&self, off: u64, mask: u8) {
+        let sb = self.ts.store().superblock();
+        let bs = self.device.block_size() as u64;
+        let block = sb.journal_start + off / bs;
+        let in_block = (off % bs) as usize;
+        let mut buf = vec![0u8; bs as usize];
+        self.device.read_block(block, &mut buf).unwrap();
+        buf[in_block] ^= mask;
+        self.device.write_block(block, &buf).unwrap();
+    }
+
+    /// Simulates the post-crash redo path: wipe the objects' contents,
+    /// then replay the journal into the store.
+    fn crash_and_replay(&self, oids: &[ObjectId]) -> u64 {
+        for oid in oids {
+            self.ts.store().truncate(*oid, 0).unwrap();
+        }
+        self.ts.replay().unwrap()
+    }
+}
+
+/// Commits `marker` writes to `oid`: one committed txn per marker.
+fn commit_markers(ts: &TxnStore, oid: ObjectId, markers: &[&str]) {
+    let mut offset = 0u64;
+    for m in markers {
+        let mut txn = ts.begin();
+        txn.write(oid, offset, m.as_bytes()).unwrap();
+        txn.commit().unwrap();
+        offset += m.len() as u64;
+    }
+}
+
+#[test]
+fn replay_restores_exactly_the_committed_state_at_every_batch_size() {
+    let mut recovered = Vec::new();
+    for &batch in &BATCH_SIZES {
+        let r = rig(batch);
+        let oid = r.ts.store().create_default(0).unwrap();
+        commit_markers(&r.ts, oid, &["alpha-", "beta-", "gamma"]);
+        // An aborted transaction must leave nothing behind.
+        let mut txn = r.ts.begin();
+        txn.write(oid, 0, b"ABORTED").unwrap();
+        txn.abort().unwrap();
+        let applied = r.crash_and_replay(&[oid]);
+        assert_eq!(applied, 3, "batch {batch}: three committed ops replay");
+        let data = r.ts.store().read(oid, 0, 64).unwrap();
+        assert_eq!(data, b"alpha-beta-gamma".to_vec(), "batch {batch}");
+        recovered.push(data);
+    }
+    assert!(
+        recovered.windows(2).all(|w| w[0] == w[1]),
+        "batch sizes {BATCH_SIZES:?} must recover byte-identical object state"
+    );
+}
+
+#[test]
+fn corrupted_tail_drops_only_the_last_txn_at_every_batch_size() {
+    for &batch in &BATCH_SIZES {
+        let r = rig(batch);
+        let oid = r.ts.store().create_default(0).unwrap();
+        commit_markers(&r.ts, oid, &["keep-one-", "keep-two-"]);
+        // The victim commits and is acknowledged, then its journal bytes
+        // are destroyed — the shape of a medium error under the head.
+        let before = r.ts.journal().head_offset();
+        let mut txn = r.ts.begin();
+        txn.write(oid, 18, b"victim").unwrap();
+        txn.commit().unwrap();
+        let after = r.ts.journal().head_offset();
+        for off in ((before + 25)..(after - 9)).step_by(7) {
+            r.corrupt_journal_byte(off, 0x5A);
+        }
+        let applied = r.crash_and_replay(&[oid]);
+        assert_eq!(applied, 2, "batch {batch}: only the intact prefix replays");
+        let data = r.ts.store().read(oid, 0, 64).unwrap();
+        assert_eq!(data, b"keep-one-keep-two-".to_vec(), "batch {batch}");
+    }
+}
+
+#[test]
+fn half_written_txn_is_never_applied_at_every_batch_size() {
+    for &batch in &BATCH_SIZES {
+        let r = rig(batch);
+        let oid = r.ts.store().create_default(0).unwrap();
+        commit_markers(&r.ts, oid, &["committed"]);
+        // A transaction that crashed before its Commit frame: Begin and
+        // Data reach the journal directly, Commit never does.
+        let journal = r.ts.journal();
+        journal
+            .append(999, hfad_storage::RecordKind::Begin, b"")
+            .unwrap();
+        // A well-formed redo record that must never be applied.
+        let phantom = hfad_osd::TxnOp::Write {
+            oid,
+            offset: 0,
+            data: b"PHANTOM__".to_vec(),
+        }
+        .encode();
+        journal
+            .append(999, hfad_storage::RecordKind::Data, &phantom)
+            .unwrap();
+        let applied = r.crash_and_replay(&[oid]);
+        assert_eq!(applied, 1, "batch {batch}");
+        let data = r.ts.store().read(oid, 0, 16).unwrap();
+        assert_eq!(data, b"committed".to_vec(), "batch {batch}");
+    }
+}
+
+#[test]
+fn journal_fills_fails_typed_and_recovers_after_checkpoint() {
+    for &batch in &BATCH_SIZES {
+        let r = rig(batch);
+        let oid = r.ts.store().create_default(0).unwrap();
+        // Fill the 64-block region with commits until it overflows.
+        let payload = vec![0x42u8; 8 * 1024];
+        let mut acked = 0u64;
+        let full_err = loop {
+            let mut txn = r.ts.begin();
+            txn.write(oid, acked * payload.len() as u64, &payload)
+                .unwrap();
+            match txn.commit() {
+                Ok(()) => acked += 1,
+                Err(e) => break e,
+            }
+            assert!(acked < 1_000, "journal never filled at batch {batch}");
+        };
+        assert!(
+            matches!(
+                full_err,
+                OsdError::Storage(StorageError::JournalFull { .. })
+            ),
+            "batch {batch}: overflow must be the typed JournalFull, got {full_err}"
+        );
+        assert!(acked > 0);
+        // Everything acknowledged before the overflow replays.
+        let applied = r.crash_and_replay(&[oid]);
+        assert_eq!(applied, acked, "batch {batch}");
+        assert_eq!(
+            r.ts.store().len(oid).unwrap(),
+            acked * payload.len() as u64,
+            "batch {batch}"
+        );
+        // Checkpoint reclaims the region; the store accepts commits again.
+        r.ts.checkpoint().unwrap();
+        let mut txn = r.ts.begin();
+        txn.write(oid, 0, b"post-checkpoint").unwrap();
+        txn.commit().unwrap();
+        assert_eq!(
+            r.ts.store().read(oid, 0, 15).unwrap(),
+            b"post-checkpoint".to_vec(),
+            "batch {batch}"
+        );
+    }
+}
+
+#[test]
+fn reformatting_a_used_device_does_not_resurrect_the_old_journal() {
+    // A device that carried a journaled store is reformatted with
+    // ObjectStore::create. The new store's journal must scan empty: the
+    // old instance's frames (valid CRCs, consecutive seqs) must not be
+    // adopted, or replay() would apply a dead store's transactions.
+    let device = Arc::new(MemDevice::with_capacity(16 * 1024 * 1024));
+    let make_store = || {
+        Arc::new(
+            ObjectStore::create(
+                Arc::clone(&device) as Arc<dyn BlockDevice>,
+                StoreConfig {
+                    journal_blocks: 64,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        )
+    };
+    {
+        let ts = TxnStore::new(make_store()).unwrap();
+        let oid = ts.store().create_default(0).unwrap();
+        commit_markers(&ts, oid, &["old-life-1", "old-life-2"]);
+        assert_eq!(ts.journal().committed_payloads().unwrap().len(), 2);
+    }
+    let ts = TxnStore::new(make_store()).unwrap();
+    assert_eq!(
+        ts.journal().committed_payloads().unwrap().len(),
+        0,
+        "formatting must leave an empty journal"
+    );
+    assert_eq!(ts.replay().unwrap(), 0);
+    // And the fresh journal is fully usable.
+    let oid = ts.store().create_default(0).unwrap();
+    commit_markers(&ts, oid, &["new-life"]);
+    let committed = ts.journal().committed_payloads().unwrap();
+    assert_eq!(committed.len(), 1);
+}
+
+#[test]
+fn concurrent_batch_overflow_fails_only_the_oversized_txn() {
+    // Force all four transactions into one leader batch with a long
+    // max_wait; the oversized one must fail typed while its batch-mates
+    // commit, apply and replay.
+    let device = Arc::new(MemDevice::with_capacity(16 * 1024 * 1024));
+    let store = Arc::new(
+        ObjectStore::create(
+            Arc::clone(&device) as Arc<dyn BlockDevice>,
+            StoreConfig {
+                journal_blocks: 1, // 4 KiB region: small txns fit, big cannot
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let ts = Arc::new(
+        TxnStore::with_config(
+            store,
+            GroupCommitConfig::batched(8, Duration::from_millis(50)),
+        )
+        .unwrap(),
+    );
+    let oid = ts.store().create_default(0).unwrap();
+    let barrier = Arc::new(std::sync::Barrier::new(4));
+    let handles: Vec<_> = (0..4usize)
+        .map(|t| {
+            let ts = Arc::clone(&ts);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut txn = ts.begin();
+                if t == 0 {
+                    txn.write(oid, 4096, &vec![0xEE; 64 * 1024]).unwrap();
+                } else {
+                    txn.write(oid, (t * 8) as u64, format!("ok-{t}").as_bytes())
+                        .unwrap();
+                }
+                (t, txn.commit())
+            })
+        })
+        .collect();
+    for h in handles {
+        let (t, result) = h.join().unwrap();
+        if t == 0 {
+            assert!(matches!(
+                result,
+                Err(OsdError::Storage(StorageError::JournalFull { .. }))
+            ));
+        } else {
+            result.unwrap();
+        }
+    }
+    // The oversized write never reached the store or the journal.
+    assert!(ts.store().len(oid).unwrap() < 4096 + 64 * 1024);
+    let committed = ts.journal().committed_payloads().unwrap();
+    assert_eq!(committed.len(), 3);
+    // And replay reproduces exactly the three small writes.
+    ts.store().truncate(oid, 0).unwrap();
+    assert_eq!(ts.replay().unwrap(), 3);
+    for t in 1..4usize {
+        let data = ts.store().read(oid, (t * 8) as u64, 4).unwrap();
+        assert_eq!(data, format!("ok-{t}").into_bytes());
+    }
+}

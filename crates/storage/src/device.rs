@@ -328,6 +328,66 @@ impl BlockDevice for FileDevice {
     }
 }
 
+/// A pass-through device that charges a fixed latency for every flush,
+/// serialised as on real hardware.
+///
+/// `MemDevice::flush` is a counter increment, which makes the cost that
+/// group commit amortises — the device sync — invisible. Wrapping any
+/// device in `FlushDelayDevice` models a disk or SSD whose FLUSH CACHE
+/// command takes `delay` and is executed one at a time by the device
+/// (concurrent flush callers queue behind an internal lock, exactly as
+/// they would queue at the device's command interface). Experiment E8
+/// uses this to measure batched vs sync-per-commit journaling.
+pub struct FlushDelayDevice<D: BlockDevice> {
+    inner: D,
+    delay: std::time::Duration,
+    flush_gate: parking_lot::Mutex<()>,
+}
+
+impl<D: BlockDevice> FlushDelayDevice<D> {
+    /// Wraps `inner`, making each flush take (at least) `delay`.
+    pub fn new(inner: D, delay: std::time::Duration) -> Self {
+        FlushDelayDevice {
+            inner,
+            delay,
+            flush_gate: parking_lot::Mutex::new(()),
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FlushDelayDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_block(block, buf)
+    }
+
+    fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+        self.inner.write_block(block, buf)
+    }
+
+    fn flush(&self) -> Result<()> {
+        let _gate = self.flush_gate.lock();
+        std::thread::sleep(self.delay);
+        self.inner.flush()
+    }
+
+    fn counters(&self) -> DeviceCounters {
+        self.inner.counters()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +510,21 @@ mod tests {
         let err = FileDevice::open(&path, 512).unwrap_err();
         assert!(matches!(err, StorageError::Corrupt(_)));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_delay_device_is_transparent_and_slow_to_flush() {
+        let dev =
+            FlushDelayDevice::new(MemDevice::new(4, 128), std::time::Duration::from_millis(5));
+        let data = vec![0x11u8; 128];
+        dev.write_block(1, &data).unwrap();
+        let mut out = vec![0u8; 128];
+        dev.read_block(1, &mut out).unwrap();
+        assert_eq!(out, data);
+        let start = std::time::Instant::now();
+        dev.flush().unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(dev.counters().flushes, 1);
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! Group commit: one flush amortized across concurrent committers.
+//!
+//! The journal makes the optional transactional OSD durable, but the seed
+//! design paid one `device.flush()` per committing transaction, so commit
+//! throughput was bounded by the device's sync latency no matter how many
+//! threads committed concurrently — the sharded object store funneled back
+//! into a serial log. [`GroupCommit`] applies the classic journaling-
+//! filesystem / ARIES fix: committers enqueue their encoded transaction
+//! and park; a *leader* (elected among the waiters, no dedicated thread)
+//! drains the queue, appends every transaction's frames in one contiguous
+//! write via [`Journal::append_txn_batch`], issues a single
+//! [`Journal::sync`], and wakes the whole batch with per-transaction
+//! durable sequence numbers.
+//!
+//! The leader takes whatever is queued *now* and flushes immediately
+//! (`max_wait` defaults to zero): while it is inside the flush, later
+//! committers pile up behind it and the next leader drains them all, so
+//! batches form naturally under concurrency without adding latency for a
+//! lone committer. A non-zero `max_wait` additionally holds the leader
+//! back to force larger batches. `max_batch == 0` disables the machinery
+//! entirely and reproduces the seed's sync-per-commit path — the E8
+//! ablation baseline.
+//!
+//! Durability semantics are unchanged: `commit` returns only once the
+//! transaction's Commit frame has been flushed (or with that
+//! transaction's own error — a transaction that overflows the journal
+//! region fails alone; the rest of its batch still commits).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::device::BlockDevice;
+use crate::error::{Result, StorageError};
+use crate::journal::{Journal, TxnFrames};
+
+/// Batching knobs for [`GroupCommit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Maximum transactions the leader drains into one batch. `0`
+    /// disables batching: every commit appends and flushes by itself,
+    /// reproducing the pre-group-commit journal for ablation.
+    pub max_batch: usize,
+    /// How long a leader waits for more committers before flushing a
+    /// batch that is still smaller than `max_batch`. Zero (the default)
+    /// means "flush whatever is queued right now"; batches then form only
+    /// from committers that arrived while a previous flush was in flight.
+    pub max_wait: Duration,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig {
+            max_batch: 64,
+            max_wait: Duration::ZERO,
+        }
+    }
+}
+
+impl GroupCommitConfig {
+    /// The sync-per-commit baseline (no batching, no queue).
+    pub fn unbatched() -> Self {
+        GroupCommitConfig {
+            max_batch: 0,
+            max_wait: Duration::ZERO,
+        }
+    }
+
+    /// A batched configuration with an explicit batch bound and leader
+    /// grace period.
+    pub fn batched(max_batch: usize, max_wait: Duration) -> Self {
+        GroupCommitConfig {
+            max_batch,
+            max_wait,
+        }
+    }
+}
+
+/// Counters describing how well commits amortized (snapshot of the
+/// lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Transactions acknowledged durable.
+    pub commits: u64,
+    /// Batches written (equals `commits` when unbatched).
+    pub batches: u64,
+    /// Device flushes issued on the commit path.
+    pub flushes: u64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+    /// Commits rejected with [`StorageError::JournalFull`].
+    pub journal_full: u64,
+}
+
+struct PendingCommit {
+    ticket: u64,
+    txn: TxnFrames,
+}
+
+struct QueueState {
+    pending: VecDeque<PendingCommit>,
+    results: HashMap<u64, Result<u64>>,
+    leader_active: bool,
+    next_ticket: u64,
+}
+
+/// The group-commit front end to a [`Journal`].
+pub struct GroupCommit<D: BlockDevice> {
+    journal: Journal<D>,
+    config: GroupCommitConfig,
+    state: Mutex<QueueState>,
+    wakeup: Condvar,
+    commits: AtomicU64,
+    batches: AtomicU64,
+    flushes: AtomicU64,
+    max_batch_seen: AtomicU64,
+    journal_full: AtomicU64,
+}
+
+impl<D: BlockDevice> GroupCommit<D> {
+    /// Wraps `journal` with the given batching policy.
+    pub fn new(journal: Journal<D>, config: GroupCommitConfig) -> Self {
+        GroupCommit {
+            journal,
+            config,
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                results: HashMap::new(),
+                leader_active: false,
+                next_ticket: 0,
+            }),
+            wakeup: Condvar::new(),
+            commits: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            max_batch_seen: AtomicU64::new(0),
+            journal_full: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped journal (recovery, checkpointing, direct appends).
+    pub fn journal(&self) -> &Journal<D> {
+        &self.journal
+    }
+
+    /// The active batching policy.
+    pub fn config(&self) -> GroupCommitConfig {
+        self.config
+    }
+
+    /// Lifetime commit/batch/flush counters.
+    pub fn stats(&self) -> GroupCommitStats {
+        GroupCommitStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            max_batch: self.max_batch_seen.load(Ordering::Relaxed),
+            journal_full: self.journal_full.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_batch(&self, batch_len: usize, results: &[Result<u64>]) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.max_batch_seen
+            .fetch_max(batch_len as u64, Ordering::Relaxed);
+        for r in results {
+            match r {
+                Ok(_) => {
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(StorageError::JournalFull { .. }) => {
+                    self.journal_full.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Writes and syncs one batch, outside the queue lock.
+    ///
+    /// `Journal::append_txn_batch` performs the contiguous write and the
+    /// single flush atomically with respect to the log: on a write or
+    /// flush failure it rolls the batch back, so a transaction reported
+    /// failed here can never surface as durable later.
+    fn flush_batch(&self, txns: &[TxnFrames]) -> Vec<Result<u64>> {
+        let results = match self.journal.append_txn_batch(txns) {
+            Ok(per_txn) => per_txn,
+            // Even the rollback failed: nothing in the batch is known
+            // durable, fail every committer.
+            Err(e) => vec![Err(e); txns.len()],
+        };
+        if results.iter().any(|r| r.is_ok()) {
+            // At least one transaction was made durable, which took
+            // exactly one successful device flush.
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.record_batch(txns.len(), &results);
+        results
+    }
+
+    /// Commits one whole transaction (`payloads` become its Data frames)
+    /// and blocks until it is durable, returning the sequence number of
+    /// its Commit record.
+    pub fn commit(&self, txn_id: u64, payloads: Vec<Vec<u8>>) -> Result<u64> {
+        let txn = TxnFrames { txn_id, payloads };
+        if self.config.max_batch == 0 {
+            // Ablation baseline: the seed's append + flush per commit.
+            let results = self.flush_batch(std::slice::from_ref(&txn));
+            return results.into_iter().next().expect("one txn, one result");
+        }
+
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.pending.push_back(PendingCommit { ticket, txn });
+        // A waiting leader counts queue length on wakeup; let it see us.
+        self.wakeup.notify_all();
+
+        loop {
+            if let Some(result) = state.results.remove(&ticket) {
+                return result;
+            }
+            if state.leader_active {
+                state = self.wakeup.wait(state).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+
+            // Become the leader for the next batch.
+            state.leader_active = true;
+            if self.config.max_wait > Duration::ZERO {
+                let deadline = Instant::now() + self.config.max_wait;
+                while state.pending.len() < self.config.max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) = self
+                        .wakeup
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = state.pending.len().min(self.config.max_batch);
+            let (tickets, txns): (Vec<u64>, Vec<TxnFrames>) = state
+                .pending
+                .drain(..take)
+                .map(|p| (p.ticket, p.txn))
+                .unzip();
+            drop(state);
+
+            let results = self.flush_batch(&txns);
+
+            state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            for (ticket, result) in tickets.into_iter().zip(results) {
+                state.results.insert(ticket, result);
+            }
+            state.leader_active = false;
+            self.wakeup.notify_all();
+            // Loop: our own ticket is usually in `results` now; if the
+            // queue was deeper than max_batch it may still be pending, in
+            // which case we lead (or follow) again.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceCounters, MemDevice};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn group(config: GroupCommitConfig) -> GroupCommit<Arc<MemDevice>> {
+        let dev = Arc::new(MemDevice::new(128, 512));
+        let journal = Journal::new(dev, 1, 64).unwrap();
+        GroupCommit::new(journal, config)
+    }
+
+    /// A device whose flush fails while `failing` is set — fault
+    /// injection for the sync-failure rollback path.
+    struct FlakyFlushDevice {
+        inner: MemDevice,
+        failing: AtomicBool,
+    }
+
+    impl BlockDevice for FlakyFlushDevice {
+        fn block_size(&self) -> usize {
+            self.inner.block_size()
+        }
+        fn block_count(&self) -> u64 {
+            self.inner.block_count()
+        }
+        fn read_block(&self, block: u64, buf: &mut [u8]) -> crate::error::Result<()> {
+            self.inner.read_block(block, buf)
+        }
+        fn write_block(&self, block: u64, buf: &[u8]) -> crate::error::Result<()> {
+            self.inner.write_block(block, buf)
+        }
+        fn flush(&self) -> crate::error::Result<()> {
+            if self.failing.load(Ordering::Relaxed) {
+                return Err(StorageError::Io("injected flush failure".into()));
+            }
+            self.inner.flush()
+        }
+        fn counters(&self) -> DeviceCounters {
+            self.inner.counters()
+        }
+    }
+
+    #[test]
+    fn failed_flush_rolls_the_batch_back_and_never_resurfaces_it() {
+        for config in [GroupCommitConfig::unbatched(), GroupCommitConfig::default()] {
+            let dev = Arc::new(FlakyFlushDevice {
+                inner: MemDevice::new(128, 512),
+                failing: AtomicBool::new(true),
+            });
+            let gc = GroupCommit::new(Journal::new(Arc::clone(&dev), 1, 64).unwrap(), config);
+            // The flush fails: the committer must see the error...
+            let err = gc.commit(1, vec![b"lost".to_vec()]).unwrap_err();
+            assert!(matches!(err, StorageError::Io(_)));
+            assert_eq!(gc.stats().commits, 0);
+            assert_eq!(gc.stats().flushes, 0);
+            // ...and the transaction must never surface again, even after
+            // LATER flushes succeed — a failed commit cannot become
+            // durable retroactively.
+            dev.failing.store(false, Ordering::Relaxed);
+            gc.commit(2, vec![b"kept".to_vec()]).unwrap();
+            let committed = gc.journal().committed_payloads().unwrap();
+            assert_eq!(committed.len(), 1);
+            assert_eq!(committed[0].0, 2);
+            // A cold recovery scan agrees.
+            let cold = Journal::new(Arc::clone(&dev), 1, 64).unwrap();
+            let ids: Vec<u64> = cold
+                .committed_payloads()
+                .unwrap()
+                .iter()
+                .map(|(t, _)| *t)
+                .collect();
+            assert_eq!(ids, vec![2]);
+        }
+    }
+
+    #[test]
+    fn byte_identical_retry_cannot_resurrect_a_failed_batch_mate() {
+        // A two-transaction batch [A, B] fails its flush; only A is
+        // retried, with byte-identical content. The retry rewrites the
+        // same offsets with the same seqs — if the rollback had zeroed
+        // only the batch's first length prefix, B's stale frames would
+        // sit at the retry's new head with the continuing seq and valid
+        // CRCs and replay as durable. The rollback must destroy the
+        // batch's whole extent.
+        let dev = Arc::new(FlakyFlushDevice {
+            inner: MemDevice::new(128, 512),
+            failing: AtomicBool::new(true),
+        });
+        let journal = Journal::new(Arc::clone(&dev), 1, 64).unwrap();
+        let a = TxnFrames {
+            txn_id: 1,
+            payloads: vec![b"payload-A".to_vec()],
+        };
+        let b = TxnFrames {
+            txn_id: 2,
+            payloads: vec![b"payload-B".to_vec()],
+        };
+        let results = journal.append_txn_batch(&[a.clone(), b]).unwrap();
+        assert!(results.iter().all(|r| r.is_err()), "flush failed: all Err");
+        // Retry only A, byte-identical, now with a working device.
+        dev.failing.store(false, Ordering::Relaxed);
+        let results = journal.append_txn_batch(&[a]).unwrap();
+        assert!(results[0].is_ok());
+        for journal in [&journal, &Journal::new(Arc::clone(&dev), 1, 64).unwrap()] {
+            let ids: Vec<u64> = journal
+                .committed_payloads()
+                .unwrap()
+                .iter()
+                .map(|(t, _)| *t)
+                .collect();
+            assert_eq!(ids, vec![1], "failed batch-mate B must not resurrect");
+        }
+    }
+
+    #[test]
+    fn single_commit_is_durable_and_replayable() {
+        for config in [GroupCommitConfig::unbatched(), GroupCommitConfig::default()] {
+            let gc = group(config);
+            let seq = gc
+                .commit(7, vec![b"alpha".to_vec(), b"beta".to_vec()])
+                .unwrap();
+            assert!(seq > 0);
+            let committed = gc.journal().committed_payloads().unwrap();
+            assert_eq!(
+                committed,
+                vec![(7, vec![b"alpha".to_vec(), b"beta".to_vec()])]
+            );
+            let stats = gc.stats();
+            assert_eq!(stats.commits, 1);
+            assert_eq!(stats.flushes, 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_commits_all_replay() {
+        let gc = Arc::new(group(GroupCommitConfig::batched(
+            8,
+            Duration::from_micros(200),
+        )));
+        let threads = 4;
+        let per_thread = 8;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let gc = Arc::clone(&gc);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let txn_id = (t * 100 + i + 1) as u64;
+                        gc.commit(txn_id, vec![format!("t{t}i{i}").into_bytes()])
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let committed = gc.journal().committed_payloads().unwrap();
+        assert_eq!(committed.len(), threads * per_thread);
+        let stats = gc.stats();
+        assert_eq!(stats.commits, (threads * per_thread) as u64);
+        assert!(stats.max_batch <= 8);
+        assert!(stats.flushes <= stats.commits);
+    }
+
+    #[test]
+    fn overflowing_txn_fails_alone() {
+        // Region: 2 blocks x 512 = 1024 bytes.
+        let dev = Arc::new(MemDevice::new(8, 512));
+        let journal = Journal::new(dev, 1, 2).unwrap();
+        let gc = GroupCommit::new(journal, GroupCommitConfig::default());
+        let err = gc.commit(1, vec![vec![0u8; 2048]]).unwrap_err();
+        assert!(matches!(err, StorageError::JournalFull { .. }));
+        // The journal is untouched; a small transaction still fits.
+        gc.commit(2, vec![b"small".to_vec()]).unwrap();
+        let committed = gc.journal().committed_payloads().unwrap();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].0, 2);
+        assert_eq!(gc.stats().journal_full, 1);
+    }
+
+    #[test]
+    fn unbatched_flushes_once_per_commit() {
+        let gc = group(GroupCommitConfig::unbatched());
+        for txn in 1..=5u64 {
+            gc.commit(txn, vec![b"x".to_vec()]).unwrap();
+        }
+        let stats = gc.stats();
+        assert_eq!(stats.commits, 5);
+        assert_eq!(stats.flushes, 5);
+        assert_eq!(stats.batches, 5);
+        assert_eq!(stats.max_batch, 1);
+    }
+}

@@ -55,6 +55,35 @@ pub struct JournalRecord {
 const FRAME_HEADER: usize = 4 + 8 + 8 + 1;
 const FRAME_TRAILER: usize = 8;
 
+/// The encoded frames of one whole transaction, ready for a batched
+/// append: a Begin frame, one Data frame per payload, and a Commit frame.
+///
+/// This is the unit the group-commit leader hands to
+/// [`Journal::append_txn_batch`]; keeping a transaction's frames together
+/// lets the journal admit or reject each transaction independently when
+/// the region runs out of space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnFrames {
+    /// Transaction id stamped on every frame.
+    pub txn_id: u64,
+    /// Encoded redo payloads, one Data frame each.
+    pub payloads: Vec<Vec<u8>>,
+}
+
+impl TxnFrames {
+    /// Bytes the transaction occupies in the journal: Begin + one Data
+    /// frame per payload + Commit.
+    pub fn encoded_len(&self) -> usize {
+        let empty = FRAME_HEADER + FRAME_TRAILER;
+        let data: usize = self
+            .payloads
+            .iter()
+            .map(|p| FRAME_HEADER + p.len() + FRAME_TRAILER)
+            .sum();
+        2 * empty + data
+    }
+}
+
 struct JournalInner {
     /// Next byte offset within the journal region to append at.
     head: u64,
@@ -73,6 +102,12 @@ pub struct Journal<D: BlockDevice> {
 impl<D: BlockDevice> Journal<D> {
     /// Opens (or initialises) the journal occupying `journal_blocks` blocks
     /// starting at `start_block`.
+    ///
+    /// Opening scans the region like recovery does and positions the
+    /// append head after the last valid record, continuing its sequence
+    /// numbering — so a re-opened journal extends the surviving log
+    /// instead of silently overwriting it. A zeroed (fresh) region scans
+    /// empty and starts at offset 0, seq 1.
     pub fn new(device: D, start_block: u64, journal_blocks: u64) -> Result<Self> {
         if journal_blocks == 0 {
             return Err(StorageError::Corrupt(
@@ -80,7 +115,7 @@ impl<D: BlockDevice> Journal<D> {
             ));
         }
         let block_size = device.block_size();
-        Ok(Journal {
+        let journal = Journal {
             region_bytes: journal_blocks * block_size as u64,
             device,
             start_block,
@@ -89,12 +124,47 @@ impl<D: BlockDevice> Journal<D> {
                 head: 0,
                 next_seq: 1,
             }),
-        })
+        };
+        let (records, end_offset) = journal.scan()?;
+        {
+            let mut inner = journal.inner.lock();
+            inner.head = end_offset;
+            inner.next_seq = records.last().map(|r| r.seq + 1).unwrap_or(1);
+        }
+        Ok(journal)
     }
 
     /// Bytes of journal space still available before the region is full.
     pub fn available_bytes(&self) -> u64 {
         self.region_bytes - self.inner.lock().head
+    }
+
+    /// Current append offset within the region (bytes of valid log). Used
+    /// by recovery tests to corrupt the tail precisely.
+    pub fn head_offset(&self) -> u64 {
+        self.inner.lock().head
+    }
+
+    /// Total bytes in the journal region.
+    pub fn region_bytes(&self) -> u64 {
+        self.region_bytes
+    }
+
+    /// First device block of the journal region.
+    pub fn start_block(&self) -> u64 {
+        self.start_block
+    }
+
+    fn encode_frame(out: &mut Vec<u8>, seq: u64, txn_id: u64, kind: RecordKind, payload: &[u8]) {
+        let frame_len = FRAME_HEADER + payload.len() + FRAME_TRAILER;
+        let body_start = out.len();
+        out.extend_from_slice(&(frame_len as u32).to_le_bytes());
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&txn_id.to_le_bytes());
+        out.push(kind as u8);
+        out.extend_from_slice(payload);
+        let crc = fnv1a(&out[body_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
     }
 
     /// Appends a record and returns its sequence number.
@@ -109,17 +179,96 @@ impl<D: BlockDevice> Journal<D> {
         }
         let seq = inner.next_seq;
         let mut frame = Vec::with_capacity(frame_len);
-        frame.extend_from_slice(&(frame_len as u32).to_le_bytes());
-        frame.extend_from_slice(&seq.to_le_bytes());
-        frame.extend_from_slice(&txn_id.to_le_bytes());
-        frame.push(kind as u8);
-        frame.extend_from_slice(payload);
-        let crc = fnv1a(&frame);
-        frame.extend_from_slice(&crc.to_le_bytes());
+        Self::encode_frame(&mut frame, seq, txn_id, kind, payload);
         self.write_bytes(inner.head, &frame)?;
         inner.head += frame_len as u64;
         inner.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Appends a batch of whole transactions — Begin, Data payloads,
+    /// Commit — as one contiguous write followed by one device flush,
+    /// returning per-transaction results.
+    ///
+    /// Each transaction is admitted or rejected independently: one that
+    /// would overflow the region gets `Err(JournalFull)` while smaller
+    /// transactions later in the batch may still fit. Admitted
+    /// transactions are encoded back to back into a single buffer,
+    /// written with one pass over the device and made durable with a
+    /// single flush, so a group-commit leader pays one write path and
+    /// one sync for the whole batch.
+    ///
+    /// Durability is all-or-nothing for the admitted set: if the write
+    /// or the flush fails, the batch's frames are unreachable to
+    /// recovery (the head does not advance and the batch's first length
+    /// prefix is zeroed) and every admitted transaction reports the
+    /// error — a commit that was reported failed can never become
+    /// durable retroactively via a later batch's flush.
+    ///
+    /// On success each entry carries the sequence number of that
+    /// transaction's Commit record — the point at which it is durable.
+    /// The frame format is byte-identical to [`append`](Self::append), so
+    /// [`recover`](Self::recover) and
+    /// [`committed_payloads`](Self::committed_payloads) replay batched
+    /// and unbatched logs the same way.
+    pub fn append_txn_batch(&self, txns: &[TxnFrames]) -> Result<Vec<Result<u64>>> {
+        let mut inner = self.inner.lock();
+        let mut buf = Vec::new();
+        let mut results = Vec::with_capacity(txns.len());
+        let head = inner.head;
+        let mut next_seq = inner.next_seq;
+        for txn in txns {
+            let needed = txn.encoded_len();
+            if head + buf.len() as u64 + needed as u64 > self.region_bytes {
+                results.push(Err(StorageError::JournalFull {
+                    needed,
+                    available: (self.region_bytes - head - buf.len() as u64) as usize,
+                }));
+                continue;
+            }
+            Self::encode_frame(&mut buf, next_seq, txn.txn_id, RecordKind::Begin, b"");
+            next_seq += 1;
+            for payload in &txn.payloads {
+                Self::encode_frame(&mut buf, next_seq, txn.txn_id, RecordKind::Data, payload);
+                next_seq += 1;
+            }
+            Self::encode_frame(&mut buf, next_seq, txn.txn_id, RecordKind::Commit, b"");
+            results.push(Ok(next_seq));
+            next_seq += 1;
+        }
+        if buf.is_empty() {
+            return Ok(results);
+        }
+        let committed = self
+            .write_bytes(head, &buf)
+            .and_then(|()| self.device.flush());
+        match committed {
+            Ok(()) => {
+                inner.head = head + buf.len() as u64;
+                inner.next_seq = next_seq;
+                Ok(results)
+            }
+            Err(err) => {
+                // The frames may be partially or fully on the device but
+                // were never acknowledged: destroy the batch's whole
+                // byte extent so no later successful flush (or recovery
+                // scan) can surface any of it, and leave head /
+                // next_seq untouched. Zeroing only the first length
+                // prefix would not be enough — a byte-identical retry
+                // of the batch's first transaction would rewrite that
+                // prefix with the same seqs and revalidate the stale
+                // frames behind it. Rejected (JournalFull) entries keep
+                // their own error.
+                self.write_bytes(head, &vec![0u8; buf.len()])?;
+                Ok(results
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok(_) => Err(err.clone()),
+                        rejected @ Err(_) => rejected,
+                    })
+                    .collect())
+            }
+        }
     }
 
     /// Forces journal contents to stable storage.
@@ -129,19 +278,47 @@ impl<D: BlockDevice> Journal<D> {
 
     /// Resets the journal to empty (checkpoint has made its contents
     /// redundant).
+    ///
+    /// The whole used prefix of the region is zeroed block-wise, not
+    /// just the first frame length: a crash after the reset re-opens
+    /// the journal with sequence numbering restarted at 1, and a new,
+    /// shorter log could otherwise end exactly on an old frame boundary
+    /// whose surviving frame still has a valid checksum *and* the next
+    /// expected seq — recovery would replay it as a ghost of a
+    /// checkpointed transaction. Zeroing is one sequential pass over
+    /// only the blocks the discarded log occupied; checkpoints are
+    /// rare.
     pub fn reset(&self) -> Result<()> {
         let mut inner = self.inner.lock();
+        // Zero every block the log reached, plus one more so a
+        // half-written frame past the head cannot survive either.
+        let used = inner.head.max(self.scan()?.1) + self.block_size as u64;
+        let used_blocks = used.div_ceil(self.block_size as u64);
+        let region_blocks = self.region_bytes / self.block_size as u64;
+        let zeros = vec![0u8; self.block_size];
+        for block in 0..used_blocks.min(region_blocks) {
+            self.device.write_block(self.start_block + block, &zeros)?;
+        }
         inner.head = 0;
-        // Zero the first frame length so recovery stops immediately.
-        let zeros = vec![0u8; 4];
-        drop(inner);
-        self.write_bytes(0, &zeros)
+        Ok(())
     }
 
     /// Scans the journal from the start and returns every valid record, in
     /// order, stopping at the first invalid or empty frame.
+    ///
+    /// A frame is valid only if its length, checksum and kind check out
+    /// **and** its sequence number continues the previous frame's — every
+    /// append path hands out consecutive seqs, so a seq discontinuity
+    /// marks stale frames surviving past the head of a shorter, newer log
+    /// (e.g. after a checkpoint reset) and recovery must not replay them.
     pub fn recover(&self) -> Result<Vec<JournalRecord>> {
-        let mut records = Vec::new();
+        Ok(self.scan()?.0)
+    }
+
+    /// The recovery scan; also returns the byte offset one past the last
+    /// valid frame (where the append head belongs).
+    fn scan(&self) -> Result<(Vec<JournalRecord>, u64)> {
+        let mut records: Vec<JournalRecord> = Vec::new();
         let mut offset = 0u64;
         loop {
             if offset + 4 > self.region_bytes {
@@ -167,6 +344,11 @@ impl<D: BlockDevice> Journal<D> {
             let Some(kind) = RecordKind::from_u8(frame[20]) else {
                 break;
             };
+            if let Some(prev) = records.last() {
+                if seq != prev.seq + 1 {
+                    break;
+                }
+            }
             let payload = frame[FRAME_HEADER..body_len].to_vec();
             records.push(JournalRecord {
                 seq,
@@ -176,7 +358,7 @@ impl<D: BlockDevice> Journal<D> {
             });
             offset += frame_len;
         }
-        Ok(records)
+        Ok((records, offset))
     }
 
     /// Returns, per committed transaction, the data payloads in append
@@ -300,6 +482,82 @@ mod tests {
     }
 
     #[test]
+    fn reset_then_shorter_log_never_replays_stale_tail() {
+        // Regression: a checkpoint reset followed by a shorter new log
+        // used to leave old valid-CRC frames reachable past the new
+        // head, and recovery replayed them as ghost transactions. The
+        // seq-continuity check must stop the scan at the stale boundary.
+        let dev = Arc::new(MemDevice::new(64, 512));
+        let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        for t in 1..=3u64 {
+            j.append(t, RecordKind::Begin, b"").unwrap();
+            j.append(t, RecordKind::Data, b"stale-data").unwrap();
+            j.append(t, RecordKind::Commit, b"").unwrap();
+        }
+        j.reset().unwrap();
+        j.append(9, RecordKind::Begin, b"").unwrap();
+        j.append(9, RecordKind::Data, b"fresh").unwrap();
+        j.append(9, RecordKind::Commit, b"").unwrap();
+        // Both the live journal and a cold re-open must see only txn 9.
+        for journal in [&j, &Journal::new(Arc::clone(&dev), 1, 32).unwrap()] {
+            let committed = journal.committed_payloads().unwrap();
+            assert_eq!(committed.len(), 1);
+            assert_eq!(committed[0].0, 9);
+            assert_eq!(committed[0].1, vec![b"fresh".to_vec()]);
+        }
+    }
+
+    #[test]
+    fn reset_then_crash_then_aligned_log_never_replays_stale_tail() {
+        // The nastier variant: after reset() the process CRASHES, so the
+        // re-opened journal restarts seq numbering at 1. If the new log
+        // has the same frame sizes as the old one, its end lands exactly
+        // on an old frame boundary and the surviving stale frame carries
+        // both a valid CRC and the next expected seq — only reset()'s
+        // zeroing of every stale length prefix prevents a ghost replay.
+        let dev = Arc::new(MemDevice::new(64, 512));
+        {
+            let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+            for t in 1..=2u64 {
+                j.append(t, RecordKind::Begin, b"").unwrap();
+                j.append(t, RecordKind::Data, b"ten-bytes!").unwrap();
+                j.append(t, RecordKind::Commit, b"").unwrap();
+            }
+            j.reset().unwrap();
+            // Crash here: drop the journal without another append.
+        }
+        let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        // Fresh-looking journal: seqs restart at 1, frame sizes identical
+        // to the old txn 1, so the new log ends exactly where stale txn
+        // 2's Begin frame (seq 4 = 3 + 1) used to start.
+        j.append(9, RecordKind::Begin, b"").unwrap();
+        j.append(9, RecordKind::Data, b"ten-bytes!").unwrap();
+        j.append(9, RecordKind::Commit, b"").unwrap();
+        for journal in [&j, &Journal::new(Arc::clone(&dev), 1, 32).unwrap()] {
+            let committed = journal.committed_payloads().unwrap();
+            assert_eq!(committed.len(), 1, "stale txn 2 must not resurrect");
+            assert_eq!(committed[0].0, 9);
+        }
+    }
+
+    #[test]
+    fn reopened_journal_extends_the_surviving_log() {
+        let dev = Arc::new(MemDevice::new(64, 512));
+        {
+            let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+            j.append(1, RecordKind::Begin, b"").unwrap();
+            j.append(1, RecordKind::Data, b"first-life").unwrap();
+            j.append(1, RecordKind::Commit, b"").unwrap();
+        }
+        let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        assert_eq!(j.recover().unwrap().len(), 3);
+        let seq = j.append(2, RecordKind::Begin, b"").unwrap();
+        assert_eq!(seq, 4, "reopen must continue the surviving seq stream");
+        j.append(2, RecordKind::Commit, b"").unwrap();
+        assert_eq!(j.committed_payloads().unwrap().len(), 2);
+    }
+
+    #[test]
     fn reset_empties_journal() {
         let j = make();
         j.append(1, RecordKind::Data, b"x").unwrap();
@@ -318,6 +576,81 @@ mod tests {
         j.append(1, RecordKind::Data, &payload).unwrap();
         let err = j.append(1, RecordKind::Data, &payload).unwrap_err();
         assert!(matches!(err, StorageError::JournalFull { .. }));
+    }
+
+    #[test]
+    fn batched_append_replays_identically_to_sequential() {
+        // The same three transactions, written frame-by-frame on one
+        // journal and as one batch on another, must produce byte-identical
+        // recovery results.
+        let sequential = make();
+        let batched = make();
+        let txns: Vec<TxnFrames> = (1..=3u64)
+            .map(|t| TxnFrames {
+                txn_id: t,
+                payloads: vec![format!("p{t}a").into_bytes(), format!("p{t}b").into_bytes()],
+            })
+            .collect();
+        for txn in &txns {
+            sequential
+                .append(txn.txn_id, RecordKind::Begin, b"")
+                .unwrap();
+            for p in &txn.payloads {
+                sequential.append(txn.txn_id, RecordKind::Data, p).unwrap();
+            }
+            sequential
+                .append(txn.txn_id, RecordKind::Commit, b"")
+                .unwrap();
+        }
+        let results = batched.append_txn_batch(&txns).unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(sequential.recover().unwrap(), batched.recover().unwrap());
+        assert_eq!(
+            sequential.committed_payloads().unwrap(),
+            batched.committed_payloads().unwrap()
+        );
+        assert_eq!(sequential.head_offset(), batched.head_offset());
+    }
+
+    #[test]
+    fn batch_rejects_only_the_overflowing_txn() {
+        // Region: 1 block x 512 bytes. A huge txn in the middle of the
+        // batch must fail alone; its neighbours commit.
+        let dev = Arc::new(MemDevice::new(4, 512));
+        let j = Journal::new(dev, 1, 1).unwrap();
+        let small = |t: u64| TxnFrames {
+            txn_id: t,
+            payloads: vec![b"ok".to_vec()],
+        };
+        let huge = TxnFrames {
+            txn_id: 99,
+            payloads: vec![vec![0u8; 1024]],
+        };
+        let results = j.append_txn_batch(&[small(1), huge, small(2)]).unwrap();
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(StorageError::JournalFull { .. })));
+        assert!(results[2].is_ok());
+        let committed = j.committed_payloads().unwrap();
+        assert_eq!(
+            committed.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn batch_commit_seq_is_the_commit_record() {
+        let j = make();
+        let results = j
+            .append_txn_batch(&[TxnFrames {
+                txn_id: 5,
+                payloads: vec![b"x".to_vec()],
+            }])
+            .unwrap();
+        let seq = results[0].as_ref().copied().unwrap();
+        let recs = j.recover().unwrap();
+        let commit = recs.iter().find(|r| r.kind == RecordKind::Commit).unwrap();
+        assert_eq!(commit.seq, seq);
+        assert_eq!(commit.txn_id, 5);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   hierarchical baseline, plus the FNV-1a checksum.
 //! * [`journal`] — a write-ahead log backing the optional transactional
 //!   OSD.
+//! * [`group_commit`] — the batched commit pipeline over the journal:
+//!   concurrent committers share one contiguous append and one flush.
 //!
 //! Everything above this crate (B-trees, the OSD, index stores, both file
 //! systems) is written against these traits, so experiments can swap
@@ -32,6 +34,7 @@ pub mod cache;
 pub mod device;
 pub mod error;
 pub mod extent;
+pub mod group_commit;
 pub mod journal;
 pub mod layout;
 
@@ -39,10 +42,13 @@ pub use alloc::{AllocStats, Allocator};
 pub use buddy::BuddyAllocator;
 pub use bump::BumpAllocator;
 pub use cache::{CacheStats, CachedDevice};
-pub use device::{BlockDevice, DeviceCounters, FileDevice, MemDevice, DEFAULT_BLOCK_SIZE};
+pub use device::{
+    BlockDevice, DeviceCounters, FileDevice, FlushDelayDevice, MemDevice, DEFAULT_BLOCK_SIZE,
+};
 pub use error::{Result, StorageError};
 pub use extent::Extent;
-pub use journal::{Journal, JournalRecord, RecordKind};
+pub use group_commit::{GroupCommit, GroupCommitConfig, GroupCommitStats};
+pub use journal::{Journal, JournalRecord, RecordKind, TxnFrames};
 pub use layout::{fnv1a, Superblock, FORMAT_VERSION, SUPERBLOCK_MAGIC};
 
 #[cfg(test)]
