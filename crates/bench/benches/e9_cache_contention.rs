@@ -1,0 +1,33 @@
+//! E9: the two-tier read cache — concurrent warm B+tree descent
+//! throughput across block-cache shard count (1 vs N) and decoded-node
+//! cache (off vs on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfad_bench::experiments::{e9_descent_storm, e9_tree, E9_CACHE_SHARDS, E9_NODE_CACHE_PAGES};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_cache_contention");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(900));
+
+    let entries = 2_000usize;
+    for threads in [1usize, 4] {
+        for (label, cache_shards, node_cache_pages) in [
+            ("seed_1shard_no_node_cache", 1, 0),
+            ("sharded_block_cache", E9_CACHE_SHARDS, 0),
+            ("node_cache_only", 1, E9_NODE_CACHE_PAGES),
+            ("two_tier", E9_CACHE_SHARDS, E9_NODE_CACHE_PAGES),
+        ] {
+            let (tree, _device) = e9_tree(cache_shards, node_cache_pages, entries);
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| e9_descent_storm(&tree, entries, threads, 2_000))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

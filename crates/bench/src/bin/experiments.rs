@@ -28,13 +28,13 @@ fn main() -> ExitCode {
             "--exp" => {
                 exp = iter.next().cloned();
                 if exp.is_none() {
-                    eprintln!("--exp requires an experiment id (t1, f1, e1..e8)");
+                    eprintln!("--exp requires an experiment id (t1, f1, e1..e9)");
                     return ExitCode::FAILURE;
                 }
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--quick|--full] [--exp <t1|f1|e1..e8>] [--json]\n\
+                    "usage: experiments [--quick|--full] [--exp <t1|f1|e1..e9>] [--json]\n\
                      Regenerates the hFAD experiment tables (see EXPERIMENTS.md)."
                 );
                 return ExitCode::SUCCESS;
@@ -50,7 +50,7 @@ fn main() -> ExitCode {
         Some(id) => match run_one(id, scale) {
             Some(table) => vec![table],
             None => {
-                eprintln!("unknown experiment id: {id} (expected t1, f1, e1..e8)");
+                eprintln!("unknown experiment id: {id} (expected t1, f1, e1..e9)");
                 return ExitCode::FAILURE;
             }
         },

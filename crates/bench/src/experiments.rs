@@ -1062,6 +1062,145 @@ pub fn e8_group_commit(scale: Scale) -> Table {
     table
 }
 
+// ---------------------------------------------------------------------
+// E9 — the two-tier read cache (block cache shards × node cache).
+// ---------------------------------------------------------------------
+
+/// Blocks of block-cache capacity for the E9 fixture (holds the whole
+/// tree, matching the paper's "indexes in memory" premise: the sweep
+/// measures per-access overhead and lock contention, not miss servicing).
+const E9_CACHE_BLOCKS: usize = 8192;
+
+/// Decoded-node cache capacity used by E9's "node cache on" rows.
+pub const E9_NODE_CACHE_PAGES: usize = 16384;
+
+/// Block-cache shard count used by E9's "sharded" rows (explicit, so the
+/// sweep is meaningful even on narrow CI machines where auto-sizing
+/// would resolve to one shard).
+pub const E9_CACHE_SHARDS: usize = 8;
+
+/// The E9 key for entry `i` of `n`.
+fn e9_key(i: usize) -> Vec<u8> {
+    format!("object/extent/{i:08}").into_bytes()
+}
+
+/// Builds the E9 fixture: a B+tree over a block-cache-fronted device,
+/// with `cache_shards` block-cache lock stripes (`1` = the global-lock
+/// seed cache) and a decoded-node cache of `node_cache_pages` (`0` =
+/// decode on every read), fully warmed so every descent runs in memory.
+pub fn e9_tree(
+    cache_shards: usize,
+    node_cache_pages: usize,
+    entries: usize,
+) -> (
+    Arc<hfad_btree::BTree>,
+    Arc<hfad_storage::CachedDevice<Arc<dyn hfad_storage::BlockDevice>>>,
+) {
+    let inner: Arc<dyn hfad_storage::BlockDevice> = Arc::new(MemDevice::new(16384, 4096));
+    let device = Arc::new(hfad_storage::CachedDevice::with_shards(
+        inner,
+        E9_CACHE_BLOCKS,
+        cache_shards,
+    ));
+    let allocator = Arc::new(hfad_storage::BuddyAllocator::new(1, 16383));
+    let ctx =
+        hfad_btree::TreeContext::new(device.clone(), allocator).with_node_cache(node_cache_pages);
+    let mut tree = hfad_btree::BTree::create(ctx).unwrap();
+    for i in 0..entries {
+        tree.insert(&e9_key(i), format!("extent metadata for {i}").as_bytes())
+            .unwrap();
+    }
+    // Warm both tiers: after this pass every node image is a block-cache
+    // frame and (when enabled) a decoded node-cache entry.
+    for i in 0..entries {
+        tree.get(&e9_key(i)).unwrap();
+    }
+    tree.reset_stats();
+    (Arc::new(tree), device)
+}
+
+/// Runs `threads` readers, each performing `per_thread` point lookups
+/// spread pseudo-randomly over the tree, and returns the elapsed
+/// wall-clock time.
+pub fn e9_descent_storm(
+    tree: &Arc<hfad_btree::BTree>,
+    entries: usize,
+    threads: usize,
+    per_thread: usize,
+) -> Duration {
+    let (_, elapsed) = time(|| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let tree = Arc::clone(tree);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let id = (i.wrapping_mul(2654435761) + t * 97) % entries;
+                        tree.get(&e9_key(id)).unwrap().expect("key present");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    elapsed
+}
+
+/// E9: read-path cache contention — concurrent warm B+tree descent
+/// throughput across the two-tier cache ablation: block-cache lock
+/// shards 1 vs N, decoded-node cache off vs on.
+pub fn e9_cache_contention(scale: Scale) -> Table {
+    let entries = scale.pick(2_000, 20_000);
+    let per_thread = scale.pick(4_000, 20_000);
+
+    let mut table = Table::new(
+        "E9",
+        "Two-tier read cache: warm descent throughput vs cache shards x node cache",
+        "\"a system can capture all the indexes in memory\" (§2.3) only pays off if in-memory \
+         traversals are cheap: the sharded block cache removes the read path's last global \
+         lock and the decoded-node cache removes the per-level decode",
+        &[
+            "threads",
+            "cache shards",
+            "node cache",
+            "gets/s",
+            "blk hit%",
+            "node hits/read",
+        ],
+    );
+
+    for &threads in &[1usize, 4, 8] {
+        for &(cache_shards, node_cache_pages) in &[
+            (1usize, 0usize), // the seed: global cache lock, decode every read
+            (E9_CACHE_SHARDS, 0),
+            (1, E9_NODE_CACHE_PAGES),
+            (E9_CACHE_SHARDS, E9_NODE_CACHE_PAGES),
+        ] {
+            let (tree, device) = e9_tree(cache_shards, node_cache_pages, entries);
+            let elapsed = e9_descent_storm(&tree, entries, threads, per_thread);
+            let cache = device.cache_stats();
+            let stats = tree.stats();
+            table.push_row(vec![
+                threads.to_string(),
+                cache_shards.to_string(),
+                if node_cache_pages == 0 {
+                    "off".into()
+                } else {
+                    node_cache_pages.to_string()
+                },
+                ops_per_sec((threads * per_thread) as u64, elapsed),
+                format!("{:.1}", cache.hit_ratio() * 100.0),
+                format!(
+                    "{:.2}",
+                    stats.node_cache_hits as f64 / stats.nodes_read.max(1) as f64
+                ),
+            ]);
+        }
+    }
+    table
+}
+
 /// Runs every experiment at the given scale, in declaration order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -1075,10 +1214,11 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e6_ablation(scale),
         e7_multinaming(scale),
         e8_group_commit(scale),
+        e9_cache_contention(scale),
     ]
 }
 
-/// Looks an experiment up by id (`t1`, `f1`, `e1` … `e8`).
+/// Looks an experiment up by id (`t1`, `f1`, `e1` … `e9`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "t1" => Some(t1_tag_classes(scale)),
@@ -1091,6 +1231,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e6" => Some(e6_ablation(scale)),
         "e7" => Some(e7_multinaming(scale)),
         "e8" => Some(e8_group_commit(scale)),
+        "e9" => Some(e9_cache_contention(scale)),
         _ => None,
     }
 }
@@ -1099,7 +1240,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
 mod tests {
     use super::*;
 
-    /// Runs all ten experiments end to end at quick scale (~30 s): the
+    /// Runs all eleven experiments end to end at quick scale (~30 s): the
     /// full-coverage smoke test for the experiment table. Too slow for the
     /// default test run, so it is gated behind `--ignored`; run it with
     /// `cargo test -p hfad_bench -- --ignored` (CI runs the cheap
@@ -1107,7 +1248,9 @@ mod tests {
     #[test]
     #[ignore = "runs every experiment at quick scale (~30 s); use cargo test -- --ignored"]
     fn every_experiment_id_resolves() {
-        for id in ["t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"] {
+        for id in [
+            "t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+        ] {
             assert!(run_one(id, Scale::Quick).is_some() || id.is_empty());
         }
         assert!(run_one("e99", Scale::Quick).is_none());
@@ -1151,6 +1294,77 @@ mod tests {
         assert!(run_one("", Scale::Quick).is_none());
     }
 
+    /// The tentpole claim of the two-tier cache PR: with four or more
+    /// concurrent readers on a fully warmed tree, the sharded block cache
+    /// plus decoded-node cache must deliver at least twice the descent
+    /// throughput of the seed configuration (one global cache lock, a
+    /// decode per node read).
+    ///
+    /// Wall-clock sensitive, so it only runs in release builds (CI's
+    /// release test step); under debug + `--ignored` it is skipped.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "timing-sensitive; run with cargo test --release -p hfad_bench"
+    )]
+    fn e9_two_tier_cache_at_least_doubles_seed_throughput() {
+        let entries = 2_000usize;
+        let threads = 4usize;
+        let per_thread = 6_000usize;
+        let (seed_tree, _) = e9_tree(1, 0, entries);
+        let seed_elapsed = e9_descent_storm(&seed_tree, entries, threads, per_thread);
+        let (tiered_tree, _) = e9_tree(E9_CACHE_SHARDS, E9_NODE_CACHE_PAGES, entries);
+        let tiered_elapsed = e9_descent_storm(&tiered_tree, entries, threads, per_thread);
+        let speedup = seed_elapsed.as_secs_f64() / tiered_elapsed.as_secs_f64();
+        assert!(
+            speedup >= 2.0,
+            "two-tier cache speedup at {threads} readers was only {speedup:.2}x \
+             (seed {seed_elapsed:?}, tiered {tiered_elapsed:?})"
+        );
+        // And the warm storms must have been served entirely in memory.
+        assert_eq!(seed_tree.stats().node_cache_hits, 0);
+        let tiered = tiered_tree.stats();
+        assert_eq!(tiered.node_cache_hits, tiered.nodes_read);
+    }
+
+    /// The E9 ablation's accounting invariant: the cache configurations
+    /// must agree on what happened. Identical operation sequences produce
+    /// identical `CacheStats` hit/miss/eviction totals at 1 and N block
+    /// cache shards, and identical `TreeStats::nodes_read` with the node
+    /// cache off and on (the node cache changes *where* a read is served,
+    /// never how many logical reads happen).
+    #[test]
+    fn e9_stats_account_identically_across_configurations() {
+        let entries = 500usize;
+        let mut block_stats = Vec::new();
+        let mut tree_reads = Vec::new();
+        for (cache_shards, node_cache_pages) in
+            [(1, 0), (E9_CACHE_SHARDS, 0), (1, E9_NODE_CACHE_PAGES)]
+        {
+            let (tree, device) = e9_tree(cache_shards, node_cache_pages, entries);
+            for i in 0..entries {
+                tree.get(&e9_key(i)).unwrap().expect("present");
+                tree.get(&e9_key((i * 31) % entries)).unwrap();
+            }
+            let cache = device.cache_stats();
+            assert_eq!(cache.evictions, 0, "fixture must fit in cache");
+            block_stats.push((cache_shards, node_cache_pages, cache));
+            tree_reads.push(tree.stats().nodes_read);
+        }
+        // Same node-cache setting, different shard counts: identical
+        // block-cache accounting.
+        assert_eq!(
+            (block_stats[0].2.hits, block_stats[0].2.misses),
+            (block_stats[1].2.hits, block_stats[1].2.misses),
+            "1-shard and {E9_CACHE_SHARDS}-shard caches must account identically"
+        );
+        // Node cache on or off: identical logical traversal counts.
+        assert_eq!(
+            tree_reads[0], tree_reads[2],
+            "node cache must not change nodes_read accounting"
+        );
+    }
+
     #[test]
     fn e6_reports_store_shard_ablation() {
         let table = e6_ablation(Scale::Quick);
@@ -1185,16 +1399,14 @@ mod tests {
         let hfad: f64 = table
             .rows
             .iter()
-            .filter(|r| r[1].starts_with("insert") && r[2] == "hfad")
-            .next_back()
+            .rfind(|r| r[1].starts_with("insert") && r[2] == "hfad")
             .unwrap()[3]
             .parse()
             .unwrap();
         let hier: f64 = table
             .rows
             .iter()
-            .filter(|r| r[1].starts_with("insert") && r[2].starts_with("hierfs"))
-            .next_back()
+            .rfind(|r| r[1].starts_with("insert") && r[2].starts_with("hierfs"))
             .unwrap()[3]
             .parse()
             .unwrap();
@@ -1212,8 +1424,7 @@ mod tests {
         let base: f64 = table
             .rows
             .iter()
-            .filter(|r| r[1].starts_with("hierfs"))
-            .next_back()
+            .rfind(|r| r[1].starts_with("hierfs"))
             .unwrap()[2]
             .parse()
             .unwrap();

@@ -51,7 +51,7 @@ pub fn build_sharded_store(
 /// object. The single-shard configuration funnels every iteration through
 /// one lock; the sharded configuration spreads them.
 pub fn store_churn_op(store: &ObjectStore, pool: &[ObjectId], t: usize, i: usize) {
-    if i % STORE_CHURN_EVERY == 0 {
+    if i.is_multiple_of(STORE_CHURN_EVERY) {
         let oid = store.create_default(t as u32).expect("churn create");
         store.delete(oid).expect("churn delete");
     } else {

@@ -130,7 +130,7 @@ mod tests {
         let prefix = b"FULLTEXT";
         let lo = encode_composite(prefix, b"");
         let key = encode_composite(prefix, b"zebra");
-        let hi = prefix_upper_bound(&lo[..lo.len() - 1].to_vec()).unwrap();
+        let hi = prefix_upper_bound(&lo[..lo.len() - 1]).unwrap();
         assert!(lo <= key);
         assert!(key < hi);
     }

@@ -7,6 +7,10 @@
 //! * [`tree::BTree`] — create/open, point get/insert/delete, range scans,
 //!   prefix scans, traversal statistics, destroy.
 //! * [`page`] — the one-block-per-node on-disk format.
+//! * [`node_cache::NodeCache`] — a bounded, CLOCK-evicted cache of decoded
+//!   nodes shared by every tree on a device; hot descents skip the device
+//!   read *and* [`page::Node::decode`] entirely (attach it with
+//!   [`tree::TreeContext::with_node_cache`]).
 //! * [`cursor::Cursor`] — ordered range iteration following the leaf chain.
 //! * [`codec`] — order-preserving key encodings (big-endian integers and
 //!   escaped composite `tag:value` keys) shared by the OSD and index
@@ -21,10 +25,12 @@
 pub mod codec;
 pub mod cursor;
 pub mod error;
+pub mod node_cache;
 pub mod page;
 pub mod tree;
 
 pub use cursor::Cursor;
 pub use error::{BTreeError, Result};
+pub use node_cache::NodeCache;
 pub use page::{InternalNode, LeafNode, Node};
 pub use tree::{BTree, TreeContext, TreeStats};

@@ -1,0 +1,273 @@
+//! A bounded cache of decoded B+tree nodes.
+//!
+//! The paper's §2.3 claim is that search-based naming is viable once "a
+//! system can capture all the indexes in memory" — but capturing the raw
+//! *blocks* in memory (the storage layer's block cache) still leaves every
+//! descent paying a block copy plus a full [`Node::decode`] per level.
+//! [`NodeCache`] removes both: it maps page number → `Arc<Node>` so a hot
+//! descent costs a shard lock, a hash probe and an `Arc` clone per level.
+//!
+//! The cache is shared by every tree on a device via
+//! [`TreeContext`](crate::tree::TreeContext): page numbers come from the
+//! one shared allocator, so a page belongs to exactly one tree at a time
+//! and a single bounded cache serves the object table stripes, extent maps
+//! and index trees together. Writers keep it coherent by construction —
+//! [`BTree`](crate::tree::BTree) updates the entry on every node write and
+//! invalidates it when a page is freed.
+//!
+//! Internally the cache uses the same design as the storage layer's block
+//! cache: frames striped over [`resolve_shard_count`] lock shards routed
+//! by a Fibonacci hash of the page number, each shard swept by an O(1)
+//! CLOCK hand with second-chance reference bits. A capacity of zero is
+//! represented by *not* constructing a cache (see
+//! [`TreeContext::with_node_cache`](crate::tree::TreeContext::with_node_cache)),
+//! which reproduces the decode-per-descent baseline measured by E9.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hfad_storage::{resolve_shard_count, shard_index};
+use parking_lot::Mutex;
+
+use crate::page::Node;
+
+/// One cached decoded node.
+struct CachedNode {
+    page: u64,
+    node: Arc<Node>,
+    referenced: bool,
+}
+
+/// One lock stripe: page→slot map over a CLOCK-swept slot array.
+struct Shard {
+    map: HashMap<u64, usize>,
+    slots: Vec<Option<CachedNode>>,
+    free: Vec<usize>,
+    hand: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            hand: 0,
+        }
+    }
+
+    fn evict_one(&mut self) {
+        if self.slots.is_empty() {
+            return;
+        }
+        // Second-chance sweep; after one full revolution every reference
+        // bit is clear, so the second pass always finds a victim.
+        for _ in 0..self.slots.len() * 2 {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let Some(cached) = self.slots[slot].as_mut() else {
+                continue;
+            };
+            if cached.referenced {
+                cached.referenced = false;
+                continue;
+            }
+            let victim = self.slots[slot].take().expect("victim slot holds node");
+            self.map.remove(&victim.page);
+            self.free.push(slot);
+            return;
+        }
+    }
+
+    fn insert(&mut self, page: u64, node: Arc<Node>, budget: usize) {
+        if let Some(&slot) = self.map.get(&page) {
+            let cached = self.slots[slot].as_mut().expect("mapped slot holds node");
+            cached.node = node;
+            cached.referenced = true;
+            return;
+        }
+        while self.map.len() >= budget {
+            self.evict_one();
+        }
+        let cached = CachedNode {
+            page,
+            node,
+            referenced: true,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(cached);
+                slot
+            }
+            None => {
+                self.slots.push(Some(cached));
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(page, slot);
+    }
+}
+
+/// A sharded, CLOCK-evicted cache of decoded nodes, keyed by page number.
+pub struct NodeCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// Per-shard node budget; total capacity is `per_shard * shards`.
+    per_shard: usize,
+}
+
+impl NodeCache {
+    /// Creates a cache holding up to `capacity_pages` decoded nodes,
+    /// striped over an auto-sized shard count (capped so each shard's
+    /// budget is at least one node). Capacity is split evenly with the
+    /// per-shard budget rounded *up*, so the effective bound is the next
+    /// multiple of the shard count — read it back with
+    /// [`capacity_pages`](Self::capacity_pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_pages` is zero — "no cache" is expressed by not
+    /// constructing one.
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "node cache capacity must be non-zero");
+        let mut shard_count = resolve_shard_count(0);
+        while shard_count > 1 && shard_count > capacity_pages {
+            shard_count /= 2;
+        }
+        NodeCache {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            per_shard: capacity_pages.div_ceil(shard_count),
+        }
+    }
+
+    /// Number of lock shards the cache is striped over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity in decoded nodes.
+    pub fn capacity_pages(&self) -> usize {
+        self.per_shard * self.shards.len()
+    }
+
+    /// Number of nodes currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Returns `true` when no node is cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().map.is_empty())
+    }
+
+    fn shard_for(&self, page: u64) -> &Mutex<Shard> {
+        &self.shards[shard_index(page, self.shards.len())]
+    }
+
+    /// Returns the cached decoded node for `page`, if present, marking it
+    /// recently used.
+    pub fn get(&self, page: u64) -> Option<Arc<Node>> {
+        let mut shard = self.shard_for(page).lock();
+        let &slot = shard.map.get(&page)?;
+        let cached = shard.slots[slot].as_mut().expect("mapped slot holds node");
+        cached.referenced = true;
+        Some(Arc::clone(&cached.node))
+    }
+
+    /// Inserts (or replaces) the decoded node for `page`.
+    pub fn insert(&self, page: u64, node: Arc<Node>) {
+        let budget = self.per_shard;
+        self.shard_for(page).lock().insert(page, node, budget);
+    }
+
+    /// Drops the cached node for `page` (the page was freed).
+    pub fn invalidate(&self, page: u64) {
+        let mut shard = self.shard_for(page).lock();
+        if let Some(slot) = shard.map.remove(&page) {
+            shard.slots[slot] = None;
+            shard.free.push(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{LeafNode, Node};
+
+    fn leaf(tag: u8) -> Arc<Node> {
+        Arc::new(Node::Leaf(LeafNode {
+            next: 0,
+            entries: vec![(vec![tag], vec![tag])],
+        }))
+    }
+
+    #[test]
+    fn get_insert_invalidate_round_trip() {
+        let cache = NodeCache::new(8);
+        assert!(cache.is_empty());
+        assert!(cache.get(3).is_none());
+        cache.insert(3, leaf(1));
+        let got = cache.get(3).expect("cached");
+        assert!(matches!(&*got, Node::Leaf(l) if l.entries[0].0 == vec![1]));
+        assert_eq!(cache.len(), 1);
+        cache.invalidate(3);
+        assert!(cache.get(3).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_existing_entry() {
+        let cache = NodeCache::new(4);
+        cache.insert(7, leaf(1));
+        cache.insert(7, leaf(2));
+        assert_eq!(cache.len(), 1);
+        let got = cache.get(7).expect("cached");
+        assert!(matches!(&*got, Node::Leaf(l) if l.entries[0].0 == vec![2]));
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_clock_eviction() {
+        let cache = NodeCache::new(4);
+        for page in 0..64u64 {
+            cache.insert(page, leaf(page as u8));
+        }
+        assert!(cache.len() <= cache.capacity_pages());
+        assert!(!cache.is_empty());
+        // Recently inserted pages are still retrievable more often than
+        // not; at minimum the very last insert survives.
+        assert!(cache.get(63).is_some());
+    }
+
+    #[test]
+    fn shard_count_capped_by_capacity() {
+        let cache = NodeCache::new(1);
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.capacity_pages(), 1);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = Arc::new(NodeCache::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let page = t * 1000 + (i % 32);
+                    cache.insert(page, leaf((i % 251) as u8));
+                    let _ = cache.get(page);
+                    if i % 7 == 0 {
+                        cache.invalidate(page);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= cache.capacity_pages());
+    }
+}

@@ -18,20 +18,28 @@ use hfad_storage::{Allocator, BlockDevice, Extent};
 
 use crate::cursor::Cursor;
 use crate::error::{BTreeError, Result};
+use crate::node_cache::NodeCache;
 use crate::page::{InternalNode, LeafNode, Node};
 
 /// Traversal and I/O statistics for one tree.
 ///
 /// `nodes_read` is the number the paper's §2.3 argument counts: every level
-/// descended is one index traversal.
+/// descended is one index traversal — whether the node came from the
+/// device, the block cache or the decoded-node cache. `node_cache_hits`
+/// counts the subset of those reads served without touching the device or
+/// re-running [`Node::decode`]; it is always zero when the context has no
+/// node cache, so the two configurations account reads identically.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TreeStats {
-    /// Nodes fetched from the device (or cache) during descents and scans.
+    /// Nodes fetched (from the device, block cache or node cache) during
+    /// descents and scans.
     pub nodes_read: u64,
     /// Nodes written back after modification.
     pub nodes_written: u64,
     /// Node splits performed.
     pub splits: u64,
+    /// Subset of `nodes_read` served decoded from the node cache.
+    pub node_cache_hits: u64,
 }
 
 #[derive(Debug, Default)]
@@ -39,21 +47,44 @@ struct AtomicTreeStats {
     nodes_read: AtomicU64,
     nodes_written: AtomicU64,
     splits: AtomicU64,
+    node_cache_hits: AtomicU64,
 }
 
-/// Shared handle to the device and allocator a tree lives on.
+/// Shared handle to the device, allocator and (optional) decoded-node
+/// cache a tree lives on.
 #[derive(Clone)]
 pub struct TreeContext {
     /// Block device holding the nodes.
     pub device: Arc<dyn BlockDevice>,
     /// Allocator that hands out node blocks.
     pub allocator: Arc<dyn Allocator>,
+    /// Shared decoded-node cache; `None` decodes on every read.
+    node_cache: Option<Arc<NodeCache>>,
 }
 
 impl TreeContext {
-    /// Creates a context from a device and allocator.
+    /// Creates a context from a device and allocator, with no decoded-node
+    /// cache (every read decodes from the device — the seed behaviour and
+    /// the E9 ablation baseline).
     pub fn new(device: Arc<dyn BlockDevice>, allocator: Arc<dyn Allocator>) -> Self {
-        TreeContext { device, allocator }
+        TreeContext {
+            device,
+            allocator,
+            node_cache: None,
+        }
+    }
+
+    /// Attaches a decoded-node cache holding up to `capacity_pages` nodes,
+    /// shared by every tree cloned from this context. `0` leaves the
+    /// context without a cache.
+    pub fn with_node_cache(mut self, capacity_pages: usize) -> Self {
+        self.node_cache = (capacity_pages > 0).then(|| Arc::new(NodeCache::new(capacity_pages)));
+        self
+    }
+
+    /// The attached decoded-node cache, if any.
+    pub fn node_cache(&self) -> Option<&Arc<NodeCache>> {
+        self.node_cache.as_ref()
     }
 }
 
@@ -90,7 +121,7 @@ impl BTree {
             max_entry: Self::max_entry_for(block_size),
             stats: AtomicTreeStats::default(),
         };
-        tree.write_node(root, &Node::Leaf(LeafNode::default()))?;
+        tree.write_node(root, Node::Leaf(LeafNode::default()))?;
         Ok(tree)
     }
 
@@ -129,6 +160,7 @@ impl BTree {
             nodes_read: self.stats.nodes_read.load(Ordering::Relaxed),
             nodes_written: self.stats.nodes_written.load(Ordering::Relaxed),
             splits: self.stats.splits.load(Ordering::Relaxed),
+            node_cache_hits: self.stats.node_cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -137,6 +169,7 @@ impl BTree {
         self.stats.nodes_read.store(0, Ordering::Relaxed);
         self.stats.nodes_written.store(0, Ordering::Relaxed);
         self.stats.splits.store(0, Ordering::Relaxed);
+        self.stats.node_cache_hits.store(0, Ordering::Relaxed);
     }
 
     fn alloc_page(ctx: &TreeContext) -> Result<u64> {
@@ -145,21 +178,66 @@ impl BTree {
     }
 
     fn free_page(&self, page: u64) -> Result<()> {
+        // The page may be handed to another tree by the allocator; its
+        // decoded image must not outlive it.
+        if let Some(cache) = &self.ctx.node_cache {
+            cache.invalidate(page);
+        }
         self.ctx.allocator.free(Extent::new(page, 1))?;
         Ok(())
     }
 
-    pub(crate) fn read_node(&self, page: u64) -> Result<Node> {
+    /// Reads and decodes `page` from the device, bypassing the node cache.
+    fn fetch_node(&self, page: u64) -> Result<Node> {
         let mut buf = vec![0u8; self.block_size];
         self.ctx.device.read_block(page, &mut buf)?;
-        self.stats.nodes_read.fetch_add(1, Ordering::Relaxed);
         Node::decode(&buf)
     }
 
-    fn write_node(&self, page: u64, node: &Node) -> Result<()> {
+    /// Fetches `page` as a shared decoded node — the hot read path.
+    ///
+    /// With a node cache attached, a hit costs a hash probe and an `Arc`
+    /// clone: no device read, no block copy, no [`Node::decode`]. Misses
+    /// decode once and populate the cache for the next descent.
+    pub(crate) fn read_node_shared(&self, page: u64) -> Result<Arc<Node>> {
+        self.stats.nodes_read.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.ctx.node_cache {
+            if let Some(node) = cache.get(page) {
+                self.stats.node_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(node);
+            }
+            let node = Arc::new(self.fetch_node(page)?);
+            cache.insert(page, Arc::clone(&node));
+            return Ok(node);
+        }
+        Ok(Arc::new(self.fetch_node(page)?))
+    }
+
+    /// Fetches `page` as an owned node for mutation paths.
+    ///
+    /// Serves from the node cache when possible (a clone of the decoded
+    /// node, skipping the device read and decode); the mutation's
+    /// [`write_node`](Self::write_node) refreshes the cached entry.
+    pub(crate) fn read_node(&self, page: u64) -> Result<Node> {
+        self.stats.nodes_read.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.ctx.node_cache {
+            if let Some(node) = cache.get(page) {
+                self.stats.node_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((*node).clone());
+            }
+        }
+        self.fetch_node(page)
+    }
+
+    fn write_node(&self, page: u64, node: Node) -> Result<()> {
         let buf = node.encode(self.block_size)?;
         self.ctx.device.write_block(page, &buf)?;
         self.stats.nodes_written.fetch_add(1, Ordering::Relaxed);
+        // Write-update keeps the cache coherent without a decode: the
+        // node just encoded *is* the page's current image.
+        if let Some(cache) = &self.ctx.node_cache {
+            cache.insert(page, Arc::new(node));
+        }
         Ok(())
     }
 
@@ -181,7 +259,7 @@ impl BTree {
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let mut page = self.root;
         loop {
-            match self.read_node(page)? {
+            match &*self.read_node_shared(page)? {
                 Node::Internal(node) => {
                     page = node.children[node.child_for(key)];
                 }
@@ -216,7 +294,7 @@ impl BTree {
                     keys: vec![sep],
                     children: vec![self.root, right],
                 };
-                self.write_node(new_root, &Node::Internal(node))?;
+                self.write_node(new_root, Node::Internal(node))?;
                 self.root = new_root;
                 Ok(previous)
             }
@@ -237,7 +315,7 @@ impl BTree {
                     }
                 };
                 if leaf.encoded_size() <= self.block_size {
-                    self.write_node(page, &Node::Leaf(leaf))?;
+                    self.write_node(page, Node::Leaf(leaf))?;
                     return Ok(InsertOutcome::Done(previous));
                 }
                 // Split the leaf in half by entry count.
@@ -250,8 +328,8 @@ impl BTree {
                     entries: right_entries,
                 };
                 leaf.next = right_page;
-                self.write_node(right_page, &Node::Leaf(right))?;
-                self.write_node(page, &Node::Leaf(leaf))?;
+                self.write_node(right_page, Node::Leaf(right))?;
+                self.write_node(page, Node::Leaf(leaf))?;
                 self.stats.splits.fetch_add(1, Ordering::Relaxed);
                 Ok(InsertOutcome::Split {
                     sep,
@@ -271,7 +349,7 @@ impl BTree {
                         node.keys.insert(idx, sep);
                         node.children.insert(idx + 1, right);
                         if node.encoded_size() <= self.block_size {
-                            self.write_node(page, &Node::Internal(node))?;
+                            self.write_node(page, Node::Internal(node))?;
                             return Ok(InsertOutcome::Done(previous));
                         }
                         // Split the internal node; the middle key moves up.
@@ -285,8 +363,8 @@ impl BTree {
                             children: right_children,
                         };
                         let right_page = Self::alloc_page(&self.ctx)?;
-                        self.write_node(right_page, &Node::Internal(right_node))?;
-                        self.write_node(page, &Node::Internal(node))?;
+                        self.write_node(right_page, Node::Internal(right_node))?;
+                        self.write_node(page, Node::Internal(node))?;
                         self.stats.splits.fetch_add(1, Ordering::Relaxed);
                         Ok(InsertOutcome::Split {
                             sep: up,
@@ -315,7 +393,7 @@ impl BTree {
                 Node::Leaf(mut leaf) => match leaf.search(key) {
                     Ok(i) => {
                         let (_, value) = leaf.entries.remove(i);
-                        self.write_node(page, &Node::Leaf(leaf))?;
+                        self.write_node(page, Node::Leaf(leaf))?;
                         return Ok(Some(value));
                     }
                     Err(_) => return Ok(None),
@@ -329,7 +407,7 @@ impl BTree {
     pub(crate) fn seek_leaf(&self, lower: &[u8]) -> Result<(u64, LeafNode, usize)> {
         let mut page = self.root;
         loop {
-            match self.read_node(page)? {
+            match &*self.read_node_shared(page)? {
                 Node::Internal(node) => {
                     page = node.children[node.child_for(lower)];
                 }
@@ -338,7 +416,7 @@ impl BTree {
                         Ok(i) => i,
                         Err(i) => i,
                     };
-                    return Ok((page, leaf, idx));
+                    return Ok((page, leaf.clone(), idx));
                 }
             }
         }
@@ -386,7 +464,7 @@ impl BTree {
         let mut height = 1;
         let mut page = self.root;
         loop {
-            match self.read_node(page)? {
+            match &*self.read_node_shared(page)? {
                 Node::Internal(node) => {
                     page = node.children[0];
                     height += 1;
@@ -402,7 +480,7 @@ impl BTree {
     }
 
     fn destroy_rec(&self, page: u64) -> Result<()> {
-        if let Node::Internal(node) = self.read_node(page)? {
+        if let Node::Internal(node) = &*self.read_node_shared(page)? {
             for child in &node.children {
                 self.destroy_rec(*child)?;
             }
@@ -594,6 +672,158 @@ mod tests {
         assert!(context.allocator.stats().free_blocks < before);
         tree.destroy().unwrap();
         assert_eq!(context.allocator.stats().free_blocks, before);
+    }
+
+    fn cached_ctx(blocks: u64, block_size: usize, pages: usize) -> TreeContext {
+        let device = Arc::new(MemDevice::new(blocks, block_size));
+        let allocator = Arc::new(BuddyAllocator::new(1, blocks - 1));
+        TreeContext::new(device, allocator).with_node_cache(pages)
+    }
+
+    #[test]
+    fn node_cache_serves_hot_descents_without_device_reads() {
+        let ctx = cached_ctx(4096, 256, 512);
+        let mut tree = BTree::create(ctx.clone()).unwrap();
+        for i in 0..300u32 {
+            tree.insert(format!("key{i:04}").as_bytes(), b"v").unwrap();
+        }
+        tree.reset_stats();
+        let reads_before = ctx.device.counters().reads;
+        // Every node on this path was cached by the inserts' write-update.
+        tree.get(b"key0123").unwrap();
+        let stats = tree.stats();
+        assert_eq!(stats.nodes_read as u32, tree.height().unwrap());
+        assert_eq!(
+            stats.node_cache_hits, stats.nodes_read,
+            "warm descent must be all node-cache hits"
+        );
+        assert_eq!(
+            ctx.device.counters().reads,
+            reads_before,
+            "warm descent must not touch the device"
+        );
+    }
+
+    #[test]
+    fn node_cache_results_match_uncached_tree() {
+        // The same operation sequence on a cached and an uncached tree
+        // must be observationally identical, including nodes_read.
+        let plain_ctx = ctx(4096, 256);
+        let cached = cached_ctx(4096, 256, 64);
+        let mut plain_tree = BTree::create(plain_ctx).unwrap();
+        let mut cached_tree = BTree::create(cached).unwrap();
+        for i in 0..400u32 {
+            let key = format!("k{:05}", (i * 7919) % 1000);
+            let value = format!("v{i}");
+            assert_eq!(
+                plain_tree.insert(key.as_bytes(), value.as_bytes()).unwrap(),
+                cached_tree
+                    .insert(key.as_bytes(), value.as_bytes())
+                    .unwrap(),
+                "insert {i}"
+            );
+        }
+        for i in (0..400u32).step_by(3) {
+            let key = format!("k{:05}", (i * 7919) % 1000);
+            assert_eq!(
+                plain_tree.delete(key.as_bytes()).unwrap(),
+                cached_tree.delete(key.as_bytes()).unwrap(),
+                "delete {i}"
+            );
+        }
+        assert_eq!(
+            plain_tree.scan_all().unwrap(),
+            cached_tree.scan_all().unwrap()
+        );
+        plain_tree.reset_stats();
+        cached_tree.reset_stats();
+        for i in 0..1000u32 {
+            let key = format!("k{i:05}");
+            assert_eq!(
+                plain_tree.get(key.as_bytes()).unwrap(),
+                cached_tree.get(key.as_bytes()).unwrap()
+            );
+        }
+        let plain_stats = plain_tree.stats();
+        let cached_stats = cached_tree.stats();
+        assert_eq!(
+            plain_stats.nodes_read, cached_stats.nodes_read,
+            "logical traversal accounting must be identical"
+        );
+        assert_eq!(plain_stats.node_cache_hits, 0);
+        assert!(cached_stats.node_cache_hits > 0);
+    }
+
+    #[test]
+    fn node_cache_invalidated_on_destroy_and_page_reuse() {
+        let ctx = cached_ctx(4096, 256, 512);
+        let cache_len_before = ctx.node_cache().unwrap().len();
+        let mut doomed = BTree::create(ctx.clone()).unwrap();
+        for i in 0..200u32 {
+            doomed.insert(format!("d{i:04}").as_bytes(), b"x").unwrap();
+        }
+        doomed.destroy().unwrap();
+        assert_eq!(
+            ctx.node_cache().unwrap().len(),
+            cache_len_before,
+            "destroy must invalidate every cached page of the tree"
+        );
+        // A new tree reusing the freed pages must never see stale nodes.
+        let mut fresh = BTree::create(ctx.clone()).unwrap();
+        for i in 0..200u32 {
+            fresh
+                .insert(format!("f{i:04}").as_bytes(), format!("y{i}").as_bytes())
+                .unwrap();
+        }
+        for i in 0..200u32 {
+            assert_eq!(
+                fresh.get(format!("f{i:04}").as_bytes()).unwrap(),
+                Some(format!("y{i}").into_bytes())
+            );
+            assert_eq!(fresh.get(format!("d{i:04}").as_bytes()).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_node_cache() {
+        let ctx = cached_ctx(16384, 4096, 4096);
+        let mut tree = BTree::create(ctx).unwrap();
+        for i in 0..2000u32 {
+            tree.insert(
+                format!("object/{i:08}").as_bytes(),
+                format!("metadata {i}").as_bytes(),
+            )
+            .unwrap();
+        }
+        let tree = Arc::new(tree);
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let tree = Arc::clone(&tree);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let id = (i * 13 + t * 37) % 2000;
+                    assert_eq!(
+                        tree.get(format!("object/{id:08}").as_bytes()).unwrap(),
+                        Some(format!("metadata {id}").into_bytes())
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(tree.stats().node_cache_hits > 0);
+    }
+
+    #[test]
+    fn zero_page_cache_is_no_cache() {
+        let ctx = cached_ctx(4096, 256, 0);
+        assert!(ctx.node_cache().is_none());
+        let mut tree = BTree::create(ctx).unwrap();
+        tree.insert(b"k", b"v").unwrap();
+        tree.reset_stats();
+        tree.get(b"k").unwrap();
+        assert_eq!(tree.stats().node_cache_hits, 0);
     }
 
     #[test]

@@ -42,6 +42,19 @@ pub struct HfadConfig {
     /// [`StoreConfig::shards`]). Set to `1` to reproduce a
     /// single-global-lock store, the E2/E6 contention baseline.
     pub store_shards: usize,
+    /// Block-cache capacity in blocks. `0` (the default) runs directly on
+    /// the device; any other value fronts it with the storage layer's
+    /// sharded write-back block cache (see
+    /// [`StoreConfig::cache_blocks`]). Useful when the backing device is
+    /// slower than memory (e.g. a `FileDevice`).
+    pub cache_blocks: usize,
+    /// Lock shards for the block cache (`0` auto-sizes; `1` reproduces
+    /// the single-global-lock cache, the E9 contention baseline).
+    pub cache_shards: usize,
+    /// Decoded B-tree node cache capacity in pages shared by the object
+    /// table and every extent map (`0`, the default, decodes nodes on
+    /// every read — the E9 ablation baseline).
+    pub node_cache_pages: usize,
     /// Number of shards in the key/value and full-text indices.
     pub index_shards: usize,
     /// Number of background indexing threads (only used in lazy mode).
@@ -59,6 +72,9 @@ impl Default for HfadConfig {
             journal_batch_wait_us: 0,
             allocator: AllocatorKind::Buddy,
             store_shards: 0,
+            cache_blocks: 0,
+            cache_shards: 0,
+            node_cache_pages: 0,
             index_shards: 16,
             lazy_workers: 2,
             indexing: IndexingMode::Lazy,
@@ -74,6 +90,9 @@ impl HfadConfig {
             journal_blocks: self.journal_blocks,
             allocator: self.allocator,
             shards: self.store_shards,
+            cache_blocks: self.cache_blocks,
+            cache_shards: self.cache_shards,
+            node_cache_pages: self.node_cache_pages,
         }
     }
 
@@ -109,6 +128,9 @@ mod tests {
         assert_eq!(c.store_config().max_extent_bytes, c.max_extent_bytes);
         assert_eq!(c.store_config().journal_blocks, 0);
         assert_eq!(c.store_config().shards, c.store_shards);
+        // Both cache tiers default off: the seed behaviour.
+        assert_eq!(c.store_config().cache_blocks, 0);
+        assert_eq!(c.store_config().node_cache_pages, 0);
         // Group commit defaults: batching on, zero leader wait.
         assert!(c.journal_batch > 0);
         assert_eq!(c.group_commit_config().max_batch, c.journal_batch);
@@ -130,5 +152,19 @@ mod tests {
     #[test]
     fn eager_configuration() {
         assert_eq!(HfadConfig::eager().indexing, IndexingMode::Eager);
+    }
+
+    #[test]
+    fn cache_knobs_map_to_store_config() {
+        let c = HfadConfig {
+            cache_blocks: 4096,
+            cache_shards: 8,
+            node_cache_pages: 1024,
+            ..Default::default()
+        };
+        let sc = c.store_config();
+        assert_eq!(sc.cache_blocks, 4096);
+        assert_eq!(sc.cache_shards, 8);
+        assert_eq!(sc.node_cache_pages, 1024);
     }
 }

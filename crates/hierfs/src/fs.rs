@@ -301,7 +301,7 @@ impl HierFs {
         Ok(current)
     }
 
-    fn resolve_parent<'p>(&self, path: &'p str) -> Result<(Inode, String)> {
+    fn resolve_parent(&self, path: &str) -> Result<(Inode, String)> {
         let components = split_path(path)?;
         let Some((last, parents)) = components.split_last() else {
             return Err(HierError::InvalidPath(path.to_string()));
@@ -713,7 +713,7 @@ mod tests {
         fs.stat("/x/y/z").unwrap();
         let delta = fs.counters().delta_since(&before);
         assert_eq!(delta.atime_writes, 0);
-        assert_eq!(fs.config().atime_updates, false);
+        assert!(!fs.config().atime_updates);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod txn;
 pub use error::{OsdError, Result};
 pub use meta::{unix_now, ObjectMeta, Security};
 pub use object::{Object, ObjectStats, DEFAULT_MAX_EXTENT_BYTES};
-pub use oid::ObjectId;
+pub use oid::{ObjectId, OidAllocator, OID_RANGE};
 pub use shard::{resolve_shard_count, shard_index, ShardedMap, MAX_SHARDS};
 pub use store::{AllocatorKind, ObjectStore, StoreConfig, StoreStats};
 pub use txn::{Transaction, TxnOp, TxnStore};

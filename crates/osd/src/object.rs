@@ -422,7 +422,7 @@ impl Object {
         // descending key order avoids transient key collisions.
         let shift = data.len() as u64;
         let mut to_shift = self.extents_from(offset)?;
-        to_shift.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        to_shift.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         for (start, value) in to_shift {
             self.tree.delete(&extent_key(start))?;
             self.tree

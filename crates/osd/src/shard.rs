@@ -18,44 +18,12 @@ use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
-/// Upper bound on the number of shards a store will create.
+/// The workspace-wide shard-count resolution and key-routing convention.
 ///
-/// Each table shard owns a B-tree root page, so the count is capped to keep
-/// the formatting cost of a fresh store bounded even on very wide machines
-/// or with an aggressive [`StoreConfig::shards`](crate::store::StoreConfig)
-/// override.
-pub const MAX_SHARDS: usize = 1 << 12;
-
-/// Resolves a configured shard-count request to the actual count used.
-///
-/// `0` (the [`StoreConfig`](crate::store::StoreConfig) default) asks for
-/// auto-sizing: the next power of two at or above the machine's available
-/// parallelism. Any explicit request is rounded up to a power of two so a
-/// cheap mask can route keys. The result is always in
-/// `1..=`[`MAX_SHARDS`].
-pub fn resolve_shard_count(requested: usize) -> usize {
-    let wanted = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    };
-    wanted.clamp(1, MAX_SHARDS).next_power_of_two()
-}
-
-/// Routes a 64-bit key to a shard in `0..shard_count`.
-///
-/// `shard_count` must be a power of two. Object ids are allocated
-/// sequentially, so the key is first diffused with a Fibonacci-hash
-/// multiply and the shard is taken from the high bits, spreading dense id
-/// ranges uniformly across shards.
-#[inline]
-pub fn shard_index(key: u64, shard_count: usize) -> usize {
-    debug_assert!(shard_count.is_power_of_two());
-    let diffused = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    ((diffused >> 48) as usize) & (shard_count - 1)
-}
+/// The arithmetic lives in [`hfad_storage::shard`] (PR 5 moved it there so
+/// the block cache, the decoded-node cache and the store all stripe the
+/// same way); these re-exports keep the OSD's public surface unchanged.
+pub use hfad_storage::shard::{resolve_shard_count, shard_index, MAX_SHARDS};
 
 /// A lock-striped hash map keyed by `u64`.
 ///

@@ -30,9 +30,22 @@
 //! available parallelism and is overridable via [`StoreConfig::shards`];
 //! `shards = 1` reproduces the old single-global-lock behaviour and is the
 //! contention baseline measured by the E2/E6 experiments. OID allocation
-//! is a single atomic counter and the block allocator and device have their
-//! own internal synchronisation, so no global lock remains on the
-//! open/create/remove path.
+//! is striped the same way ([`OidAllocator`]: per-shard id ranges refilled
+//! from a global counter) and the block allocator and device have their
+//! own internal synchronisation, so no global lock — and no shared cache
+//! line — remains on the open/create/remove path.
+//!
+//! # The two cache tiers
+//!
+//! The read path can additionally be fronted by two caches, both off by
+//! default and swept by experiment E9:
+//!
+//! * [`StoreConfig::cache_blocks`] wraps the device in the storage
+//!   layer's sharded [`CachedDevice`] (block frames,
+//!   [`StoreConfig::cache_shards`] lock stripes, O(1) CLOCK eviction).
+//! * [`StoreConfig::node_cache_pages`] attaches a shared decoded-node
+//!   cache to the B-tree context, so hot descents of the object table and
+//!   extent maps skip `Node::decode` entirely.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,13 +54,14 @@ use parking_lot::{Mutex, RwLock};
 
 use hfad_btree::{BTree, TreeContext};
 use hfad_storage::{
-    AllocStats, Allocator, BlockDevice, BuddyAllocator, BumpAllocator, DeviceCounters, Superblock,
+    AllocStats, Allocator, BlockDevice, BuddyAllocator, BumpAllocator, CacheStats, CachedDevice,
+    DeviceCounters, Superblock,
 };
 
 use crate::error::{OsdError, Result};
 use crate::meta::{unix_now, ObjectMeta};
 use crate::object::{Object, DEFAULT_MAX_EXTENT_BYTES};
-use crate::oid::ObjectId;
+use crate::oid::{ObjectId, OidAllocator};
 use crate::shard::{resolve_shard_count, shard_index, ShardedMap};
 
 /// Which allocator manages the data area (ablated in experiment E6).
@@ -84,6 +98,18 @@ pub struct StoreConfig {
     /// to `1` to reproduce a single-global-lock store (the E2/E6
     /// contention baseline).
     pub shards: usize,
+    /// Block-cache capacity in blocks. `0` (the default) leaves the
+    /// device unwrapped; any other value fronts it with the storage
+    /// layer's sharded write-back [`CachedDevice`].
+    pub cache_blocks: usize,
+    /// Lock shards for the block cache (`0` auto-sizes; `1` reproduces
+    /// the single-global-lock cache, the E9 contention baseline). Only
+    /// meaningful when `cache_blocks > 0`.
+    pub cache_shards: usize,
+    /// Decoded B-tree node cache capacity in pages, shared by the object
+    /// table stripes and every extent map. `0` (the default) decodes on
+    /// every read — the E9 ablation baseline.
+    pub node_cache_pages: usize,
 }
 
 impl Default for StoreConfig {
@@ -93,6 +119,9 @@ impl Default for StoreConfig {
             journal_blocks: 0,
             allocator: AllocatorKind::Buddy,
             shards: 0,
+            cache_blocks: 0,
+            cache_shards: 0,
+            node_cache_pages: 0,
         }
     }
 }
@@ -108,6 +137,9 @@ pub struct StoreStats {
     pub device: DeviceCounters,
     /// Data-area allocator statistics.
     pub allocator: AllocStats,
+    /// Block-cache statistics; `None` when the store was created with
+    /// [`StoreConfig::cache_blocks`] `== 0`.
+    pub block_cache: Option<CacheStats>,
 }
 
 struct OpenObject {
@@ -134,12 +166,32 @@ pub struct ObjectStore {
     config: StoreConfig,
     tables: Box<[TableShard]>,
     objects: ShardedMap<Arc<Mutex<OpenObject>>>,
-    next_oid: AtomicU64,
+    oid_alloc: OidAllocator,
+    /// Typed handle to the block cache fronting the device, when
+    /// configured ([`TreeContext::device`] is the same object, type-erased).
+    block_cache: Option<Arc<CachedDevice<Arc<dyn BlockDevice>>>>,
 }
 
 impl ObjectStore {
     /// Formats `device` and creates an empty store on it.
+    ///
+    /// With [`StoreConfig::cache_blocks`] `> 0` the device is fronted by
+    /// the sharded write-back block cache before formatting, so every
+    /// layer above (superblock, journal, B-trees, data extents) reads and
+    /// writes through it.
     pub fn create(device: Arc<dyn BlockDevice>, config: StoreConfig) -> Result<Self> {
+        let mut block_cache = None;
+        let device: Arc<dyn BlockDevice> = if config.cache_blocks > 0 {
+            let cached = Arc::new(CachedDevice::with_shards(
+                device,
+                config.cache_blocks,
+                config.cache_shards,
+            ));
+            block_cache = Some(Arc::clone(&cached));
+            cached
+        } else {
+            device
+        };
         let superblock = Superblock::layout(
             device.block_count(),
             device.block_size(),
@@ -169,7 +221,7 @@ impl ObjectStore {
                 superblock.data_blocks,
             )),
         };
-        let ctx = TreeContext::new(device, allocator);
+        let ctx = TreeContext::new(device, allocator).with_node_cache(config.node_cache_pages);
         let shard_count = resolve_shard_count(config.shards);
         let mut tables = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
@@ -184,7 +236,8 @@ impl ObjectStore {
             config,
             tables: tables.into_boxed_slice(),
             objects: ShardedMap::new(shard_count),
-            next_oid: AtomicU64::new(1),
+            oid_alloc: OidAllocator::new(1, shard_count),
+            block_cache,
         })
     }
 
@@ -227,6 +280,11 @@ impl ObjectStore {
         &self.tables[self.shard_of(oid)]
     }
 
+    /// The block cache fronting the device, when configured.
+    pub fn block_cache(&self) -> Option<&Arc<CachedDevice<Arc<dyn BlockDevice>>>> {
+        self.block_cache.as_ref()
+    }
+
     /// Aggregate statistics, summed across shards.
     pub fn stats(&self) -> StoreStats {
         StoreStats {
@@ -234,6 +292,7 @@ impl ObjectStore {
             shards: self.tables.len(),
             device: self.ctx.device.counters(),
             allocator: self.ctx.allocator.stats(),
+            block_cache: self.block_cache.as_ref().map(|c| c.cache_stats()),
         }
     }
 
@@ -263,7 +322,7 @@ impl ObjectStore {
 
     /// Creates a new empty object and returns its id.
     pub fn create_object(&self, meta: ObjectMeta) -> Result<ObjectId> {
-        let oid = ObjectId(self.next_oid.fetch_add(1, Ordering::Relaxed));
+        let oid = self.oid_alloc.allocate();
         let object = Object::create(oid, self.ctx.clone(), meta, self.config.max_extent_bytes)?;
         let root = object.root_page();
         let shard = self.table(oid);
@@ -566,7 +625,7 @@ mod tests {
         let oid = s.create_default(0).unwrap();
         s.write(oid, 0, b"bump-backed").unwrap();
         assert_eq!(s.read(oid, 0, 100).unwrap(), b"bump-backed".to_vec());
-        assert_eq!(s.stats().allocator.free_blocks > 0, true);
+        assert!(s.stats().allocator.free_blocks > 0);
     }
 
     #[test]
@@ -760,6 +819,71 @@ mod tests {
         s.delete(oid).unwrap();
         assert_eq!(s.object_count(), 0);
         assert!(s.list().unwrap().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Two-tier cache wiring.
+    // ------------------------------------------------------------------
+
+    fn cached_store(cache_shards: usize, node_cache_pages: usize) -> ObjectStore {
+        let device = Arc::new(hfad_storage::MemDevice::with_capacity(32 * 1024 * 1024));
+        ObjectStore::create(
+            device,
+            StoreConfig {
+                cache_blocks: 2048,
+                cache_shards,
+                node_cache_pages,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cached_store_full_lifecycle_and_stats() {
+        for (cache_shards, node_cache_pages) in [(1, 0), (4, 1024)] {
+            let s = cached_store(cache_shards, node_cache_pages);
+            let oid = s.create_default(0).unwrap();
+            s.write(oid, 0, b"through the cache").unwrap();
+            assert_eq!(s.read(oid, 0, 100).unwrap(), b"through the cache".to_vec());
+            let cache = s.block_cache().expect("cache configured");
+            assert_eq!(cache.shard_count() == 1, cache_shards == 1);
+            let stats = s.stats();
+            let cache_stats = stats.block_cache.expect("cache stats reported");
+            assert!(cache_stats.hits > 0, "reads must hit the block cache");
+            let other = s.create_default(0).unwrap();
+            s.write(other, 0, &vec![7u8; 100_000]).unwrap();
+            s.delete(other).unwrap();
+            assert_eq!(s.read(oid, 0, 100).unwrap(), b"through the cache".to_vec());
+        }
+    }
+
+    #[test]
+    fn uncached_store_reports_no_cache() {
+        let s = store();
+        assert!(s.block_cache().is_none());
+        assert!(s.stats().block_cache.is_none());
+    }
+
+    #[test]
+    fn cached_store_flush_makes_data_reach_backing_device() {
+        let backing = Arc::new(hfad_storage::MemDevice::with_capacity(8 * 1024 * 1024));
+        let s = ObjectStore::create(
+            Arc::clone(&backing) as Arc<dyn hfad_storage::BlockDevice>,
+            StoreConfig {
+                cache_blocks: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let oid = s.create_default(0).unwrap();
+        s.write(oid, 0, b"must become durable").unwrap();
+        let writes_before = backing.counters().writes;
+        s.block_cache().unwrap().flush().unwrap();
+        assert!(
+            backing.counters().writes > writes_before,
+            "flush must write dirty frames back to the wrapped device"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use hfad_storage::{GroupCommit, GroupCommitConfig, GroupCommitStats, Journal, RecordKind};
+use hfad_storage::{
+    GroupCommit, GroupCommitConfig, GroupCommitStats, Journal, RecordKind, StorageError,
+};
+use parking_lot::RwLock;
 
 use crate::error::{OsdError, Result};
 use crate::oid::ObjectId;
@@ -134,6 +137,12 @@ pub struct TxnStore {
     store: Arc<ObjectStore>,
     group: GroupCommit<Arc<dyn hfad_storage::BlockDevice>>,
     next_txn: AtomicU64,
+    /// Excludes checkpoints from in-flight commits: a committing
+    /// transaction holds a read lock from journal append through apply, a
+    /// checkpoint holds the write lock, so the journal is only ever reset
+    /// when no acknowledged transaction is still waiting to be applied.
+    checkpoint_gate: RwLock<()>,
+    auto_checkpoints: AtomicU64,
 }
 
 impl TxnStore {
@@ -164,6 +173,8 @@ impl TxnStore {
             store,
             group: GroupCommit::new(journal, config),
             next_txn: AtomicU64::new(1),
+            checkpoint_gate: RwLock::new(()),
+            auto_checkpoints: AtomicU64::new(0),
         })
     }
 
@@ -206,9 +217,26 @@ impl TxnStore {
     }
 
     /// Truncates the journal after a checkpoint.
+    ///
+    /// Waits for every in-flight commit to finish applying, flushes the
+    /// store's device so the applied state the journal made redundant is
+    /// itself durable, and only then resets the journal.
     pub fn checkpoint(&self) -> Result<()> {
+        let _exclusive = self.checkpoint_gate.write();
+        self.checkpoint_locked()
+    }
+
+    /// The checkpoint body; caller holds the exclusive gate.
+    fn checkpoint_locked(&self) -> Result<()> {
+        self.store.context().device.flush()?;
         self.group.journal().reset()?;
         Ok(())
+    }
+
+    /// Number of checkpoints triggered automatically by a full journal
+    /// (see [`Transaction::commit`]).
+    pub fn auto_checkpoints(&self) -> u64 {
+        self.auto_checkpoints.load(Ordering::Relaxed)
     }
 }
 
@@ -280,19 +308,53 @@ impl Transaction<'_> {
     /// The commit rides the store's group-commit pipeline: this call
     /// blocks until the transaction's journal frames — and those of every
     /// transaction batched with it — are flushed. Only then are the
-    /// operations applied to the store. A transaction too large for the
-    /// remaining journal region fails alone with
-    /// [`StorageError::JournalFull`](hfad_storage::StorageError::JournalFull);
-    /// other transactions in the same batch still commit.
+    /// operations applied to the store.
+    ///
+    /// A commit rejected because the journal region has filled up
+    /// triggers an automatic checkpoint (wait for in-flight commits to
+    /// apply, flush the store's device, reset the journal) and retries
+    /// once, so callers only ever see [`StorageError::JournalFull`]
+    /// for a transaction too large to fit even an *empty* journal region.
     pub fn commit(mut self) -> Result<()> {
         self.check_open()?;
         self.closed = true;
-        let payloads: Vec<Vec<u8>> = self.ops.iter().map(TxnOp::encode).collect();
-        self.txn_store.group.commit(self.id, payloads)?;
-        for op in &self.ops {
-            op.apply(&self.txn_store.store)?;
+        let ts = self.txn_store;
+        let region_bytes = ts.group.journal().region_bytes();
+        loop {
+            let gate = ts.checkpoint_gate.read();
+            // Payloads are encoded per attempt so the common (no-retry)
+            // path never pays a defensive clone.
+            let payloads: Vec<Vec<u8>> = self.ops.iter().map(TxnOp::encode).collect();
+            match ts.group.commit(self.id, payloads) {
+                Ok(_) => {
+                    // Apply while still holding the gate: a checkpoint
+                    // must not reset the journal while this acknowledged
+                    // transaction's redo is its only durable record.
+                    for op in &self.ops {
+                        op.apply(&ts.store)?;
+                    }
+                    return Ok(());
+                }
+                Err(err @ StorageError::JournalFull { needed, .. }) => {
+                    if needed as u64 > region_bytes {
+                        // Too large for even an empty region: no number
+                        // of checkpoints can admit it.
+                        return Err(err.into());
+                    }
+                    // The journal is full of *previous* transactions'
+                    // frames. Checkpoint and retry: the gate is dropped
+                    // first so batch-mates that also hit JournalFull can
+                    // race us to the write lock; whoever wins resets, the
+                    // rest loop and retry into an emptied (or re-filling)
+                    // region.
+                    drop(gate);
+                    let _exclusive = ts.checkpoint_gate.write();
+                    ts.checkpoint_locked()?;
+                    ts.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err) => return Err(err.into()),
+            }
         }
-        Ok(())
     }
 
     /// Discards the buffered operations, recording an abort in the journal.
@@ -498,6 +560,89 @@ mod tests {
         txn.write(oid, 0, b"fits").unwrap();
         txn.commit().unwrap();
         assert_eq!(ts.store().read(oid, 0, 4).unwrap(), b"fits".to_vec());
+    }
+
+    #[test]
+    fn journal_full_triggers_auto_checkpoint_and_commit_succeeds() {
+        let device = Arc::new(MemDevice::with_capacity(16 * 1024 * 1024));
+        let store = Arc::new(
+            ObjectStore::create(
+                device,
+                StoreConfig {
+                    // Tiny region: fills after a handful of commits.
+                    journal_blocks: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let ts = TxnStore::new(store).unwrap();
+        let oid = ts.store().create_default(0).unwrap();
+        // Far more commit bytes than the region holds: without
+        // auto-checkpoint this loop would fail with JournalFull.
+        for i in 0..64u64 {
+            let mut txn = ts.begin();
+            txn.write(oid, i * 128, &[i as u8; 128]).unwrap();
+            txn.commit().unwrap();
+        }
+        assert!(
+            ts.auto_checkpoints() >= 1,
+            "the tiny journal must have forced at least one auto-checkpoint"
+        );
+        // Every commit was applied.
+        for i in 0..64u64 {
+            assert_eq!(
+                ts.store().read(oid, i * 128, 128).unwrap(),
+                vec![i as u8; 128],
+                "commit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_commits_survive_auto_checkpoints() {
+        let device = Arc::new(MemDevice::with_capacity(32 * 1024 * 1024));
+        let store = Arc::new(
+            ObjectStore::create(
+                device,
+                StoreConfig {
+                    journal_blocks: 4,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let ts = Arc::new(TxnStore::new(store).unwrap());
+        let threads = 4usize;
+        let per_thread = 32usize;
+        let oids: Vec<_> = (0..threads)
+            .map(|_| ts.store().create_default(0).unwrap())
+            .collect();
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ts = Arc::clone(&ts);
+                let oid = oids[t];
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let mut txn = ts.begin();
+                        txn.write(oid, (i * 64) as u64, &[(t * 16 + 1) as u8; 64])
+                            .unwrap();
+                        txn.commit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(ts.auto_checkpoints() >= 1);
+        for (t, oid) in oids.iter().enumerate() {
+            assert_eq!(
+                ts.store().len(*oid).unwrap(),
+                (per_thread * 64) as u64,
+                "thread {t} lost commits"
+            );
+        }
     }
 
     #[test]

@@ -154,40 +154,50 @@ fn half_written_txn_is_never_applied_at_every_batch_size() {
 }
 
 #[test]
-fn journal_fills_fails_typed_and_recovers_after_checkpoint() {
+fn journal_fills_auto_checkpoint_keeps_commits_flowing() {
     for &batch in &BATCH_SIZES {
         let r = rig(batch);
         let oid = r.ts.store().create_default(0).unwrap();
-        // Fill the 64-block region with commits until it overflows.
+        // Push far more commit bytes through than the 64-block region
+        // holds. The seed surfaced JournalFull to the unlucky caller;
+        // now the commit path checkpoints automatically and retries, so
+        // every transaction that fits an *empty* region succeeds.
         let payload = vec![0x42u8; 8 * 1024];
-        let mut acked = 0u64;
-        let full_err = loop {
+        let total = 64u64;
+        for i in 0..total {
             let mut txn = r.ts.begin();
-            txn.write(oid, acked * payload.len() as u64, &payload)
-                .unwrap();
-            match txn.commit() {
-                Ok(()) => acked += 1,
-                Err(e) => break e,
-            }
-            assert!(acked < 1_000, "journal never filled at batch {batch}");
-        };
+            txn.write(oid, i * payload.len() as u64, &payload).unwrap();
+            txn.commit()
+                .unwrap_or_else(|e| panic!("batch {batch}, commit {i}: {e}"));
+        }
         assert!(
-            matches!(
-                full_err,
-                OsdError::Storage(StorageError::JournalFull { .. })
-            ),
-            "batch {batch}: overflow must be the typed JournalFull, got {full_err}"
+            r.ts.auto_checkpoints() >= 1,
+            "batch {batch}: the region must have filled at least once"
         );
-        assert!(acked > 0);
-        // Everything acknowledged before the overflow replays.
-        let applied = r.crash_and_replay(&[oid]);
-        assert_eq!(applied, acked, "batch {batch}");
         assert_eq!(
             r.ts.store().len(oid).unwrap(),
-            acked * payload.len() as u64,
-            "batch {batch}"
+            total * payload.len() as u64,
+            "batch {batch}: every acknowledged commit applied"
         );
-        // Checkpoint reclaims the region; the store accepts commits again.
+        // The journal now holds only the post-checkpoint tail, and that
+        // tail replays cleanly (replay is idempotent for redo writes).
+        let replayed = r.ts.replay().unwrap();
+        assert!(replayed < total, "batch {batch}: checkpoints truncated");
+        assert_eq!(
+            r.ts.store().len(oid).unwrap(),
+            total * payload.len() as u64,
+            "batch {batch}: replay after checkpoint must not corrupt"
+        );
+        // A transaction too large for even an empty region is the one
+        // case that still surfaces the typed error.
+        let mut txn = r.ts.begin();
+        txn.write(oid, 0, &vec![0u8; 512 * 1024]).unwrap();
+        let err = txn.commit().unwrap_err();
+        assert!(
+            matches!(err, OsdError::Storage(StorageError::JournalFull { .. })),
+            "batch {batch}: impossible fit must stay JournalFull, got {err}"
+        );
+        // Manual checkpoint still reclaims the region explicitly.
         r.ts.checkpoint().unwrap();
         let mut txn = r.ts.begin();
         txn.write(oid, 0, b"post-checkpoint").unwrap();
@@ -292,13 +302,15 @@ fn concurrent_batch_overflow_fails_only_the_oversized_txn() {
             result.unwrap();
         }
     }
-    // The oversized write never reached the store or the journal.
+    // The oversized write never reached the store.
     assert!(ts.store().len(oid).unwrap() < 4096 + 64 * 1024);
+    // The failed commit auto-checkpointed before its (futile) retry, so
+    // the journal may hold anywhere from zero to all three small
+    // transactions — but the *store* must hold exactly their effects,
+    // and whatever the journal retains must replay to the same state.
     let committed = ts.journal().committed_payloads().unwrap();
-    assert_eq!(committed.len(), 3);
-    // And replay reproduces exactly the three small writes.
-    ts.store().truncate(oid, 0).unwrap();
-    assert_eq!(ts.replay().unwrap(), 3);
+    assert!(committed.len() <= 3);
+    assert_eq!(ts.replay().unwrap() as usize, committed.len());
     for t in 1..4usize {
         let data = ts.store().read(oid, (t * 8) as u64, 4).unwrap();
         assert_eq!(data, format!("ok-{t}").into_bytes());

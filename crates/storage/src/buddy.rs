@@ -59,7 +59,7 @@ impl BuddyAllocator {
             if (1u64 << order) > remaining {
                 order -= 1;
             }
-            while order > 0 && offset % (1u64 << order) != 0 {
+            while order > 0 && !offset.is_multiple_of(1u64 << order) {
                 order -= 1;
             }
             let order = order.min(MAX_ORDER);
@@ -275,14 +275,9 @@ mod tests {
         let a = BuddyAllocator::new(0, 100);
         let mut total = 0u64;
         let mut extents = Vec::new();
-        loop {
-            match a.allocate(1) {
-                Ok(e) => {
-                    total += e.len;
-                    extents.push(e);
-                }
-                Err(_) => break,
-            }
+        while let Ok(e) = a.allocate(1) {
+            total += e.len;
+            extents.push(e);
         }
         assert_eq!(total, 100);
         for e in &extents {

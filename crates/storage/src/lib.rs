@@ -15,7 +15,10 @@
 //!   paper's buddy allocator and a bump allocator used for ablation.
 //! * [`extent`] — contiguous block runs handed out by allocators and stored
 //!   in object extent maps.
-//! * [`cache`] — an LRU write-back block cache.
+//! * [`cache`] — a lock-striped write-back block cache with O(1) CLOCK
+//!   eviction and single-flight miss handling.
+//! * [`shard`] — the shard-count resolution and key-routing convention
+//!   shared by every lock-striped structure in the workspace.
 //! * [`layout`] — superblock / region map shared by hFAD and the
 //!   hierarchical baseline, plus the FNV-1a checksum.
 //! * [`journal`] — a write-ahead log backing the optional transactional
@@ -37,6 +40,7 @@ pub mod extent;
 pub mod group_commit;
 pub mod journal;
 pub mod layout;
+pub mod shard;
 
 pub use alloc::{AllocStats, Allocator};
 pub use buddy::BuddyAllocator;
@@ -50,6 +54,7 @@ pub use extent::Extent;
 pub use group_commit::{GroupCommit, GroupCommitConfig, GroupCommitStats};
 pub use journal::{Journal, JournalRecord, RecordKind, TxnFrames};
 pub use layout::{fnv1a, Superblock, FORMAT_VERSION, SUPERBLOCK_MAGIC};
+pub use shard::{resolve_shard_count, shard_index, MAX_SHARDS};
 
 #[cfg(test)]
 mod integration_tests {

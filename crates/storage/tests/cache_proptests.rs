@@ -1,0 +1,216 @@
+//! Property-based equivalence tests for the sharded block cache.
+//!
+//! The contract: a [`CachedDevice`] layered over a [`MemDevice`] is
+//! observationally equivalent to the bare device — under any sequential
+//! op mix, and under racing readers/writers/flushers/invalidators — at
+//! every shard count. The concurrent scripts partition blocks between
+//! threads (each thread owns its blocks' values, so every read has a
+//! deterministic expectation even mid-race) while `flush` and
+//! `invalidate` run unpartitioned against all of them.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hfad_storage::{BlockDevice, CachedDevice, MemDevice};
+
+const BLOCK_SIZE: usize = 64;
+const DEVICE_BLOCKS: u64 = 64;
+
+/// Shard counts every property runs at: the global-lock baseline and a
+/// genuinely striped configuration.
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+fn cached(capacity: usize, shards: usize) -> CachedDevice<MemDevice> {
+    CachedDevice::with_shards(MemDevice::new(DEVICE_BLOCKS, BLOCK_SIZE), capacity, shards)
+}
+
+proptest! {
+    /// Sequential mixes of read / write / flush / invalidate agree with
+    /// an uncached model device at shard counts 1 and N, for any cache
+    /// capacity (including capacities far smaller than the working set).
+    #[test]
+    fn sequential_ops_equivalent_to_bare_device(
+        ops in prop::collection::vec(
+            (0u64..DEVICE_BLOCKS, 1u8..255, 0u8..10),
+            1..120,
+        ),
+        capacity in 1usize..24,
+    ) {
+        for shards in SHARD_COUNTS {
+            let dev = cached(capacity, shards);
+            let model = MemDevice::new(DEVICE_BLOCKS, BLOCK_SIZE);
+            for (block, byte, action) in &ops {
+                match action {
+                    // Bias towards reads/writes; rare flush/invalidate.
+                    0 => {
+                        dev.flush().unwrap();
+                        // Mid-sequence: cache contents equal the model
+                        // exactly on the *backing* device after a flush.
+                        let mut a = vec![0u8; BLOCK_SIZE];
+                        let mut b = vec![0u8; BLOCK_SIZE];
+                        for check in 0..DEVICE_BLOCKS {
+                            dev.inner().read_block(check, &mut a).unwrap();
+                            model.read_block(check, &mut b).unwrap();
+                            prop_assert_eq!(&a, &b, "flush divergence at block {}", check);
+                        }
+                    }
+                    1 => dev.invalidate().unwrap(),
+                    n if n % 2 == 0 => {
+                        let buf = vec![*byte; BLOCK_SIZE];
+                        dev.write_block(*block, &buf).unwrap();
+                        model.write_block(*block, &buf).unwrap();
+                    }
+                    _ => {
+                        let mut a = vec![0u8; BLOCK_SIZE];
+                        let mut b = vec![0u8; BLOCK_SIZE];
+                        dev.read_block(*block, &mut a).unwrap();
+                        model.read_block(*block, &mut b).unwrap();
+                        prop_assert_eq!(&a, &b, "read divergence at block {}", block);
+                    }
+                }
+            }
+            dev.flush().unwrap();
+            let mut a = vec![0u8; BLOCK_SIZE];
+            let mut b = vec![0u8; BLOCK_SIZE];
+            for block in 0..DEVICE_BLOCKS {
+                dev.inner().read_block(block, &mut a).unwrap();
+                model.read_block(block, &mut b).unwrap();
+                prop_assert_eq!(&a, &b, "final divergence at block {}", block);
+            }
+        }
+    }
+
+    /// Concurrent equivalence: reader/writer threads own disjoint block
+    /// ranges while flush and invalidate race them from dedicated
+    /// threads. Every read must return the owning thread's last write,
+    /// and after a quiescent flush the backing device must hold exactly
+    /// the final values — at shard counts 1 and N.
+    #[test]
+    fn concurrent_ops_equivalent_to_bare_device(
+        scripts in prop::collection::vec(
+            prop::collection::vec((0u64..8, 1u8..255, prop::bool::ANY), 8..40),
+            4..5,
+        ),
+        capacity in 4usize..32,
+        churn in 2usize..6,
+    ) {
+        for shards in SHARD_COUNTS {
+            let dev = Arc::new(cached(capacity, shards));
+            let threads = scripts.len();
+            let mut handles = Vec::new();
+            for (t, script) in scripts.iter().enumerate() {
+                let dev = Arc::clone(&dev);
+                let script = script.clone();
+                handles.push(std::thread::spawn(move || {
+                    // This thread owns blocks [t*8, t*8+8).
+                    let base = (t * 8) as u64;
+                    let mut last: [Option<u8>; 8] = [None; 8];
+                    for (off, byte, is_write) in script {
+                        let block = base + off;
+                        if is_write {
+                            dev.write_block(block, &[byte; BLOCK_SIZE]).unwrap();
+                            last[off as usize] = Some(byte);
+                        } else {
+                            let mut out = vec![0u8; BLOCK_SIZE];
+                            dev.read_block(block, &mut out).unwrap();
+                            let expect = last[off as usize].unwrap_or(0);
+                            assert!(
+                                out.iter().all(|&b| b == expect),
+                                "thread {t} read stale block {block}: \
+                                 got {} want {expect}",
+                                out[0],
+                            );
+                        }
+                    }
+                    last
+                }));
+            }
+            for _ in 0..churn {
+                let dev = Arc::clone(&dev);
+                handles.push(std::thread::spawn(move || {
+                    dev.flush().unwrap();
+                    dev.invalidate().unwrap();
+                    [None; 8]
+                }));
+            }
+            let mut finals: Vec<[Option<u8>; 8]> = Vec::new();
+            for h in handles {
+                finals.push(h.join().expect("no thread may panic"));
+            }
+            // Quiesced: one more flush, then the backing device must hold
+            // each owner's last write.
+            dev.flush().unwrap();
+            let mut out = vec![0u8; BLOCK_SIZE];
+            for (t, last) in finals.iter().take(threads).enumerate() {
+                for (off, expect) in last.iter().enumerate() {
+                    let block = (t * 8 + off) as u64;
+                    dev.inner().read_block(block, &mut out).unwrap();
+                    let expect = expect.unwrap_or(0);
+                    prop_assert!(
+                        out.iter().all(|&b| b == expect),
+                        "block {} final divergence: device {} want {} (shards {})",
+                        block, out[0], expect, shards
+                    );
+                }
+            }
+            // The cache's accounting never loses a read.
+            let stats = dev.cache_stats();
+            prop_assert!(stats.hits + stats.misses > 0);
+        }
+    }
+}
+
+/// Deterministic high-pressure variant: tiny cache, many rounds, all four
+/// op kinds racing. Run in release by CI alongside the recovery suites.
+#[test]
+fn concurrent_torture_tiny_cache() {
+    for shards in SHARD_COUNTS {
+        let dev = Arc::new(cached(4, shards));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let dev = Arc::clone(&dev);
+            handles.push(std::thread::spawn(move || {
+                let base = t * 8;
+                for round in 1u64..=50 {
+                    for off in 0..8u64 {
+                        let value = (t * 50 + round) as u8;
+                        dev.write_block(base + off, &[value; BLOCK_SIZE]).unwrap();
+                    }
+                    let mut out = vec![0u8; BLOCK_SIZE];
+                    for off in 0..8u64 {
+                        dev.read_block(base + off, &mut out).unwrap();
+                        assert!(
+                            out.iter().all(|&b| b == (t * 50 + round) as u8),
+                            "thread {t} stale read in round {round}"
+                        );
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let dev = Arc::clone(&dev);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    dev.flush().unwrap();
+                    dev.invalidate().unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        dev.flush().unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for t in 0..4u64 {
+            for off in 0..8u64 {
+                dev.inner().read_block(t * 8 + off, &mut out).unwrap();
+                assert!(
+                    out.iter().all(|&b| b == (t * 50 + 50) as u8),
+                    "final state lost a write at block {}",
+                    t * 8 + off
+                );
+            }
+        }
+    }
+}

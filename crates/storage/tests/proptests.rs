@@ -18,7 +18,7 @@ proptest! {
         writes in prop::collection::vec((0u64..32, 0u8..255), 1..64)
     ) {
         let dev = MemDevice::new(32, 64);
-        let mut model = vec![0u8; 32];
+        let mut model = [0u8; 32];
         for (block, byte) in &writes {
             let buf = vec![*byte; 64];
             dev.write_block(*block, &buf).unwrap();

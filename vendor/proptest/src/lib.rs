@@ -201,7 +201,7 @@ pub struct Any<T>(PhantomData<T>);
 
 impl<T> Clone for Any<T> {
     fn clone(&self) -> Self {
-        Any(PhantomData)
+        *self
     }
 }
 

@@ -54,13 +54,7 @@ fn write_value(
         }
         Value::String(s) => write_string(s, out),
         Value::Array(items) => {
-            write_seq(
-                items.iter(),
-                indent,
-                depth,
-                out,
-                |item, indent, depth, out| write_value(item, indent, depth, out),
-            )?;
+            write_seq(items.iter(), indent, depth, out, write_value)?;
         }
         Value::Object(entries) => {
             out.push('{');
