@@ -4,11 +4,18 @@
 //! `EXPERIMENTS.md`:
 //!
 //! ```text
-//! experiments                 # run everything at full scale
-//! experiments --quick         # run everything at reduced scale
-//! experiments --exp e1        # run a single experiment
-//! experiments --exp e1 --json # additionally dump machine-readable JSON
+//! experiments                        # run everything at full scale
+//! experiments --quick                # run everything at reduced scale
+//! experiments --exp e10              # run a single experiment
+//! experiments --exp e10 --json       # additionally dump JSON to stdout
+//! experiments --json-out results/    # write one BENCH_<ID>.json per table
 //! ```
+//!
+//! `--json-out` is the machine-readable interface for CI and plot
+//! scripts: each table is written as `BENCH_<ID>.json` (e.g.
+//! `BENCH_E10.json`) containing the raw rows plus the `derived` headline
+//! metrics (speedups, ratios) so downstream tooling never parses
+//! formatted cells.
 
 use std::process::ExitCode;
 
@@ -19,23 +26,33 @@ fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut exp: Option<String> = None;
     let mut json = false;
+    let mut json_out: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--json" => json = true,
+            "--json-out" => {
+                json_out = iter.next().cloned();
+                if json_out.is_none() {
+                    eprintln!("--json-out requires a directory path");
+                    return ExitCode::FAILURE;
+                }
+            }
             "--exp" => {
                 exp = iter.next().cloned();
                 if exp.is_none() {
-                    eprintln!("--exp requires an experiment id (t1, f1, e1..e9)");
+                    eprintln!("--exp requires an experiment id (t1, f1, e1..e10)");
                     return ExitCode::FAILURE;
                 }
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--quick|--full] [--exp <t1|f1|e1..e9>] [--json]\n\
-                     Regenerates the hFAD experiment tables (see EXPERIMENTS.md)."
+                    "usage: experiments [--quick|--full] [--exp <t1|f1|e1..e10>] [--json] \
+                     [--json-out <dir>]\n\
+                     Regenerates the hFAD experiment tables (see EXPERIMENTS.md).\n\
+                     --json-out writes one machine-readable BENCH_<ID>.json per table."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -50,7 +67,7 @@ fn main() -> ExitCode {
         Some(id) => match run_one(id, scale) {
             Some(table) => vec![table],
             None => {
-                eprintln!("unknown experiment id: {id} (expected t1, f1, e1..e9)");
+                eprintln!("unknown experiment id: {id} (expected t1, f1, e1..e10)");
                 return ExitCode::FAILURE;
             }
         },
@@ -67,6 +84,27 @@ fn main() -> ExitCode {
                 eprintln!("failed to serialise results: {err}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(dir) = json_out {
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("failed to create {dir}: {err}");
+            return ExitCode::FAILURE;
+        }
+        for table in &tables {
+            let path = format!("{}/BENCH_{}.json", dir.trim_end_matches('/'), table.id);
+            let payload = match serde_json::to_string_pretty(table) {
+                Ok(payload) => payload,
+                Err(err) => {
+                    eprintln!("failed to serialise {}: {err}", table.id);
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(err) = std::fs::write(&path, payload + "\n") {
+                eprintln!("failed to write {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
         }
     }
     ExitCode::SUCCESS

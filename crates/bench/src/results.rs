@@ -2,6 +2,20 @@
 
 use serde::Serialize;
 
+/// A named scalar an experiment derives from its raw rows (a speedup, a
+/// ratio) — the value a regression gate or plot script wants without
+/// re-parsing formatted cells. Serialised into the `BENCH_<ID>.json`
+/// emitted by `experiments --json-out`.
+#[derive(Debug, Clone, Serialize)]
+pub struct DerivedMetric {
+    /// Metric name, e.g. "scan_speedup".
+    pub name: String,
+    /// The value.
+    pub value: f64,
+    /// Unit or kind, e.g. "x", "ratio", "ops/s".
+    pub unit: String,
+}
+
 /// A single experiment result table (one per paper table/figure/claim).
 #[derive(Debug, Clone, Serialize)]
 pub struct Table {
@@ -15,6 +29,8 @@ pub struct Table {
     pub headers: Vec<String>,
     /// Rows of formatted cells.
     pub rows: Vec<Vec<String>>,
+    /// Headline scalars derived from the rows (speedups, ratios).
+    pub derived: Vec<DerivedMetric>,
 }
 
 impl Table {
@@ -26,6 +42,7 @@ impl Table {
             paper_claim: paper_claim.to_string(),
             headers: headers.iter().map(|h| h.to_string()).collect(),
             rows: Vec::new(),
+            derived: Vec::new(),
         }
     }
 
@@ -33,6 +50,15 @@ impl Table {
     pub fn push_row(&mut self, cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
+    }
+
+    /// Records a derived headline metric.
+    pub fn push_derived(&mut self, name: &str, value: f64, unit: &str) {
+        self.derived.push(DerivedMetric {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+        });
     }
 
     /// Renders the table as aligned plain text.
@@ -61,6 +87,12 @@ impl Table {
         for row in &self.rows {
             out.push_str(&fmt_row(row));
             out.push('\n');
+        }
+        for m in &self.derived {
+            out.push_str(&format!(
+                "derived: {} = {:.3} {}\n",
+                m.name, m.value, m.unit
+            ));
         }
         out
     }

@@ -1,0 +1,67 @@
+//! Per-class engine counters.
+
+use crate::op::Priority;
+
+/// Counters for one priority class.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Ops admitted into the scheduler.
+    pub submitted: u64,
+    /// Ops that executed and succeeded.
+    pub completed: u64,
+    /// Ops that executed and failed (the error is on the completion token).
+    pub failed: u64,
+    /// Ops refused at admission ([`AdmissionPolicy::Reject`] at capacity).
+    ///
+    /// [`AdmissionPolicy::Reject`]: crate::AdmissionPolicy::Reject
+    pub rejected: u64,
+    /// Ops served via the aging path ahead of a higher-priority queue.
+    pub aged: u64,
+    /// High-water mark of in-flight ops (admitted, not yet completed).
+    pub max_depth: u64,
+    /// Total microseconds ops spent queued before execution began.
+    pub wait_us: u64,
+    /// Total microseconds ops spent executing.
+    pub service_us: u64,
+}
+
+impl ClassStats {
+    /// Mean queue wait per executed op, in microseconds.
+    pub fn mean_wait_us(&self) -> f64 {
+        let executed = self.completed + self.failed;
+        if executed == 0 {
+            0.0
+        } else {
+            self.wait_us as f64 / executed as f64
+        }
+    }
+}
+
+/// Snapshot of every class's counters, indexed by [`Priority`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// One entry per class, in [`Priority::ALL`] order.
+    pub classes: [ClassStats; 4],
+}
+
+impl EngineStats {
+    /// Counters for one class.
+    pub fn class(&self, priority: Priority) -> &ClassStats {
+        &self.classes[priority.index()]
+    }
+
+    /// Ops completed successfully across all classes.
+    pub fn total_completed(&self) -> u64 {
+        self.classes.iter().map(|c| c.completed).sum()
+    }
+
+    /// Ops that failed across all classes.
+    pub fn total_failed(&self) -> u64 {
+        self.classes.iter().map(|c| c.failed).sum()
+    }
+
+    /// Ops refused at admission across all classes.
+    pub fn total_rejected(&self) -> u64 {
+        self.classes.iter().map(|c| c.rejected).sum()
+    }
+}

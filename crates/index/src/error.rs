@@ -22,6 +22,9 @@ pub enum IndexError {
     InvalidQuery(String),
     /// The background indexer has shut down and cannot accept work.
     IndexerStopped,
+    /// The background indexer's bounded queue is at capacity and the
+    /// overflow policy rejects rather than blocks.
+    QueueFull,
 }
 
 impl fmt::Display for IndexError {
@@ -33,6 +36,7 @@ impl fmt::Display for IndexError {
             IndexError::NoIndexForTag(tag) => write!(f, "no index store handles tag {tag}"),
             IndexError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             IndexError::IndexerStopped => write!(f, "background indexer has stopped"),
+            IndexError::QueueFull => write!(f, "background indexer queue is full"),
         }
     }
 }

@@ -1,21 +1,96 @@
 //! Lazy, background full-text indexing.
 //!
 //! The paper: "we use background threads to perform lazy full-text
-//! indexing" (§3.4). [`LazyIndexer`] owns a pool of worker threads fed by
-//! an unbounded channel; callers enqueue `(object, text)` work and continue
-//! immediately. Experiment E4 compares the ingest throughput of this lazy
-//! path against synchronous (eager) indexing.
+//! indexing" (§3.4). [`LazyIndexer`] accepts `(object, text)` work and
+//! processes it in the background; callers continue immediately.
+//! Experiment E4 compares the ingest throughput of this lazy path against
+//! synchronous (eager) indexing.
+//!
+//! Two execution backends are supported:
+//!
+//! * **Own pool** ([`LazyIndexer::new`] / [`LazyIndexer::with_config`]) —
+//!   worker threads fed by a **bounded** channel. The seed design used an
+//!   unbounded queue, so a producer faster than the indexer grew memory
+//!   without limit; now [`LazyConfig::capacity`] bounds the backlog and
+//!   [`OverflowPolicy`] picks between blocking the producer and rejecting
+//!   the item (rejections are counted in [`LazyStats::rejected`]).
+//! * **Shared executor** ([`LazyIndexer::with_executor`]) — no private
+//!   threads; each work item is submitted to a [`BackgroundExecutor`]
+//!   (in practice the async I/O engine's `Index` priority class), so
+//!   indexing shares one scheduler with read-ahead and write-behind and
+//!   inherits the executor's bounded admission as its backpressure.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Sender, TrySendError};
 
 use hfad_osd::ObjectId;
 
 use crate::error::{IndexError, Result};
 use crate::fulltext::FullTextIndex;
+
+/// What a producer experiences when the lazy-index queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the producer until the queue has room (default: ingest slows
+    /// to the indexer's pace instead of growing memory).
+    #[default]
+    Block,
+    /// Fail the enqueue with [`IndexError::QueueFull`]; the caller decides
+    /// whether to retry, drop, or index synchronously.
+    Reject,
+}
+
+/// Configuration for a [`LazyIndexer`] running its own worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyConfig {
+    /// Background worker threads (minimum 1).
+    pub workers: usize,
+    /// Maximum queued work items; `0` means unbounded (the seed
+    /// behaviour, kept for ablation only).
+    pub capacity: usize,
+    /// Producer behaviour at capacity.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for LazyConfig {
+    fn default() -> Self {
+        LazyConfig {
+            workers: 1,
+            capacity: DEFAULT_LAZY_CAPACITY,
+            policy: OverflowPolicy::Block,
+        }
+    }
+}
+
+/// Default bound on the lazy-index backlog.
+pub const DEFAULT_LAZY_CAPACITY: usize = 4096;
+
+/// An executor that runs opaque background jobs with bounded admission.
+///
+/// Implemented by the async I/O engine (`hfad_engine`) to let lazy
+/// indexing ride its `Index` priority class; the indexer only needs
+/// submit-or-reject semantics, so the trait lives here and the engine
+/// depends on this crate, not the other way around.
+pub trait BackgroundExecutor: Send + Sync {
+    /// Schedules `job`. `Err(SubmitError::Full)` applies backpressure;
+    /// `Err(SubmitError::Stopped)` means the executor is shutting down.
+    fn submit_background(
+        &self,
+        job: Box<dyn FnOnce() + Send>,
+    ) -> std::result::Result<(), SubmitError>;
+}
+
+/// Why a [`BackgroundExecutor`] declined a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The executor's queue for this work class is at capacity.
+    Full,
+    /// The executor has shut down.
+    Stopped,
+}
 
 enum WorkItem {
     Index { oid: ObjectId, text: String },
@@ -33,23 +108,57 @@ pub struct LazyStats {
     /// Work items that failed (the error is recorded and the worker moves
     /// on; failures never take the pipeline down).
     pub failed: u64,
+    /// Work items refused at the queue boundary ([`OverflowPolicy::Reject`]
+    /// or a full [`BackgroundExecutor`]); never counted in `enqueued`.
+    pub rejected: u64,
 }
 
-/// A pool of background indexing threads over a shared [`FullTextIndex`].
+enum Backend {
+    Pool {
+        sender: Option<Sender<WorkItem>>,
+        workers: Vec<JoinHandle<()>>,
+        policy: OverflowPolicy,
+    },
+    Executor {
+        executor: Arc<dyn BackgroundExecutor>,
+        stopped: AtomicBool,
+    },
+}
+
+/// Background lazy indexing over a shared [`FullTextIndex`].
 pub struct LazyIndexer {
     index: Arc<FullTextIndex>,
-    sender: Option<Sender<WorkItem>>,
-    workers: Vec<JoinHandle<()>>,
+    backend: Backend,
     enqueued: AtomicU64,
+    rejected: AtomicU64,
     completed: Arc<AtomicU64>,
     failed: Arc<AtomicU64>,
 }
 
 impl LazyIndexer {
-    /// Spawns `workers` background threads indexing into `index`.
+    /// Spawns `workers` background threads indexing into `index`, with the
+    /// default bounded queue ([`DEFAULT_LAZY_CAPACITY`], blocking).
     pub fn new(index: Arc<FullTextIndex>, workers: usize) -> Self {
-        let workers = workers.max(1);
-        let (sender, receiver) = unbounded::<WorkItem>();
+        Self::with_config(
+            index,
+            LazyConfig {
+                workers,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Spawns a worker pool with explicit queue capacity and overflow
+    /// policy.
+    pub fn with_config(index: Arc<FullTextIndex>, config: LazyConfig) -> Self {
+        let workers = config.workers.max(1);
+        let (sender, receiver) = if config.capacity == 0 {
+            unbounded::<WorkItem>()
+        } else {
+            // Room for the per-worker shutdown sentinels on top of the
+            // configured work capacity, so `shutdown` never blocks.
+            bounded::<WorkItem>(config.capacity + workers)
+        };
         let completed = Arc::new(AtomicU64::new(0));
         let failed = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(workers);
@@ -80,11 +189,33 @@ impl LazyIndexer {
         }
         LazyIndexer {
             index,
-            sender: Some(sender),
-            workers: handles,
+            backend: Backend::Pool {
+                sender: Some(sender),
+                workers: handles,
+                policy: config.policy,
+            },
             enqueued: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
             completed,
             failed,
+        }
+    }
+
+    /// Creates an indexer with **no threads of its own**: every work item
+    /// becomes a job on `executor` (the async engine's `Index` class).
+    /// Backpressure is the executor's bounded admission — a refused job
+    /// surfaces as [`IndexError::QueueFull`] and a rejection count.
+    pub fn with_executor(index: Arc<FullTextIndex>, executor: Arc<dyn BackgroundExecutor>) -> Self {
+        LazyIndexer {
+            index,
+            backend: Backend::Executor {
+                executor,
+                stopped: AtomicBool::new(false),
+            },
+            enqueued: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: Arc::new(AtomicU64::new(0)),
+            failed: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -93,29 +224,71 @@ impl LazyIndexer {
         &self.index
     }
 
-    fn sender(&self) -> Result<&Sender<WorkItem>> {
-        self.sender.as_ref().ok_or(IndexError::IndexerStopped)
-    }
-
-    /// Enqueues a document for indexing and returns immediately.
-    pub fn enqueue(&self, oid: ObjectId, text: impl Into<String>) -> Result<()> {
-        self.sender()?
-            .send(WorkItem::Index {
-                oid,
-                text: text.into(),
-            })
-            .map_err(|_| IndexError::IndexerStopped)?;
+    /// Routes one work item to the backend, keeping the accounting
+    /// invariant: exactly one of `enqueued`/`rejected` grows per call.
+    fn dispatch(&self, item: WorkItem) -> Result<()> {
+        match &self.backend {
+            Backend::Pool { sender, policy, .. } => {
+                let sender = sender.as_ref().ok_or(IndexError::IndexerStopped)?;
+                match policy {
+                    OverflowPolicy::Block => {
+                        sender.send(item).map_err(|_| IndexError::IndexerStopped)?
+                    }
+                    OverflowPolicy::Reject => sender.try_send(item).map_err(|e| match e {
+                        TrySendError::Full(_) => {
+                            self.rejected.fetch_add(1, Ordering::Relaxed);
+                            IndexError::QueueFull
+                        }
+                        TrySendError::Disconnected(_) => IndexError::IndexerStopped,
+                    })?,
+                }
+            }
+            Backend::Executor { executor, stopped } => {
+                if stopped.load(Ordering::Acquire) {
+                    return Err(IndexError::IndexerStopped);
+                }
+                let index = Arc::clone(&self.index);
+                let completed = Arc::clone(&self.completed);
+                let failed = Arc::clone(&self.failed);
+                let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    let outcome = match item {
+                        WorkItem::Index { oid, text } => {
+                            index.index_document(oid, &text).map(|_| ())
+                        }
+                        WorkItem::Remove { oid } => index.remove_document(oid).map(|_| ()),
+                        WorkItem::Shutdown => Ok(()),
+                    };
+                    match outcome {
+                        Ok(()) => completed.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                });
+                executor.submit_background(job).map_err(|e| match e {
+                    SubmitError::Full => {
+                        self.rejected.fetch_add(1, Ordering::Relaxed);
+                        IndexError::QueueFull
+                    }
+                    SubmitError::Stopped => IndexError::IndexerStopped,
+                })?;
+            }
+        }
         self.enqueued.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Enqueues a document for indexing and returns immediately (or, at a
+    /// full bounded queue under [`OverflowPolicy::Block`], once there is
+    /// room).
+    pub fn enqueue(&self, oid: ObjectId, text: impl Into<String>) -> Result<()> {
+        self.dispatch(WorkItem::Index {
+            oid,
+            text: text.into(),
+        })
     }
 
     /// Enqueues removal of every posting for `oid`.
     pub fn enqueue_remove(&self, oid: ObjectId) -> Result<()> {
-        self.sender()?
-            .send(WorkItem::Remove { oid })
-            .map_err(|_| IndexError::IndexerStopped)?;
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        self.dispatch(WorkItem::Remove { oid })
     }
 
     /// Number of items accepted but not yet processed.
@@ -137,18 +310,30 @@ impl LazyIndexer {
             enqueued: self.enqueued.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
         }
     }
 
-    /// Stops the worker threads after the current backlog is processed.
+    /// Stops accepting work. Pool mode joins the worker threads after the
+    /// current backlog is processed; executor mode leaves already-submitted
+    /// jobs to finish on the shared executor.
     pub fn shutdown(&mut self) {
-        if let Some(sender) = self.sender.take() {
-            for _ in 0..self.workers.len() {
-                let _ = sender.send(WorkItem::Shutdown);
+        match &mut self.backend {
+            Backend::Pool {
+                sender, workers, ..
+            } => {
+                if let Some(sender) = sender.take() {
+                    for _ in 0..workers.len() {
+                        let _ = sender.send(WorkItem::Shutdown);
+                    }
+                }
+                for handle in workers.drain(..) {
+                    let _ = handle.join();
+                }
             }
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            Backend::Executor { stopped, .. } => {
+                stopped.store(true, Ordering::Release);
+            }
         }
     }
 }
@@ -234,6 +419,112 @@ mod tests {
         }
         indexer.drain();
         assert_eq!(indexer.index().lookup_term("shared").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn reject_policy_counts_rejections() {
+        // One worker parked on a slow-to-index first document cannot drain
+        // the queue, so with capacity 2 and Reject the producer sees
+        // QueueFull once the queue is at capacity.
+        let indexer = LazyIndexer::with_config(
+            fulltext(),
+            LazyConfig {
+                workers: 1,
+                capacity: 2,
+                policy: OverflowPolicy::Reject,
+            },
+        );
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for i in 0..64u64 {
+            match indexer.enqueue(ObjectId(i), format!("burst item {i}")) {
+                Ok(()) => accepted += 1,
+                Err(IndexError::QueueFull) => rejected += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "a burst of 64 into capacity 2 must overflow");
+        let stats = indexer.stats();
+        assert_eq!(stats.enqueued, accepted);
+        assert_eq!(stats.rejected, rejected);
+        indexer.drain();
+        assert_eq!(indexer.stats().completed, accepted);
+    }
+
+    #[test]
+    fn block_policy_bounds_backlog_without_losing_work() {
+        let indexer = LazyIndexer::with_config(
+            fulltext(),
+            LazyConfig {
+                workers: 1,
+                capacity: 4,
+                policy: OverflowPolicy::Block,
+            },
+        );
+        for i in 0..200u64 {
+            indexer
+                .enqueue(ObjectId(i), format!("steady item {i} bounded"))
+                .unwrap();
+            // The producer may stall waiting for room, but work is never
+            // dropped and the in-flight backlog never exceeds the bound,
+            // the per-worker shutdown-sentinel headroom, and the item the
+            // worker already pulled off the queue.
+            assert!(indexer.backlog() <= 4 + 1 + 1);
+        }
+        indexer.drain();
+        let stats = indexer.stats();
+        assert_eq!(stats.enqueued, 200);
+        assert_eq!(stats.completed, 200);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    /// Executor that runs jobs inline until told to refuse them.
+    struct ToggleExecutor {
+        full: std::sync::atomic::AtomicBool,
+    }
+
+    impl BackgroundExecutor for ToggleExecutor {
+        fn submit_background(
+            &self,
+            job: Box<dyn FnOnce() + Send>,
+        ) -> std::result::Result<(), SubmitError> {
+            if self.full.load(Ordering::Relaxed) {
+                return Err(SubmitError::Full);
+            }
+            job();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn executor_mode_runs_jobs_and_surfaces_backpressure() {
+        let executor = Arc::new(ToggleExecutor {
+            full: std::sync::atomic::AtomicBool::new(false),
+        });
+        let mut indexer = LazyIndexer::with_executor(
+            fulltext(),
+            Arc::clone(&executor) as Arc<dyn BackgroundExecutor>,
+        );
+        indexer.enqueue(ObjectId(1), "executor run").unwrap();
+        indexer.drain();
+        assert_eq!(indexer.index().lookup_term("executor").unwrap().len(), 1);
+
+        executor.full.store(true, Ordering::Relaxed);
+        assert!(matches!(
+            indexer.enqueue(ObjectId(2), "refused"),
+            Err(IndexError::QueueFull)
+        ));
+        let stats = indexer.stats();
+        assert_eq!(stats.enqueued, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 1);
+
+        indexer.shutdown();
+        executor.full.store(false, Ordering::Relaxed);
+        assert!(matches!(
+            indexer.enqueue(ObjectId(3), "after stop"),
+            Err(IndexError::IndexerStopped)
+        ));
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub mod tag;
 pub use error::{IndexError, Result};
 pub use fulltext::{tokenize, unique_terms, FullTextIndex};
 pub use keyvalue::{KeyValueIndex, DEFAULT_SHARDS};
-pub use lazy::{LazyIndexer, LazyStats};
+pub use lazy::{
+    BackgroundExecutor, LazyConfig, LazyIndexer, LazyStats, OverflowPolicy, SubmitError,
+    DEFAULT_LAZY_CAPACITY,
+};
 pub use query::Query;
 pub use store::{IndexRegistry, IndexStats, IndexStore};
 pub use tag::{Tag, TagValue};

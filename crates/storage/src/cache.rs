@@ -70,6 +70,12 @@ pub struct CacheStats {
     pub writebacks: u64,
     /// Blocks evicted (clean or dirty).
     pub evictions: u64,
+    /// Frames installed by [`CachedDevice::populate`] (read-ahead). Not
+    /// counted in `misses`, so `hit_ratio` reflects foreground traffic.
+    pub prefetched: u64,
+    /// Foreground hits served by a frame that read-ahead installed (each
+    /// prefetched frame counts at most once — its first foreground hit).
+    pub prefetch_hits: u64,
 }
 
 impl CacheStats {
@@ -88,7 +94,46 @@ impl CacheStats {
         self.misses += other.misses;
         self.writebacks += other.writebacks;
         self.evictions += other.evictions;
+        self.prefetched += other.prefetched;
+        self.prefetch_hits += other.prefetch_hits;
     }
+}
+
+/// Receives the block numbers a [`CachedDevice`] wants prefetched.
+///
+/// The cache only *detects* sequential runs; loading the blocks is the
+/// sink's job (the async engine's read-ahead service submits them at
+/// `ReadAhead` priority and calls [`CachedDevice::populate`] from its
+/// workers). Decoupling the two keeps the dependency direction clean: the
+/// cache knows nothing about executors, and a sink that drops requests
+/// under load is a legal (if unhelpful) implementation.
+pub trait PrefetchSink: Send + Sync {
+    /// Called outside every cache lock with blocks predicted to be read
+    /// soon, in ascending order, deduplicated against prior predictions.
+    fn prefetch(&self, blocks: Vec<u64>);
+}
+
+/// Sequential-run detector driving read-ahead.
+///
+/// Tracks the last block a foreground read touched. `run` counts the
+/// length of the current strictly-ascending chain; once it reaches
+/// `trigger`, every subsequent sequential read extends the prefetch
+/// frontier to `block + window`. `frontier` is the first block *not* yet
+/// predicted, so re-reads never resubmit the same block.
+struct SeqDetector {
+    last_block: u64,
+    run: u64,
+    frontier: u64,
+}
+
+/// Read-ahead configuration attached to a [`CachedDevice`].
+struct ReadAhead {
+    /// Blocks to keep predicted ahead of the newest sequential read.
+    window: u64,
+    /// Ascending reads needed before prediction starts.
+    trigger: u64,
+    sink: Arc<dyn PrefetchSink>,
+    detector: Mutex<SeqDetector>,
 }
 
 /// One cached block.
@@ -100,6 +145,9 @@ struct Frame {
     referenced: bool,
     /// Held by an in-flight flush write-back; never evicted while set.
     pinned: bool,
+    /// Installed by read-ahead and not yet hit by a foreground read;
+    /// cleared (and counted as a prefetch hit) on its first hit.
+    prefetched: bool,
 }
 
 /// A load in progress: concurrent readers of the same block park here
@@ -199,6 +247,9 @@ pub struct CachedDevice<D: BlockDevice> {
     /// Per-shard frame budget; total capacity is `per_shard * shards`.
     per_shard: usize,
     shards: Box<[Mutex<Shard>]>,
+    /// Optional read-ahead: run detection lives here, block loading is
+    /// delegated to the attached [`PrefetchSink`].
+    read_ahead: parking_lot::RwLock<Option<Arc<ReadAhead>>>,
 }
 
 impl<D: BlockDevice> CachedDevice<D> {
@@ -243,7 +294,190 @@ impl<D: BlockDevice> CachedDevice<D> {
             inner,
             per_shard: capacity_blocks.div_ceil(shard_count),
             shards,
+            read_ahead: parking_lot::RwLock::new(None),
         }
+    }
+
+    /// Attaches sequential read-ahead: after `trigger` strictly ascending
+    /// foreground reads, the cache keeps `window` blocks predicted ahead
+    /// of the newest read, announcing them to `sink` (which loads them,
+    /// typically via [`populate`](Self::populate) on background workers).
+    /// Replaces any previously attached sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `trigger` is zero.
+    pub fn set_read_ahead(&self, window: u64, trigger: u64, sink: Arc<dyn PrefetchSink>) {
+        assert!(window > 0, "read-ahead window must be non-zero");
+        assert!(trigger > 0, "read-ahead trigger must be non-zero");
+        *self.read_ahead.write() = Some(Arc::new(ReadAhead {
+            window,
+            trigger,
+            sink,
+            detector: Mutex::new(SeqDetector {
+                last_block: u64::MAX,
+                run: 0,
+                frontier: 0,
+            }),
+        }));
+    }
+
+    /// Detaches read-ahead; subsequent reads trigger no predictions.
+    pub fn clear_read_ahead(&self) {
+        *self.read_ahead.write() = None;
+    }
+
+    /// Feeds one foreground read into the run detector and hands any new
+    /// predictions to the sink. Called with no cache lock held.
+    fn note_sequential(&self, block: u64) {
+        let Some(ra) = self.read_ahead.read().as_ref().map(Arc::clone) else {
+            return;
+        };
+        let mut predicted: Vec<u64> = Vec::new();
+        {
+            let mut det = ra.detector.lock();
+            if det.last_block != u64::MAX && block == det.last_block.wrapping_add(1) {
+                det.run += 1;
+            } else if block != det.last_block {
+                // A jump resets the run and the prediction frontier; a
+                // repeat of the same block changes neither.
+                det.run = 1;
+                det.frontier = 0;
+            }
+            det.last_block = block;
+            if det.run >= ra.trigger {
+                let start = det.frontier.max(block + 1);
+                let end = (block + 1 + ra.window).min(self.block_count());
+                if start < end {
+                    predicted.extend(start..end);
+                    det.frontier = end;
+                }
+            }
+        }
+        if !predicted.is_empty() {
+            // Outside the detector lock: the sink may synchronously
+            // schedule (or even perform) loads.
+            ra.sink.prefetch(predicted);
+        }
+    }
+
+    /// Loads `block` into the cache without copying it out — the
+    /// read-ahead fill path. Returns `Ok(true)` if this call installed the
+    /// frame, `Ok(false)` if the block was already cached or already being
+    /// loaded (in which case this call did not wait for it).
+    ///
+    /// Uses the same single-flight protocol as a read miss, so a
+    /// foreground read racing a populate waits for the one device read
+    /// rather than issuing its own. Counted in [`CacheStats::prefetched`],
+    /// not `misses`; never feeds the run detector.
+    pub fn populate(&self, block: u64) -> Result<bool> {
+        if block >= self.block_count() {
+            return Err(crate::error::StorageError::OutOfRange {
+                block,
+                device_blocks: self.block_count(),
+            });
+        }
+        let shard = self.shard_for(block);
+        let flight = {
+            let mut guard = shard.lock();
+            if guard.map.contains_key(&block) || guard.loading.contains_key(&block) {
+                return Ok(false);
+            }
+            let flight = Arc::new(LoadFlight::new());
+            guard.loading.insert(block, Arc::clone(&flight));
+            flight
+        };
+
+        let mut buf = vec![0u8; self.block_size()];
+        let read = self.inner.read_block(block, &mut buf);
+        let mut guard = shard.lock();
+        let mut install = Ok(());
+        let mut installed = false;
+        let superseded = flight.superseded.load(std::sync::atomic::Ordering::Relaxed);
+        if read.is_ok() && !superseded && !guard.map.contains_key(&block) {
+            install = self.install(&mut guard, block, Arc::from(&buf[..]), false, true);
+            installed = install.is_ok();
+            guard.stats.prefetched += 1;
+        }
+        guard.loading.remove(&block);
+        drop(guard);
+        flight.complete();
+        read?;
+        install?;
+        Ok(installed)
+    }
+
+    /// Number of dirty frames currently cached, across all shards.
+    pub fn dirty_blocks(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lock()
+                    .slots
+                    .iter()
+                    .filter(|f| f.as_ref().is_some_and(|f| f.dirty))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Writes back up to `max` dirty frames (oldest slots first within
+    /// each shard), leaving them cached and clean, without flushing the
+    /// underlying device. Returns the number written back.
+    ///
+    /// This is the write-behind trickle primitive: a background flusher
+    /// calls it in small batches so a later [`flush`](BlockDevice::flush)
+    /// finds most frames already clean. Uses the same pin protocol as
+    /// `flush`, so it cannot race an eviction write-back of the same
+    /// block, and a frame re-dirtied mid-write-back stays dirty.
+    pub fn writeback_some(&self, max: usize) -> Result<usize> {
+        let mut remaining = max;
+        for shard in self.shards.iter() {
+            if remaining == 0 {
+                break;
+            }
+            let mut guard = shard.lock();
+            let mut batch: Vec<(usize, u64, Arc<[u8]>)> = Vec::new();
+            for (slot, frame) in guard.slots.iter_mut().enumerate() {
+                if batch.len() >= remaining {
+                    break;
+                }
+                if let Some(frame) = frame {
+                    if frame.dirty && !frame.pinned {
+                        frame.dirty = false;
+                        frame.pinned = true;
+                        batch.push((slot, frame.block, Arc::clone(&frame.data)));
+                    }
+                }
+            }
+            drop(guard);
+
+            let mut written = 0usize;
+            let mut result = Ok(());
+            for (_, block, data) in &batch {
+                if let Err(e) = self.inner.write_block(*block, data) {
+                    result = Err(e);
+                    break;
+                }
+                written += 1;
+            }
+
+            let mut guard = shard.lock();
+            guard.stats.writebacks += written as u64;
+            for (i, (slot, _, _)) in batch.iter().enumerate() {
+                if let Some(frame) = guard.slots[*slot].as_mut() {
+                    frame.pinned = false;
+                    if i >= written {
+                        frame.dirty = true;
+                    }
+                }
+            }
+            drop(guard);
+            result?;
+            remaining -= written;
+        }
+        Ok(max - remaining)
     }
 
     /// Number of lock shards the cache is striped over.
@@ -305,7 +539,14 @@ impl<D: BlockDevice> CachedDevice<D> {
     /// Inserts `data` as the frame for `block`, evicting (and writing back
     /// dirty victims) while the shard is over budget. Caller holds the
     /// shard lock and has verified `block` is absent.
-    fn install(&self, guard: &mut Shard, block: u64, data: Arc<[u8]>, dirty: bool) -> Result<()> {
+    fn install(
+        &self,
+        guard: &mut Shard,
+        block: u64,
+        data: Arc<[u8]>,
+        dirty: bool,
+        prefetched: bool,
+    ) -> Result<()> {
         while guard.live() >= self.per_shard {
             let Some(slot) = guard.choose_victim() else {
                 // Every frame is pinned by an in-flight flush: admit the
@@ -331,6 +572,7 @@ impl<D: BlockDevice> CachedDevice<D> {
             dirty,
             referenced: true,
             pinned: false,
+            prefetched,
         };
         let slot = match guard.free.pop() {
             Some(slot) => {
@@ -358,13 +600,18 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
 
     fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
         self.check_access(block, buf.len())?;
+        self.note_sequential(block);
         let shard = self.shard_for(block);
         loop {
             let mut guard = shard.lock();
             if let Some(&slot) = guard.map.get(&block) {
                 let frame = guard.slots[slot].as_mut().expect("mapped slot holds frame");
                 frame.referenced = true;
+                let first_prefetch_hit = std::mem::take(&mut frame.prefetched);
                 let data = Arc::clone(&frame.data);
+                if first_prefetch_hit {
+                    guard.stats.prefetch_hits += 1;
+                }
                 guard.stats.hits += 1;
                 drop(guard);
                 // The block copy happens with no lock held.
@@ -398,7 +645,7 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
                 // our flight. Either way the loaded bytes must not be
                 // installed; the caller is still served them, a legal
                 // linearisation of a read concurrent with a write.
-                install = self.install(&mut guard, block, Arc::from(&buf[..]), false);
+                install = self.install(&mut guard, block, Arc::from(&buf[..]), false, false);
             }
             guard.loading.remove(&block);
             drop(guard);
@@ -424,9 +671,10 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
             frame.data = Arc::from(buf);
             frame.dirty = true;
             frame.referenced = true;
+            frame.prefetched = false;
             return Ok(());
         }
-        self.install(&mut guard, block, Arc::from(buf), true)
+        self.install(&mut guard, block, Arc::from(buf), true, false)
     }
 
     fn flush(&self) -> Result<()> {
@@ -816,6 +1064,159 @@ mod tests {
             "stale load must not shadow a newer write (got {:#x})",
             out[0]
         );
+    }
+
+    /// A sink that records predictions and optionally loads them inline.
+    struct RecordingSink {
+        predicted: Mutex<Vec<u64>>,
+        cache: Mutex<Option<Arc<CachedDevice<MemDevice>>>>,
+    }
+
+    impl RecordingSink {
+        fn new() -> Arc<Self> {
+            Arc::new(RecordingSink {
+                predicted: Mutex::new(Vec::new()),
+                cache: Mutex::new(None),
+            })
+        }
+    }
+
+    impl PrefetchSink for RecordingSink {
+        fn prefetch(&self, blocks: Vec<u64>) {
+            if let Some(cache) = self.cache.lock().as_ref().map(Arc::clone) {
+                for &b in &blocks {
+                    cache.populate(b).unwrap();
+                }
+            }
+            self.predicted.lock().extend(blocks);
+        }
+    }
+
+    #[test]
+    fn populate_loads_once_and_marks_prefetched() {
+        let dev = make(8);
+        dev.inner().write_block(3, &[0x3Cu8; 128]).unwrap();
+        assert!(dev.populate(3).unwrap());
+        // Already cached: no second load.
+        assert!(!dev.populate(3).unwrap());
+        let stats = dev.cache_stats();
+        assert_eq!(stats.prefetched, 1);
+        assert_eq!(stats.misses, 0, "populate is not a foreground miss");
+        // The foreground read is a hit, attributed to read-ahead once.
+        let mut out = vec![0u8; 128];
+        dev.read_block(3, &mut out).unwrap();
+        dev.read_block(3, &mut out).unwrap();
+        assert_eq!(out, vec![0x3Cu8; 128]);
+        let stats = dev.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.prefetch_hits, 1);
+    }
+
+    #[test]
+    fn populate_rejects_out_of_range() {
+        let dev = make(8);
+        assert!(dev.populate(9999).is_err());
+    }
+
+    #[test]
+    fn sequential_run_triggers_prediction_and_jump_resets_it() {
+        let dev = Arc::new(make(32));
+        let sink = RecordingSink::new();
+        dev.set_read_ahead(4, 3, sink.clone());
+        let mut out = vec![0u8; 128];
+        // Two ascending reads: below the trigger, no predictions.
+        dev.read_block(10, &mut out).unwrap();
+        dev.read_block(11, &mut out).unwrap();
+        assert!(sink.predicted.lock().is_empty());
+        // Third ascending read reaches the trigger: window opens.
+        dev.read_block(12, &mut out).unwrap();
+        assert_eq!(*sink.predicted.lock(), vec![13, 14, 15, 16]);
+        // The next sequential read extends the frontier, no resubmits.
+        dev.read_block(13, &mut out).unwrap();
+        assert_eq!(*sink.predicted.lock(), vec![13, 14, 15, 16, 17]);
+        // A jump resets the run; predictions stop until a fresh run.
+        dev.read_block(40, &mut out).unwrap();
+        dev.read_block(41, &mut out).unwrap();
+        assert_eq!(sink.predicted.lock().len(), 5);
+        dev.read_block(42, &mut out).unwrap();
+        assert_eq!(
+            *sink.predicted.lock(),
+            vec![13, 14, 15, 16, 17, 43, 44, 45, 46]
+        );
+    }
+
+    #[test]
+    fn read_ahead_predictions_clamp_to_device_end() {
+        let dev = Arc::new(make(32)); // device has 64 blocks
+        let sink = RecordingSink::new();
+        dev.set_read_ahead(8, 2, sink.clone());
+        let mut out = vec![0u8; 128];
+        dev.read_block(61, &mut out).unwrap();
+        dev.read_block(62, &mut out).unwrap();
+        dev.read_block(63, &mut out).unwrap();
+        assert_eq!(*sink.predicted.lock(), vec![63]);
+    }
+
+    #[test]
+    fn inline_sink_turns_sequential_misses_into_prefetch_hits() {
+        let dev = Arc::new(make(32));
+        for b in 0..20u64 {
+            dev.inner().write_block(b, &[b as u8; 128]).unwrap();
+        }
+        let sink = RecordingSink::new();
+        *sink.cache.lock() = Some(Arc::clone(&dev));
+        dev.set_read_ahead(8, 2, sink);
+        let mut out = vec![0u8; 128];
+        for b in 0..20u64 {
+            dev.read_block(b, &mut out).unwrap();
+            assert!(out.iter().all(|&x| x == b as u8), "block {b}");
+        }
+        let stats = dev.cache_stats();
+        // Blocks 0 and 1 miss; from block 2 on the inline sink has always
+        // loaded the window ahead of the reader.
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.prefetch_hits, 18);
+        dev.clear_read_ahead();
+    }
+
+    #[test]
+    fn writeback_some_trickles_and_flush_finds_clean_pages() {
+        let dev = make(32);
+        for b in 0..10u64 {
+            dev.write_block(b, &[b as u8; 128]).unwrap();
+        }
+        assert_eq!(dev.dirty_blocks(), 10);
+        let written = dev.writeback_some(4).unwrap();
+        assert_eq!(written, 4);
+        assert_eq!(dev.dirty_blocks(), 6);
+        // Drain the rest in batches; frames stay cached (no evictions).
+        while dev.dirty_blocks() > 0 {
+            assert!(dev.writeback_some(3).unwrap() > 0);
+        }
+        assert_eq!(dev.cache_stats().evictions, 0);
+        // The final flush has nothing left to write.
+        let writes_before = dev.counters().writes;
+        dev.flush().unwrap();
+        assert_eq!(dev.counters().writes, writes_before);
+        // And the device holds every value.
+        let mut out = vec![0u8; 128];
+        for b in 0..10u64 {
+            dev.inner().read_block(b, &mut out).unwrap();
+            assert!(out.iter().all(|&x| x == b as u8), "block {b}");
+        }
+    }
+
+    #[test]
+    fn writeback_some_redirty_during_writeback_stays_dirty() {
+        let dev = make(8);
+        dev.write_block(0, &[1u8; 128]).unwrap();
+        assert_eq!(dev.writeback_some(8).unwrap(), 1);
+        dev.write_block(0, &[2u8; 128]).unwrap();
+        assert_eq!(dev.dirty_blocks(), 1);
+        dev.flush().unwrap();
+        let mut out = vec![0u8; 128];
+        dev.inner().read_block(0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 2));
     }
 
     #[test]

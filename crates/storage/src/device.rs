@@ -328,39 +328,167 @@ impl BlockDevice for FileDevice {
     }
 }
 
-/// A pass-through device that charges a fixed latency for every flush,
-/// serialised as on real hardware.
-///
-/// `MemDevice::flush` is a counter increment, which makes the cost that
-/// group commit amortises — the device sync — invisible. Wrapping any
-/// device in `FlushDelayDevice` models a disk or SSD whose FLUSH CACHE
-/// command takes `delay` and is executed one at a time by the device
-/// (concurrent flush callers queue behind an internal lock, exactly as
-/// they would queue at the device's command interface). Experiment E8
-/// uses this to measure batched vs sync-per-commit journaling.
-pub struct FlushDelayDevice<D: BlockDevice> {
-    inner: D,
-    delay: std::time::Duration,
-    flush_gate: parking_lot::Mutex<()>,
+/// Fault-injection knobs for one operation class (read, write or flush)
+/// of a [`FaultDevice`].
+#[derive(Debug, Clone, Default)]
+pub struct OpFault {
+    /// Latency charged to every operation of this class.
+    pub delay: std::time::Duration,
+    /// When set, operations of this class execute one at a time behind an
+    /// internal lock — modelling a command the device serialises (a disk's
+    /// FLUSH CACHE) rather than one it can overlap (queued reads).
+    pub serialize: bool,
+    /// When non-zero, every `error_every`-th operation of this class fails
+    /// with [`StorageError::Io`] *before* touching the wrapped device. The
+    /// count is per class and starts at 1, so `error_every = 1` fails every
+    /// operation and `error_every = 3` fails the 3rd, 6th, 9th, …
+    pub error_every: u64,
 }
 
-impl<D: BlockDevice> FlushDelayDevice<D> {
-    /// Wraps `inner`, making each flush take (at least) `delay`.
-    pub fn new(inner: D, delay: std::time::Duration) -> Self {
-        FlushDelayDevice {
-            inner,
+impl OpFault {
+    /// A fault that only delays, without serialising or failing.
+    pub fn delay(delay: std::time::Duration) -> Self {
+        OpFault {
             delay,
-            flush_gate: parking_lot::Mutex::new(()),
+            ..Default::default()
         }
+    }
+
+    /// A serialised delay — one operation at a time, each taking `delay`.
+    pub fn serialized_delay(delay: std::time::Duration) -> Self {
+        OpFault {
+            delay,
+            serialize: true,
+            ..Default::default()
+        }
+    }
+
+    /// A fault that fails every `n`-th operation.
+    pub fn error_every(n: u64) -> Self {
+        OpFault {
+            error_every: n,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-class fault configuration for a [`FaultDevice`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Faults applied to `read_block`.
+    pub read: OpFault,
+    /// Faults applied to `write_block`.
+    pub write: OpFault,
+    /// Faults applied to `flush`.
+    pub flush: OpFault,
+}
+
+/// A composable fault-injection device: per-operation delay, serialisation
+/// and every-Nth error knobs over any wrapped [`BlockDevice`].
+///
+/// This generalises the ad-hoc wrappers the experiments grew one by one
+/// (`FlushDelayDevice` for E8's serialised flush latency, the slow-read
+/// and gated-read devices private to the cache tests): one wrapper,
+/// configured per class. Injected errors fire *before* the wrapped device
+/// is touched, so a failed operation has no side effects — which is what
+/// lets the async-engine tests assert that a faulted submission surfaces
+/// on its completion token while the device state stays explainable.
+pub struct FaultDevice<D: BlockDevice> {
+    inner: D,
+    config: FaultConfig,
+    gates: [parking_lot::Mutex<()>; 3],
+    attempts: [AtomicU64; 3],
+    injected: [AtomicU64; 3],
+}
+
+/// Indices into the per-class state of a [`FaultDevice`].
+#[derive(Clone, Copy)]
+enum FaultClass {
+    Read = 0,
+    Write = 1,
+    Flush = 2,
+}
+
+impl<D: BlockDevice> FaultDevice<D> {
+    /// Wraps `inner` with the given per-class faults.
+    pub fn new(inner: D, config: FaultConfig) -> Self {
+        FaultDevice {
+            inner,
+            config,
+            gates: Default::default(),
+            attempts: Default::default(),
+            injected: Default::default(),
+        }
+    }
+
+    /// Convenience: every read takes `delay` (reads overlap, as queued
+    /// device reads do). The shape experiment E10 uses to model a device
+    /// whose misses are worth hiding behind read-ahead.
+    pub fn read_delay(inner: D, delay: std::time::Duration) -> Self {
+        FaultDevice::new(
+            inner,
+            FaultConfig {
+                read: OpFault::delay(delay),
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Convenience: every flush takes `delay`, serialised — the E8 shape.
+    pub fn flush_delay(inner: D, delay: std::time::Duration) -> Self {
+        FaultDevice::new(
+            inner,
+            FaultConfig {
+                flush: OpFault::serialized_delay(delay),
+                ..Default::default()
+            },
+        )
     }
 
     /// The wrapped device.
     pub fn inner(&self) -> &D {
         &self.inner
     }
+
+    /// Number of errors injected so far, per class `(reads, writes,
+    /// flushes)`.
+    pub fn injected_errors(&self) -> (u64, u64, u64) {
+        (
+            self.injected[FaultClass::Read as usize].load(Ordering::Relaxed),
+            self.injected[FaultClass::Write as usize].load(Ordering::Relaxed),
+            self.injected[FaultClass::Flush as usize].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Applies the class's faults; returns an error if this attempt is an
+    /// injected failure. Holds the class gate across the delay when the
+    /// class is serialised.
+    fn apply(&self, class: FaultClass, op_name: &str) -> Result<()> {
+        let fault = match class {
+            FaultClass::Read => &self.config.read,
+            FaultClass::Write => &self.config.write,
+            FaultClass::Flush => &self.config.flush,
+        };
+        let attempt = self.attempts[class as usize].fetch_add(1, Ordering::Relaxed) + 1;
+        if fault.error_every > 0 && attempt.is_multiple_of(fault.error_every) {
+            self.injected[class as usize].fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Io(format!(
+                "injected {op_name} fault (attempt {attempt})"
+            )));
+        }
+        if !fault.delay.is_zero() {
+            if fault.serialize {
+                let _gate = self.gates[class as usize].lock();
+                std::thread::sleep(fault.delay);
+            } else {
+                std::thread::sleep(fault.delay);
+            }
+        }
+        Ok(())
+    }
 }
 
-impl<D: BlockDevice> BlockDevice for FlushDelayDevice<D> {
+impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
     fn block_size(&self) -> usize {
         self.inner.block_size()
     }
@@ -370,21 +498,69 @@ impl<D: BlockDevice> BlockDevice for FlushDelayDevice<D> {
     }
 
     fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        self.apply(FaultClass::Read, "read")?;
         self.inner.read_block(block, buf)
     }
 
     fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+        self.apply(FaultClass::Write, "write")?;
         self.inner.write_block(block, buf)
     }
 
     fn flush(&self) -> Result<()> {
-        let _gate = self.flush_gate.lock();
-        std::thread::sleep(self.delay);
+        self.apply(FaultClass::Flush, "flush")?;
         self.inner.flush()
     }
 
     fn counters(&self) -> DeviceCounters {
         self.inner.counters()
+    }
+}
+
+/// A pass-through device that charges a fixed latency for every flush,
+/// serialised as on real hardware.
+///
+/// `MemDevice::flush` is a counter increment, which makes the cost that
+/// group commit amortises — the device sync — invisible. This is now a
+/// thin alias over [`FaultDevice::flush_delay`], kept because E8 and the
+/// group-commit suites are written against it.
+pub struct FlushDelayDevice<D: BlockDevice>(FaultDevice<D>);
+
+impl<D: BlockDevice> FlushDelayDevice<D> {
+    /// Wraps `inner`, making each flush take (at least) `delay`.
+    pub fn new(inner: D, delay: std::time::Duration) -> Self {
+        FlushDelayDevice(FaultDevice::flush_delay(inner, delay))
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        self.0.inner()
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FlushDelayDevice<D> {
+    fn block_size(&self) -> usize {
+        self.0.block_size()
+    }
+
+    fn block_count(&self) -> u64 {
+        self.0.block_count()
+    }
+
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        self.0.read_block(block, buf)
+    }
+
+    fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+        self.0.write_block(block, buf)
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.0.flush()
+    }
+
+    fn counters(&self) -> DeviceCounters {
+        self.0.counters()
     }
 }
 
@@ -525,6 +701,52 @@ mod tests {
         dev.flush().unwrap();
         assert!(start.elapsed() >= std::time::Duration::from_millis(5));
         assert_eq!(dev.counters().flushes, 1);
+    }
+
+    #[test]
+    fn fault_device_injects_every_nth_error_without_side_effects() {
+        let dev = FaultDevice::new(
+            MemDevice::new(8, 128),
+            FaultConfig {
+                write: OpFault::error_every(3),
+                ..Default::default()
+            },
+        );
+        let data = vec![0x77u8; 128];
+        dev.write_block(0, &data).unwrap();
+        dev.write_block(1, &data).unwrap();
+        // Third write fails before reaching the device.
+        let err = dev.write_block(2, &data).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        let mut out = vec![0xFFu8; 128];
+        dev.inner().read_block(2, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "failed write must not land");
+        // Fourth succeeds; the cadence continues per class.
+        dev.write_block(2, &data).unwrap();
+        assert!(dev.write_block(3, &data).is_ok());
+        assert!(dev.write_block(3, &data).is_err());
+        assert_eq!(dev.injected_errors(), (0, 2, 0));
+    }
+
+    #[test]
+    fn fault_device_read_delay_overlaps_flush_delay_serialises() {
+        let dev = FaultDevice::new(
+            MemDevice::new(8, 128),
+            FaultConfig {
+                read: OpFault::delay(std::time::Duration::from_millis(5)),
+                flush: OpFault::serialized_delay(std::time::Duration::from_millis(5)),
+                ..Default::default()
+            },
+        );
+        let mut out = vec![0u8; 128];
+        let start = std::time::Instant::now();
+        dev.read_block(0, &mut out).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        dev.flush().unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+        // Reads and writes are untouched by the flush fault.
+        dev.write_block(0, &[1u8; 128]).unwrap();
     }
 
     #[test]

@@ -45,9 +45,10 @@ pub mod shard;
 pub use alloc::{AllocStats, Allocator};
 pub use buddy::BuddyAllocator;
 pub use bump::BumpAllocator;
-pub use cache::{CacheStats, CachedDevice};
+pub use cache::{CacheStats, CachedDevice, PrefetchSink};
 pub use device::{
-    BlockDevice, DeviceCounters, FileDevice, FlushDelayDevice, MemDevice, DEFAULT_BLOCK_SIZE,
+    BlockDevice, DeviceCounters, FaultConfig, FaultDevice, FileDevice, FlushDelayDevice, MemDevice,
+    OpFault, DEFAULT_BLOCK_SIZE,
 };
 pub use error::{Result, StorageError};
 pub use extent::Extent;

@@ -11,11 +11,14 @@
 //! * [`index`] — the extensible index stores.
 //! * [`btree`] — the B+tree substrate.
 //! * [`storage`] — devices, allocators, extents, journal.
+//! * [`engine`] — the async I/O engine (submission/completion queues,
+//!   priority scheduler, read-ahead/write-behind/lazy-index services).
 //! * [`hierfs`] — the hierarchical baseline used in experiments.
 //! * [`workload`] — synthetic corpora and distributions.
 
 pub use hfad_btree as btree;
 pub use hfad_core as core;
+pub use hfad_engine as engine;
 pub use hfad_hierfs as hierfs;
 pub use hfad_index as index;
 pub use hfad_osd as osd;

@@ -1,8 +1,11 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with the
-//! multi-producer **multi-consumer** semantics the real crate has (std's
-//! mpsc receiver is not cloneable, so this is a small Mutex+Condvar queue).
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`
+//! with the multi-producer **multi-consumer** semantics the real crate has
+//! (std's mpsc receiver is not cloneable, so this is a small
+//! Mutex+Condvar queue). `bounded` blocks senders at capacity, and
+//! `try_send` reports a full queue without blocking — the same contract
+//! as the real crate's bounded channels.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -12,6 +15,10 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         available: Condvar,
+        /// Signalled when the queue shrinks below a bounded capacity.
+        vacancy: Condvar,
+        /// `usize::MAX` means unbounded.
+        capacity: usize,
         senders: AtomicUsize,
     }
 
@@ -25,6 +32,26 @@ pub mod channel {
     /// every sender is gone.
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
 
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -81,13 +108,40 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Appends `value` to the queue and wakes one receiver.
+        /// Appends `value` to the queue and wakes one receiver. On a
+        /// bounded channel, blocks while the queue is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut queue = self.shared.queue.lock().unwrap();
+            while queue.len() >= self.shared.capacity {
+                queue = self.shared.vacancy.wait(queue).unwrap();
+            }
             queue.push_back(value);
             drop(queue);
             self.shared.available.notify_one();
             Ok(())
+        }
+
+        /// Appends `value` if the queue has room, otherwise returns it in
+        /// [`TrySendError::Full`] without blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap();
+            if queue.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.available.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -97,6 +151,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap();
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.vacancy.notify_one();
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -108,20 +164,33 @@ pub mod channel {
 
         /// Returns immediately with a value if one is queued.
         pub fn try_recv(&self) -> Result<T, RecvError> {
-            self.shared
-                .queue
-                .lock()
-                .unwrap()
-                .pop_front()
-                .ok_or(RecvError)
+            let value = self.shared.queue.lock().unwrap().pop_front();
+            match value {
+                Some(value) => {
+                    self.shared.vacancy.notify_one();
+                    Ok(value)
+                }
+                None => Err(RecvError),
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            vacancy: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
         });
         (
@@ -130,6 +199,23 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `capacity`
+    /// messages: `send` blocks at capacity, `try_send` reports `Full`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (the real crate's zero-capacity
+    /// rendezvous channel is not needed by this workspace).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "rendezvous channels are not supported");
+        with_capacity(capacity)
     }
 
     #[cfg(test)]
@@ -165,6 +251,33 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv(), Ok(7));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(tx.len(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_vacancy() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            let sender = std::thread::spawn(move || {
+                // Blocks until the receiver below drains the queue.
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            sender.join().unwrap();
         }
     }
 }
