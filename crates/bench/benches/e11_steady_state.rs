@@ -1,0 +1,28 @@
+//! E11: steady-state sustained writes over the circular journal —
+//! stop-the-world inline checkpointing vs watermark-driven background
+//! reclaim, on a device with real flush latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfad_bench::experiments::e11_sustained_run;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_steady_state");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(900));
+
+    let threads = 4usize;
+    let per_thread = 64usize;
+    for (label, watermark) in [("inline_checkpoint", None), ("watermark_50", Some(50u8))] {
+        group.bench_with_input(
+            BenchmarkId::new(label, threads),
+            &watermark,
+            |b, &watermark| b.iter(|| e11_sustained_run(threads, per_thread, watermark, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1427,6 +1427,198 @@ pub fn e10_async_engine(scale: Scale) -> Table {
     table
 }
 
+// ---------------------------------------------------------------------
+// E11 — circular journal + background checkpointing: steady-state writes.
+// ---------------------------------------------------------------------
+
+/// Journal region blocks for the E11 fixture. The ring is deliberately
+/// small (`E11_JOURNAL_BLOCKS - 2` header blocks, ~120 KiB) so the
+/// workload laps it several times and checkpointing is on the critical
+/// path, not a rare event.
+pub const E11_JOURNAL_BLOCKS: u64 = 32;
+
+/// Bytes written per E11 commit.
+pub const E11_PAYLOAD: usize = 512;
+
+/// Outcome of one [`e11_sustained_run`].
+pub struct E11Run {
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+    /// Commits/s in each of the run's equal time windows.
+    pub window_rates: Vec<f64>,
+    /// Checkpoint and commit-stall counters after the run.
+    pub checkpoint: hfad_osd::CheckpointStats,
+    /// How many times the workload lapped the ring (total journalled
+    /// bytes over ring capacity).
+    pub ring_laps: f64,
+    /// Commit errors surfaced to committers. The steady-state contract
+    /// is that this is zero: a full ring means backpressure or an inline
+    /// checkpoint, never a caller-visible `JournalFull`.
+    pub errors: u64,
+}
+
+/// Drives `threads` committers for `per_thread` commits each over an
+/// [`E11_JOURNAL_BLOCKS`]-block circular journal on a device paying
+/// [`E8_FLUSH_DELAY`] per flush.
+///
+/// With `watermark_pct` `Some`, a background
+/// [`Checkpointer`](hfad_osd::Checkpointer) reclaims the ring off the
+/// commit path; with `None`, the ring fills and the unlucky committer
+/// runs the stop-the-world inline checkpoint — the seed's behaviour and
+/// E11's baseline. Commit completion times are bucketed into `windows`
+/// equal slices so the table shows throughput *over time*, where the
+/// baseline's periodic stalls are visible.
+pub fn e11_sustained_run(
+    threads: usize,
+    per_thread: usize,
+    watermark_pct: Option<u8>,
+    windows: usize,
+) -> E11Run {
+    let device = Arc::new(hfad_storage::FlushDelayDevice::new(
+        MemDevice::with_capacity(64 * 1024 * 1024),
+        E8_FLUSH_DELAY,
+    ));
+    let store = Arc::new(
+        ObjectStore::create(
+            device,
+            StoreConfig {
+                journal_blocks: E11_JOURNAL_BLOCKS,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let ts = Arc::new(hfad_osd::TxnStore::new(store).unwrap());
+    let checkpointer = watermark_pct.map(|pct| {
+        hfad_osd::Checkpointer::start(
+            Arc::clone(&ts),
+            None,
+            hfad_osd::CheckpointConfig {
+                watermark_pct: pct,
+                ..Default::default()
+            },
+        )
+    });
+    let oids: Vec<_> = (0..threads)
+        .map(|_| ts.store().create_default(0).unwrap())
+        .collect();
+    let errors = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let ts = Arc::clone(&ts);
+            let errors = Arc::clone(&errors);
+            let oid = oids[t];
+            std::thread::spawn(move || {
+                let mut stamps = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let mut txn = ts.begin();
+                    txn.write(
+                        oid,
+                        ((i % 64) * E11_PAYLOAD) as u64,
+                        &[t as u8; E11_PAYLOAD],
+                    )
+                    .unwrap();
+                    match txn.commit() {
+                        Ok(()) => stamps.push(start.elapsed()),
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                stamps
+            })
+        })
+        .collect();
+    let mut stamps: Vec<Duration> = Vec::new();
+    for h in handles {
+        stamps.extend(h.join().unwrap());
+    }
+    let elapsed = start.elapsed();
+    drop(checkpointer);
+    let window = elapsed.as_secs_f64() / windows as f64;
+    let mut counts = vec![0u64; windows];
+    for s in &stamps {
+        let idx = (s.as_secs_f64() / window) as usize;
+        counts[idx.min(windows - 1)] += 1;
+    }
+    let journal = ts.journal();
+    E11Run {
+        elapsed,
+        window_rates: counts.iter().map(|&c| c as f64 / window).collect(),
+        checkpoint: ts.checkpoint_stats(),
+        ring_laps: journal.mark().head as f64 / journal.capacity_bytes() as f64,
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+/// E11: steady-state sustained writes over the circular journal — commit
+/// throughput over time plus the commit-stall histogram, stop-the-world
+/// inline checkpointing (the seed baseline) vs watermark-driven
+/// background checkpointing.
+pub fn e11_steady_state(scale: Scale) -> Table {
+    let threads = 4usize;
+    let per_thread = scale.pick(128, 512);
+    let windows = 8usize;
+
+    let mut table = Table::new(
+        "E11",
+        "Steady-state writes: commits/s over time + stall histogram, inline vs watermark checkpointing",
+        "a continuously operated transactional OSD (§3.3) cannot stop the world to reclaim its \
+         log: with a circular journal and watermark checkpointing, reclaim runs off the commit \
+         path and a full ring is brief backpressure instead of a foreground flush stall",
+        &["mode", "window", "commits/s", "stalls", "max stall µs"],
+    );
+
+    let mut max_stall_ns = [0u64; 2];
+    let mut total_rates = [0.0f64; 2];
+    for (mode, (label, watermark)) in [("inline-checkpoint", None), ("watermark(50)", Some(50u8))]
+        .into_iter()
+        .enumerate()
+    {
+        let run = e11_sustained_run(threads, per_thread, watermark, windows);
+        assert_eq!(run.errors, 0, "{label}: a commit surfaced JournalFull");
+        assert!(
+            run.ring_laps >= 2.0,
+            "{label}: workload must lap the ring at least twice (got {:.1})",
+            run.ring_laps
+        );
+        for (w, rate) in run.window_rates.iter().enumerate() {
+            table.push_row(vec![
+                label.to_string(),
+                format!("w{w}"),
+                format!("{rate:.0}"),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        let cp = run.checkpoint;
+        table.push_row(vec![
+            label.to_string(),
+            "total".to_string(),
+            ops_per_sec((threads * per_thread) as u64, run.elapsed),
+            format!(
+                "{} (ckpts {}, {} inline, hist {:?})",
+                cp.commit_stalls, cp.checkpoints_completed, cp.auto_checkpoints, cp.stall_histogram
+            ),
+            format!("{:.0}", cp.max_commit_stall_ns as f64 / 1e3),
+        ]);
+        max_stall_ns[mode] = cp.max_commit_stall_ns;
+        total_rates[mode] = (threads * per_thread) as f64 / run.elapsed.as_secs_f64();
+    }
+    table.push_derived(
+        "watermark_max_stall_vs_inline",
+        max_stall_ns[1] as f64 / max_stall_ns[0].max(1) as f64,
+        "x",
+    );
+    table.push_derived(
+        "steady_state_throughput_ratio",
+        total_rates[1] / total_rates[0],
+        "x",
+    );
+    table
+}
+
 /// Runs every experiment at the given scale, in declaration order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -1442,10 +1634,11 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e8_group_commit(scale),
         e9_cache_contention(scale),
         e10_async_engine(scale),
+        e11_steady_state(scale),
     ]
 }
 
-/// Looks an experiment up by id (`t1`, `f1`, `e1` … `e10`).
+/// Looks an experiment up by id (`t1`, `f1`, `e1` … `e11`).
 pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "t1" => Some(t1_tag_classes(scale)),
@@ -1460,6 +1653,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e8" => Some(e8_group_commit(scale)),
         "e9" => Some(e9_cache_contention(scale)),
         "e10" => Some(e10_async_engine(scale)),
+        "e11" => Some(e11_steady_state(scale)),
         _ => None,
     }
 }
@@ -1468,7 +1662,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
 mod tests {
     use super::*;
 
-    /// Runs all twelve experiments end to end at quick scale (~30 s): the
+    /// Runs all thirteen experiments end to end at quick scale (~30 s): the
     /// full-coverage smoke test for the experiment table. Too slow for the
     /// default test run, so it is gated behind `--ignored`; run it with
     /// `cargo test -p hfad_bench -- --ignored` (CI runs the cheap
@@ -1477,7 +1671,7 @@ mod tests {
     #[ignore = "runs every experiment at quick scale (~30 s); use cargo test -- --ignored"]
     fn every_experiment_id_resolves() {
         for id in [
-            "t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+            "t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
         ] {
             assert!(run_one(id, Scale::Quick).is_some() || id.is_empty());
         }
@@ -1514,6 +1708,49 @@ mod tests {
         let b = batched.group_commit_stats();
         assert_eq!(u.commits, b.commits);
         assert!(b.flushes < u.flushes);
+    }
+
+    /// The tentpole claim of the circular-journal PR: under sustained
+    /// commit traffic that laps the ring, watermark background
+    /// checkpointing must cut the worst foreground commit stall to at
+    /// most a fifth of the stop-the-world inline baseline (the issue's
+    /// p99 ≤ 20% acceptance bound, asserted on the max, which bounds
+    /// p99 from above) — or eliminate stalls entirely.
+    ///
+    /// Wall-clock sensitive, so it only runs in release builds (CI's
+    /// release test step); under debug + `--ignored` it is skipped.
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "timing-sensitive; run with cargo test --release -p hfad_bench"
+    )]
+    fn e11_watermark_checkpointing_cuts_max_commit_stall_fivefold() {
+        let threads = 4usize;
+        let per_thread = 128usize;
+        let base = e11_sustained_run(threads, per_thread, None, 4);
+        let wm = e11_sustained_run(threads, per_thread, Some(50), 4);
+        // The steady-state contract first: the workload lapped the ring
+        // and not one commit surfaced JournalFull in either mode.
+        assert_eq!(base.errors, 0, "inline mode surfaced commit errors");
+        assert_eq!(wm.errors, 0, "watermark mode surfaced commit errors");
+        assert!(base.ring_laps >= 2.0 && wm.ring_laps >= 2.0);
+        assert!(
+            base.checkpoint.auto_checkpoints >= 1,
+            "the baseline must have checkpointed inline"
+        );
+        assert!(
+            wm.checkpoint.checkpoints_completed >= 1,
+            "the watermark run must have checkpointed in the background"
+        );
+        let base_max = base.checkpoint.max_commit_stall_ns;
+        let wm_max = wm.checkpoint.max_commit_stall_ns;
+        assert!(
+            wm_max == 0 || wm_max * 5 <= base_max,
+            "watermark max stall {wm_max} ns vs inline {base_max} ns \
+             (histograms: wm {:?}, inline {:?})",
+            wm.checkpoint.stall_histogram,
+            base.checkpoint.stall_histogram
+        );
     }
 
     #[test]

@@ -57,10 +57,31 @@ pub struct HfadConfig {
     pub node_cache_pages: usize,
     /// Number of shards in the key/value and full-text indices.
     pub index_shards: usize,
-    /// Number of background indexing threads (only used in lazy mode).
+    /// Number of background indexing threads (only used in lazy mode, and
+    /// ignored when [`engine`](Self::engine) is on — the engine's worker
+    /// pool drains index jobs instead).
     pub lazy_workers: usize,
     /// Eager or lazy full-text indexing.
     pub indexing: IndexingMode,
+    /// Runs the async I/O engine and routes background work through it:
+    /// cache read-ahead rides the `ReadAhead` class, lazy indexing the
+    /// `Index` class, and journal checkpoints the `WriteBehind` class.
+    /// `false` (the default) reproduces the seed's ad-hoc-thread
+    /// behaviour exactly.
+    pub engine: bool,
+    /// Worker threads for the engine (`0` uses the engine's default pool
+    /// size). Only meaningful when [`engine`](Self::engine) is on.
+    pub engine_workers: usize,
+    /// Starts the watermark-driven dirty-page trickle flusher over the
+    /// block cache. Requires [`engine`](Self::engine) and
+    /// [`cache_blocks`](Self::cache_blocks) `> 0`; otherwise ignored.
+    pub write_behind: bool,
+    /// Journal live-extent percentage at which the background
+    /// checkpointer starts reclaiming (1–99). `0` (the default) runs no
+    /// checkpointer: a full journal checkpoints inline on the committing
+    /// thread, the seed's stop-the-world behaviour. Only meaningful with
+    /// [`journal_blocks`](Self::journal_blocks) `> 0`.
+    pub checkpoint_watermark_pct: u8,
 }
 
 impl Default for HfadConfig {
@@ -78,6 +99,10 @@ impl Default for HfadConfig {
             index_shards: 16,
             lazy_workers: 2,
             indexing: IndexingMode::Lazy,
+            engine: false,
+            engine_workers: 0,
+            write_behind: false,
+            checkpoint_watermark_pct: 0,
         }
     }
 }
@@ -113,6 +138,14 @@ impl HfadConfig {
             ..Default::default()
         }
     }
+
+    /// Derives the background-checkpoint policy, when one is enabled.
+    pub fn checkpoint_config(&self) -> Option<hfad_osd::CheckpointConfig> {
+        (self.checkpoint_watermark_pct > 0).then(|| hfad_osd::CheckpointConfig {
+            watermark_pct: self.checkpoint_watermark_pct,
+            ..Default::default()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +168,25 @@ mod tests {
         assert!(c.journal_batch > 0);
         assert_eq!(c.group_commit_config().max_batch, c.journal_batch);
         assert_eq!(c.group_commit_config().max_wait, Duration::ZERO);
+        // Engine and background checkpointing default off: the seed path.
+        assert!(!c.engine);
+        assert!(!c.write_behind);
+        assert_eq!(c.checkpoint_watermark_pct, 0);
+        assert!(c.checkpoint_config().is_none());
+    }
+
+    #[test]
+    fn checkpoint_watermark_maps_to_checkpoint_config() {
+        let c = HfadConfig {
+            checkpoint_watermark_pct: 65,
+            ..Default::default()
+        };
+        let cc = c.checkpoint_config().expect("watermark > 0 enables it");
+        assert_eq!(cc.watermark_pct, 65);
+        // The cadence knobs keep the checkpointer's defaults.
+        let d = hfad_osd::CheckpointConfig::default();
+        assert_eq!(cc.max_age, d.max_age);
+        assert_eq!(cc.interval, d.interval);
     }
 
     #[test]

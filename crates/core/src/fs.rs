@@ -8,21 +8,26 @@
 
 use std::sync::Arc;
 
+use hfad_engine::{
+    Engine, EngineConfig, EnginePrefetcher, EngineStats, Priority, WriteBehind, WriteBehindConfig,
+};
 use hfad_index::{
     FullTextIndex, IndexRegistry, IndexStats, IndexStore, KeyValueIndex, LazyIndexer, Query, Tag,
     TagValue,
 };
-use hfad_osd::{ObjectId, ObjectMeta, ObjectStore, StoreStats};
-use hfad_storage::{BlockDevice, MemDevice};
+use hfad_osd::{CheckpointStats, Checkpointer, ObjectId, ObjectMeta, ObjectStore, StoreStats};
+use hfad_storage::{BlockDevice, GroupCommitStats, MemDevice};
 
 use crate::config::{HfadConfig, IndexingMode};
 use crate::error::{HfadError, Result};
 use crate::refine::SearchCursor;
 
-/// Aggregate statistics for an hFAD instance.
+/// Aggregate statistics for an hFAD instance: one snapshot covers the
+/// whole stack, from device counters through group commit, background
+/// checkpointing and the async I/O engine.
 #[derive(Debug, Clone)]
 pub struct HfadStats {
-    /// OSD statistics (objects, device counters, allocator).
+    /// OSD statistics (objects, device counters, allocator, caches).
     pub store: StoreStats,
     /// Per-index statistics, `(index name, stats)`.
     pub indices: Vec<(String, IndexStats)>,
@@ -30,6 +35,15 @@ pub struct HfadStats {
     pub fulltext_documents: u64,
     /// Backlog of the lazy indexer (0 when eager or idle).
     pub lazy_backlog: u64,
+    /// Async I/O engine counters; `None` when the engine is off.
+    pub engine: Option<EngineStats>,
+    /// Journal checkpoint / commit-stall counters; `None` until a
+    /// transactional store has been opened (see
+    /// [`txn_store`](Hfad::txn_store)).
+    pub checkpoint: Option<CheckpointStats>,
+    /// Group-commit counters; `None` until a transactional store has
+    /// been opened.
+    pub group_commit: Option<GroupCommitStats>,
 }
 
 /// The hFAD file system.
@@ -40,6 +54,13 @@ pub struct Hfad {
     pub(crate) store: Arc<ObjectStore>,
     pub(crate) registry: IndexRegistry,
     pub(crate) fulltext: Arc<FullTextIndex>,
+    /// Background journal reclaim, started with the transactional store
+    /// when `checkpoint_watermark_pct > 0`. Declared before `lazy`,
+    /// `txn` and `engine` so drop stops the monitor first.
+    pub(crate) checkpointer: parking_lot::Mutex<Option<Checkpointer>>,
+    /// Dirty-page trickle flusher (engine + cache + `write_behind` only).
+    /// Dropped before the engine it submits to.
+    pub(crate) write_behind: Option<WriteBehind>,
     pub(crate) lazy: Option<LazyIndexer>,
     pub(crate) config: HfadConfig,
     /// Lazily built, shared transactional wrapper — see
@@ -47,12 +68,50 @@ pub struct Hfad {
     /// exactly one writer, so the handle is cached and every caller
     /// gets the same instance.
     pub(crate) txn: parking_lot::Mutex<Option<Arc<hfad_osd::TxnStore>>>,
+    /// The async I/O engine, when [`HfadConfig::engine`] is on. Declared
+    /// last: every background service above submits into it, so it must
+    /// drain and join after they have all stopped.
+    pub(crate) engine: Option<Arc<Engine>>,
 }
 
 impl Hfad {
     /// Creates (formats) an hFAD file system on `device`.
+    ///
+    /// With [`HfadConfig::engine`] on, the async I/O engine is started
+    /// over the **raw** device (beneath the block cache, so cache fills
+    /// and write-backs scheduled through it hit real storage), and every
+    /// background service is routed through its priority classes:
+    /// read-ahead when a cache is configured, the dirty-page flusher when
+    /// [`HfadConfig::write_behind`] is also set, and lazy indexing in
+    /// place of the ad-hoc worker threads.
     pub fn on_device(device: Arc<dyn BlockDevice>, config: HfadConfig) -> Result<Self> {
         let store = Arc::new(ObjectStore::create(device, config.store_config())?);
+        let engine = config.engine.then(|| {
+            let raw: Arc<dyn BlockDevice> = match store.block_cache() {
+                Some(cache) => Arc::clone(cache.inner()),
+                None => Arc::clone(&store.context().device),
+            };
+            let mut engine_config = EngineConfig::default();
+            if config.engine_workers > 0 {
+                engine_config.workers = config.engine_workers;
+            }
+            Engine::with_config(raw, engine_config)
+        });
+        let write_behind = match (&engine, store.block_cache()) {
+            (Some(engine), Some(cache)) => {
+                // Sequential-run detection in the cache now feeds
+                // ReadAhead-class prefetch jobs.
+                EnginePrefetcher::attach(Arc::clone(engine), cache, 32, 2);
+                config.write_behind.then(|| {
+                    WriteBehind::start(
+                        Arc::clone(engine),
+                        Arc::clone(cache),
+                        WriteBehindConfig::default(),
+                    )
+                })
+            }
+            _ => None,
+        };
         let ctx = store.context().clone();
         let registry = IndexRegistry::new();
         let keyvalue = Arc::new(KeyValueIndex::new(
@@ -65,18 +124,27 @@ impl Hfad {
         registry.register(Arc::clone(&keyvalue) as Arc<dyn IndexStore>);
         registry.register(Arc::clone(&fulltext) as Arc<dyn IndexStore>);
         let lazy = match config.indexing {
-            IndexingMode::Lazy => {
-                Some(LazyIndexer::new(Arc::clone(&fulltext), config.lazy_workers))
-            }
+            IndexingMode::Lazy => Some(match &engine {
+                // The engine is the executor: index maintenance rides the
+                // Index class with bounded backpressure.
+                Some(engine) => LazyIndexer::with_executor(
+                    Arc::clone(&fulltext),
+                    Arc::clone(engine) as Arc<dyn hfad_index::BackgroundExecutor>,
+                ),
+                None => LazyIndexer::new(Arc::clone(&fulltext), config.lazy_workers),
+            }),
             IndexingMode::Eager => None,
         };
         Ok(Hfad {
             store,
             registry,
             fulltext,
+            checkpointer: parking_lot::Mutex::new(None),
+            write_behind,
             lazy,
             config,
             txn: parking_lot::Mutex::new(None),
+            engine,
         })
     }
 
@@ -112,6 +180,13 @@ impl Hfad {
     /// admits exactly one writer, so every call returns the **same**
     /// shared instance (two independent `TxnStore`s over one region
     /// would overwrite each other's acknowledged frames).
+    ///
+    /// With [`HfadConfig::checkpoint_watermark_pct`] `> 0`, first use
+    /// also starts the background [`Checkpointer`]: journal reclaim then
+    /// runs off size/age watermarks, a full ring becomes brief
+    /// backpressure on committers instead of a stop-the-world stall, and
+    /// — when the engine is on — the checkpoint drain is scheduled
+    /// through its `WriteBehind` class alongside dirty-page writeback.
     pub fn txn_store(&self) -> Result<Arc<hfad_osd::TxnStore>> {
         let mut slot = self.txn.lock();
         if let Some(ts) = slot.as_ref() {
@@ -121,8 +196,30 @@ impl Hfad {
             Arc::clone(&self.store),
             self.config.group_commit_config(),
         )?);
+        if let Some(checkpoint_config) = self.config.checkpoint_config() {
+            let executor = self
+                .engine
+                .as_ref()
+                .map(|engine| engine.executor(Priority::WriteBehind));
+            *self.checkpointer.lock() = Some(Checkpointer::start(
+                Arc::clone(&ts),
+                executor,
+                checkpoint_config,
+            ));
+        }
         *slot = Some(Arc::clone(&ts));
         Ok(ts)
+    }
+
+    /// The async I/O engine, when [`HfadConfig::engine`] is on.
+    pub fn engine(&self) -> Option<&Arc<Engine>> {
+        self.engine.as_ref()
+    }
+
+    /// Whether the dirty-page trickle flusher is running (requires the
+    /// engine, a block cache and [`HfadConfig::write_behind`]).
+    pub fn write_behind_active(&self) -> bool {
+        self.write_behind.is_some()
     }
 
     /// The index registry (exposed so plug-in index stores can be
@@ -146,11 +243,15 @@ impl Hfad {
 
     /// Aggregate statistics.
     pub fn stats(&self) -> HfadStats {
+        let txn = self.txn.lock().clone();
         HfadStats {
             store: self.store.stats(),
             indices: self.registry.stats(),
             fulltext_documents: self.fulltext.documents_indexed(),
             lazy_backlog: self.lazy.as_ref().map(|l| l.backlog()).unwrap_or(0),
+            engine: self.engine.as_ref().map(|e| e.stats()),
+            checkpoint: txn.as_ref().map(|ts| ts.checkpoint_stats()),
+            group_commit: txn.as_ref().map(|ts| ts.group_commit_stats()),
         }
     }
 
@@ -277,6 +378,83 @@ mod tests {
         // Without a journal region the wrapper must be refused.
         let plain = Hfad::in_memory(4 * 1024 * 1024, HfadConfig::default()).unwrap();
         assert!(plain.txn_store().is_err());
+    }
+
+    #[test]
+    fn engine_default_path_routes_background_work_through_the_engine() {
+        // Engine + cache + write-behind + lazy indexing: the full routed
+        // configuration. Foreground semantics must be unchanged and the
+        // engine must actually see jobs.
+        let fs = Hfad::in_memory(
+            16 * 1024 * 1024,
+            HfadConfig {
+                cache_blocks: 1024,
+                engine: true,
+                engine_workers: 2,
+                write_behind: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(fs.engine().is_some());
+        assert!(fs.write_behind_active());
+        let oid = fs.create(&[]).unwrap();
+        fs.write(oid, 0, b"the quick brown fox").unwrap();
+        assert_eq!(fs.read(oid, 4, 5).unwrap(), b"quick".to_vec());
+        fs.index_content(oid, b"the quick brown fox").unwrap();
+        fs.sync_index();
+        let stats = fs.stats();
+        let engine = stats.engine.expect("engine stats must be reported");
+        // Lazy indexing rode the engine's Index class.
+        assert!(
+            engine.class(hfad_engine::Priority::Index).submitted >= 1,
+            "indexing jobs go through the engine"
+        );
+        assert_eq!(stats.fulltext_documents, 1);
+    }
+
+    #[test]
+    fn seed_configuration_reports_no_engine_or_checkpoint_stats() {
+        let fs = Hfad::in_memory(8 * 1024 * 1024, HfadConfig::default()).unwrap();
+        assert!(fs.engine().is_none());
+        let stats = fs.stats();
+        assert!(stats.engine.is_none());
+        assert!(stats.checkpoint.is_none());
+        assert!(stats.group_commit.is_none());
+    }
+
+    #[test]
+    fn watermark_checkpointer_keeps_commits_flowing_on_a_tiny_ring() {
+        // A 6-block ring (journal_blocks 8 minus 2 header blocks) with
+        // the background checkpointer: sustained commits far beyond ring
+        // capacity must all succeed, and the one stats() snapshot must
+        // show the whole stack — group commit, checkpoints, engine.
+        let fs = Hfad::in_memory(
+            16 * 1024 * 1024,
+            HfadConfig {
+                journal_blocks: 8,
+                checkpoint_watermark_pct: 50,
+                engine: true,
+                ..HfadConfig::eager()
+            },
+        )
+        .unwrap();
+        let ts = fs.txn_store().unwrap();
+        let oid = fs.create(&[]).unwrap();
+        for i in 0..256u64 {
+            let mut txn = ts.begin();
+            txn.write(oid, i * 128, &[i as u8; 128]).unwrap();
+            txn.commit().unwrap_or_else(|e| panic!("commit {i}: {e}"));
+        }
+        assert_eq!(fs.len(oid).unwrap(), 256 * 128);
+        let stats = fs.stats();
+        let checkpoint = stats.checkpoint.expect("txn store opened");
+        assert!(
+            checkpoint.checkpoints_completed >= 1,
+            "the ring cannot hold 32 KiB of frames without reclaim"
+        );
+        assert_eq!(stats.group_commit.expect("txn store opened").commits, 256);
+        assert!(stats.engine.is_some());
     }
 
     #[test]

@@ -233,6 +233,21 @@ impl Engine {
         self.shared.core.lock().unwrap().stats
     }
 
+    /// A [`BackgroundExecutor`] handle that submits jobs at `class`.
+    ///
+    /// The engine itself implements [`BackgroundExecutor`] at
+    /// [`Priority::Index`] for lazy indexing; this adapter lets other
+    /// consumers ride a different class — the OSD's journal checkpointer
+    /// drains through [`Priority::WriteBehind`], so checkpoint I/O is
+    /// scheduled (and admission-bounded) exactly like dirty-page
+    /// writeback rather than competing with foreground ops.
+    pub fn executor(self: &Arc<Engine>, class: Priority) -> Arc<dyn BackgroundExecutor> {
+        Arc::new(ClassExecutor {
+            engine: Arc::clone(self),
+            class,
+        })
+    }
+
     /// Stops accepting work, drains everything already admitted (including
     /// chained ops and pending flush gates) and joins the workers.
     /// Idempotent.
@@ -276,6 +291,34 @@ impl BackgroundExecutor for Engine {
             EngineError::QueueFull => SubmitError::Full,
             _ => SubmitError::Stopped,
         })
+    }
+}
+
+/// [`Engine::executor`]'s handle: a [`BackgroundExecutor`] pinned to one
+/// priority class.
+struct ClassExecutor {
+    engine: Arc<Engine>,
+    class: Priority,
+}
+
+impl BackgroundExecutor for ClassExecutor {
+    fn submit_background(
+        &self,
+        job: Box<dyn FnOnce() + Send>,
+    ) -> std::result::Result<(), SubmitError> {
+        self.engine
+            .submit_job(
+                self.class,
+                Box::new(move || {
+                    job();
+                    Ok(())
+                }),
+            )
+            .map(|_| ())
+            .map_err(|e| match e {
+                EngineError::QueueFull => SubmitError::Full,
+                _ => SubmitError::Stopped,
+            })
     }
 }
 

@@ -68,29 +68,10 @@ impl Default for LazyConfig {
 /// Default bound on the lazy-index backlog.
 pub const DEFAULT_LAZY_CAPACITY: usize = 4096;
 
-/// An executor that runs opaque background jobs with bounded admission.
-///
-/// Implemented by the async I/O engine (`hfad_engine`) to let lazy
-/// indexing ride its `Index` priority class; the indexer only needs
-/// submit-or-reject semantics, so the trait lives here and the engine
-/// depends on this crate, not the other way around.
-pub trait BackgroundExecutor: Send + Sync {
-    /// Schedules `job`. `Err(SubmitError::Full)` applies backpressure;
-    /// `Err(SubmitError::Stopped)` means the executor is shutting down.
-    fn submit_background(
-        &self,
-        job: Box<dyn FnOnce() + Send>,
-    ) -> std::result::Result<(), SubmitError>;
-}
-
-/// Why a [`BackgroundExecutor`] declined a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SubmitError {
-    /// The executor's queue for this work class is at capacity.
-    Full,
-    /// The executor has shut down.
-    Stopped,
-}
+// The executor abstraction lives in `hfad_storage` at the bottom of the
+// dependency graph (the OSD's journal checkpointer shares it); re-export
+// it so existing `hfad_index::BackgroundExecutor` consumers keep working.
+pub use hfad_storage::{BackgroundExecutor, SubmitError};
 
 enum WorkItem {
     Index { oid: ObjectId, text: String },

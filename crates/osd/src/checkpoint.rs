@@ -1,0 +1,159 @@
+//! The background checkpointer: watermark-driven journal reclaim.
+//!
+//! A [`Checkpointer`] watches a [`TxnStore`]'s circular journal and fires
+//! [`TxnStore::checkpoint_background`] when any of three triggers hits:
+//!
+//! * **size watermark** — the live extent crossed a fraction of ring
+//!   capacity (the steady-state trigger: reclaim starts long before the
+//!   ring is full, so committers rarely stall at all);
+//! * **age** — live bytes have been sitting unreclaimed too long (bounds
+//!   recovery replay time on idle systems);
+//! * **request** — a committer actually ran out of space and asked
+//!   ([`TxnStore`] signals the monitor before blocking).
+//!
+//! The checkpoint itself — the store flush, the expensive part — can be
+//! handed to a [`BackgroundExecutor`]. When the executor is the async
+//! I/O engine, the checkpointer submits at its `WriteBehind` class, so
+//! checkpoint drains are scheduled and admission-bounded exactly like
+//! dirty-page writeback instead of competing with foreground I/O. The
+//! monitor always waits for the submitted job to finish before arming
+//! the next trigger, so at most one checkpoint is in flight.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hfad_storage::BackgroundExecutor;
+
+use crate::txn::TxnStore;
+
+/// Watermark and cadence knobs for a [`Checkpointer`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointConfig {
+    /// Fire when live bytes exceed this percentage of ring capacity
+    /// (1–99; the default 50 starts draining at half-full).
+    pub watermark_pct: u8,
+    /// Fire when live bytes have gone unreclaimed this long.
+    pub max_age: Duration,
+    /// Monitor poll cadence (also the latency bound on reacting to a
+    /// watermark crossing when no committer signals explicitly).
+    pub interval: Duration,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            watermark_pct: 50,
+            max_age: Duration::from_millis(250),
+            interval: Duration::from_micros(500),
+        }
+    }
+}
+
+struct Shared {
+    txn_store: Arc<TxnStore>,
+    executor: Option<Arc<dyn BackgroundExecutor>>,
+    config: CheckpointConfig,
+    stop: AtomicBool,
+}
+
+/// A monitor thread driving watermark checkpoints for one [`TxnStore`].
+///
+/// While attached, the store's commit path treats a full journal as
+/// backpressure (block briefly for the in-flight drain) instead of
+/// checkpointing inline. Detaches and joins on [`stop`](Self::stop) or
+/// drop.
+pub struct Checkpointer {
+    shared: Arc<Shared>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl Checkpointer {
+    /// Starts the monitor. `executor` is where the checkpoint body runs:
+    /// pass the engine's `WriteBehind`-class executor to schedule drains
+    /// with dirty-page writeback, or `None` to run them on the monitor
+    /// thread directly.
+    pub fn start(
+        txn_store: Arc<TxnStore>,
+        executor: Option<Arc<dyn BackgroundExecutor>>,
+        config: CheckpointConfig,
+    ) -> Checkpointer {
+        let watermark = config.watermark_pct.clamp(1, 99) as f64 / 100.0;
+        txn_store.attach_checkpointer();
+        let shared = Arc::new(Shared {
+            txn_store,
+            executor,
+            config,
+            stop: AtomicBool::new(false),
+        });
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || monitor_loop(&shared, watermark))
+        };
+        Checkpointer {
+            shared,
+            monitor: Some(monitor),
+        }
+    }
+
+    /// Detaches from the store (releasing any stalled committers into the
+    /// inline-checkpoint path) and joins the monitor. Idempotent.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Detaching also wakes the monitor's signal wait.
+        self.shared.txn_store.detach_checkpointer();
+        if let Some(handle) = self.monitor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn monitor_loop(shared: &Shared, watermark: f64) {
+    let ts = &shared.txn_store;
+    let journal = ts.journal();
+    let mut last_reclaim = Instant::now();
+    loop {
+        ts.wait_checkpoint_signal(shared.config.interval);
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let requested = ts.take_checkpoint_request();
+        let live = journal.live_bytes();
+        let over_watermark = journal.utilization() >= watermark;
+        let over_age = live > 0 && last_reclaim.elapsed() >= shared.config.max_age;
+        if !(requested || over_watermark || over_age) {
+            continue;
+        }
+        run_checkpoint(shared);
+        last_reclaim = Instant::now();
+    }
+}
+
+/// Runs one checkpoint, through the executor when one is attached, and
+/// waits for it to finish (at most one drain in flight). Errors are
+/// swallowed: a failing device surfaces on the commit path, and the
+/// stalled committers' patience timeout routes them to the inline
+/// checkpoint where the error is theirs to handle.
+fn run_checkpoint(shared: &Shared) {
+    if let Some(executor) = &shared.executor {
+        let ts = Arc::clone(&shared.txn_store);
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let submitted = executor.submit_background(Box::new(move || {
+            let _ = ts.checkpoint_background();
+            let _ = done_tx.send(());
+        }));
+        if submitted.is_ok() {
+            let _ = done_rx.recv();
+            return;
+        }
+        // Executor full or stopped: fall through to the monitor thread.
+    }
+    let _ = shared.txn_store.checkpoint_background();
+}

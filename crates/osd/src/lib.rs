@@ -18,8 +18,12 @@
 //! * [`object::Object`] — the extent-map object itself.
 //! * [`meta::ObjectMeta`] — security attributes, times and size.
 //! * [`txn::TxnStore`] — the optional transactional wrapper (write-ahead
-//!   logged commits), ablated in experiment E6.
+//!   logged commits over a circular journal), ablated in experiment E6.
+//! * [`checkpoint::Checkpointer`] — watermark-driven background journal
+//!   reclaim, so sustained write traffic never sees a stop-the-world
+//!   checkpoint stall (experiment E11).
 
+pub mod checkpoint;
 pub mod error;
 pub mod meta;
 pub mod object;
@@ -28,10 +32,14 @@ pub mod shard;
 pub mod store;
 pub mod txn;
 
+pub use checkpoint::{CheckpointConfig, Checkpointer};
 pub use error::{OsdError, Result};
 pub use meta::{unix_now, ObjectMeta, Security};
 pub use object::{Object, ObjectStats, DEFAULT_MAX_EXTENT_BYTES};
 pub use oid::{ObjectId, OidAllocator, OID_RANGE};
 pub use shard::{resolve_shard_count, shard_index, ShardedMap, MAX_SHARDS};
 pub use store::{AllocatorKind, ObjectStore, StoreConfig, StoreStats};
-pub use txn::{Transaction, TxnOp, TxnStore};
+pub use txn::{
+    CheckpointStats, Transaction, TxnOp, TxnStore, TxnStoreStats, STALL_BUCKETS,
+    STALL_BUCKET_BOUNDS_NS,
+};

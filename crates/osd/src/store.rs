@@ -201,15 +201,18 @@ impl ObjectStore {
         if superblock.journal_blocks > 0 {
             // Formatting must leave an *empty* journal: the device may be
             // reused, and `Journal::new` adopts any surviving valid
-            // frames (so a later `TxnStore` would resurrect and replay
-            // the previous instance's transactions). Opening + resetting
-            // destroys every stale frame in the region.
+            // header + frames (so a later `TxnStore` would resurrect and
+            // replay the previous instance's transactions). The full
+            // zeroing reset destroys the old headers and every stale
+            // frame in the region — the O(region) cost is fine at format
+            // time, which is exactly why `reset_full` survives the
+            // incremental-reclaim refactor.
             hfad_storage::Journal::new(
                 Arc::clone(&device),
                 superblock.journal_start,
                 superblock.journal_blocks,
             )?
-            .reset()?;
+            .reset_full()?;
         }
         let allocator: Arc<dyn Allocator> = match config.allocator {
             AllocatorKind::Buddy => Arc::new(BuddyAllocator::new(

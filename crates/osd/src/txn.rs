@@ -17,9 +17,24 @@
 //! per batch (configure with [`TxnStore::with_config`]; a `max_batch` of
 //! zero reproduces the sync-per-commit seed behaviour for the E8
 //! ablation).
+//!
+//! The journal is circular, so sustained write traffic is a first-class
+//! citizen: a full ring is **backpressure, not an error**. With a
+//! [`crate::checkpoint::Checkpointer`] attached, checkpoints fire off
+//! size/age watermarks and run concurrently with new admissions
+//! ([`TxnStore::checkpoint_background`]); a committer that outruns the
+//! drain briefly blocks until extents are reclaimed. Without one, a full
+//! ring triggers the inline stop-the-world checkpoint, preserving the
+//! seed contract. Either way `JournalFull` only reaches callers for a
+//! transaction bigger than the empty ring. Stall time and checkpoint
+//! counts are exposed via [`TxnStore::checkpoint_stats`], and experiment
+//! E11 measures the steady-state difference between the two modes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use std::sync::{Condvar, Mutex};
 
 use hfad_storage::{
     GroupCommit, GroupCommitConfig, GroupCommitStats, Journal, RecordKind, StorageError,
@@ -28,7 +43,7 @@ use parking_lot::RwLock;
 
 use crate::error::{OsdError, Result};
 use crate::oid::ObjectId;
-use crate::store::ObjectStore;
+use crate::store::{ObjectStore, StoreStats};
 
 /// A logged, redo-only operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +147,72 @@ impl TxnOp {
     }
 }
 
+/// Upper bounds of the commit-stall histogram buckets, in nanoseconds.
+/// Bucket 0 is "no stall"; the last bucket is everything above the final
+/// bound. Chosen around the E8/E11 flush-delay fixtures: a stop-the-world
+/// checkpoint lands in the top buckets, watermark backpressure in the
+/// middle ones.
+pub const STALL_BUCKET_BOUNDS_NS: [u64; 4] = [100_000, 500_000, 2_000_000, 10_000_000];
+
+/// Number of commit-stall histogram buckets.
+pub const STALL_BUCKETS: usize = STALL_BUCKET_BOUNDS_NS.len() + 2;
+
+/// How long a committer waits on the background checkpointer to free
+/// journal space before giving up and checkpointing inline itself.
+const BACKPRESSURE_PATIENCE: Duration = Duration::from_millis(200);
+
+/// Checkpoint and commit-stall counters for one [`TxnStore`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Checkpoints begun (inline and background).
+    pub checkpoints_started: u64,
+    /// Checkpoints that ran to completion.
+    pub checkpoints_completed: u64,
+    /// Inline checkpoints forced by a full journal on the commit path
+    /// (the stop-the-world fallback when no checkpointer is attached or
+    /// backpressure patience runs out).
+    pub auto_checkpoints: u64,
+    /// Commits that stalled waiting for journal space.
+    pub commit_stalls: u64,
+    /// Total nanoseconds commits spent stalled on journal space.
+    pub commit_stall_ns: u64,
+    /// Longest single commit stall, in nanoseconds.
+    pub max_commit_stall_ns: u64,
+    /// Per-commit stall histogram: bucket 0 is stall-free commits, then
+    /// one bucket per bound in [`STALL_BUCKET_BOUNDS_NS`], then an
+    /// overflow bucket. Every successful commit lands in exactly one.
+    pub stall_histogram: [u64; STALL_BUCKETS],
+}
+
+/// One stats snapshot covering the whole transactional stack: the store
+/// (objects, device counters, allocator, block cache), the group-commit
+/// pipeline and the checkpoint/stall counters.
+#[derive(Debug, Clone)]
+pub struct TxnStoreStats {
+    /// The wrapped store's snapshot.
+    pub store: StoreStats,
+    /// Commit/batch/flush counters from the group-commit pipeline.
+    pub group_commit: GroupCommitStats,
+    /// Checkpoint and commit-stall counters.
+    pub checkpoint: CheckpointStats,
+}
+
+/// The condvar plumbing between committers and the background
+/// checkpointer.
+struct CheckpointSignals {
+    /// True while a [`crate::checkpoint::Checkpointer`] is attached; the
+    /// commit path only waits on backpressure when someone is draining.
+    checkpointer_attached: AtomicBool,
+    /// Set by a starved committer; cleared when the monitor picks it up.
+    requested: AtomicBool,
+    /// Wakes the checkpointer monitor (request or shutdown).
+    wake_lock: Mutex<()>,
+    wake_cv: Condvar,
+    /// Wakes committers stalled on journal space after a reclaim.
+    space_lock: Mutex<()>,
+    space_cv: Condvar,
+}
+
 /// A transactional facade over an [`ObjectStore`].
 pub struct TxnStore {
     store: Arc<ObjectStore>,
@@ -139,10 +220,18 @@ pub struct TxnStore {
     next_txn: AtomicU64,
     /// Excludes checkpoints from in-flight commits: a committing
     /// transaction holds a read lock from journal append through apply, a
-    /// checkpoint holds the write lock, so the journal is only ever reset
-    /// when no acknowledged transaction is still waiting to be applied.
+    /// checkpoint holds the write lock, so the journal's live extent is
+    /// only ever reclaimed when no acknowledged transaction is still
+    /// waiting to be applied.
     checkpoint_gate: RwLock<()>,
     auto_checkpoints: AtomicU64,
+    checkpoints_started: AtomicU64,
+    checkpoints_completed: AtomicU64,
+    commit_stalls: AtomicU64,
+    commit_stall_ns: AtomicU64,
+    max_commit_stall_ns: AtomicU64,
+    stall_histogram: [AtomicU64; STALL_BUCKETS],
+    signals: CheckpointSignals,
 }
 
 impl TxnStore {
@@ -175,6 +264,20 @@ impl TxnStore {
             next_txn: AtomicU64::new(1),
             checkpoint_gate: RwLock::new(()),
             auto_checkpoints: AtomicU64::new(0),
+            checkpoints_started: AtomicU64::new(0),
+            checkpoints_completed: AtomicU64::new(0),
+            commit_stalls: AtomicU64::new(0),
+            commit_stall_ns: AtomicU64::new(0),
+            max_commit_stall_ns: AtomicU64::new(0),
+            stall_histogram: Default::default(),
+            signals: CheckpointSignals {
+                checkpointer_attached: AtomicBool::new(false),
+                requested: AtomicBool::new(false),
+                wake_lock: Mutex::new(()),
+                wake_cv: Condvar::new(),
+                space_lock: Mutex::new(()),
+                space_cv: Condvar::new(),
+            },
         })
     }
 
@@ -216,11 +319,14 @@ impl TxnStore {
         Ok(applied)
     }
 
-    /// Truncates the journal after a checkpoint.
+    /// Truncates the journal after a checkpoint, stop-the-world style.
     ///
     /// Waits for every in-flight commit to finish applying, flushes the
     /// store's device so the applied state the journal made redundant is
-    /// itself durable, and only then resets the journal.
+    /// itself durable, and only then reclaims the whole log. New commits
+    /// are held out for the full duration; prefer
+    /// [`checkpoint_background`](Self::checkpoint_background) on hot
+    /// paths.
     pub fn checkpoint(&self) -> Result<()> {
         let _exclusive = self.checkpoint_gate.write();
         self.checkpoint_locked()
@@ -228,15 +334,194 @@ impl TxnStore {
 
     /// The checkpoint body; caller holds the exclusive gate.
     fn checkpoint_locked(&self) -> Result<()> {
+        self.checkpoints_started.fetch_add(1, Ordering::Relaxed);
         self.store.context().device.flush()?;
         self.group.journal().reset()?;
+        self.checkpoints_completed.fetch_add(1, Ordering::Relaxed);
+        self.notify_space_freed();
         Ok(())
     }
 
-    /// Number of checkpoints triggered automatically by a full journal
-    /// (see [`Transaction::commit`]).
+    /// Checkpoints while admitting new commits concurrently.
+    ///
+    /// The sequence is: snapshot the journal head, then briefly acquire
+    /// (and immediately release) the exclusive gate — a barrier that
+    /// waits only for commits already acknowledged to finish applying,
+    /// bounded by in-memory apply time, never by device flushes — then
+    /// flush the store's device and reclaim the log up to the snapshot.
+    /// Commits appending after the snapshot sit past the mark and stay
+    /// live, so the journal keeps admitting batches while the flush (the
+    /// expensive part) runs.
+    ///
+    /// A crash between the flush and the tail advance leaves the old
+    /// tail in effect: recovery replays extra already-applied
+    /// transactions, which is safe for redo-only records.
+    pub fn checkpoint_background(&self) -> Result<()> {
+        self.checkpoints_started.fetch_add(1, Ordering::Relaxed);
+        let mark = self.group.journal().mark();
+        // Every commit covered by the mark acquired the read gate before
+        // appending and releases it after applying; draining the gate
+        // once means everything up to the mark is applied in memory.
+        drop(self.checkpoint_gate.write());
+        self.store.context().device.flush()?;
+        self.group.journal().reclaim_to(mark)?;
+        self.checkpoints_completed.fetch_add(1, Ordering::Relaxed);
+        self.notify_space_freed();
+        Ok(())
+    }
+
+    /// Number of inline checkpoints forced by a full journal on the
+    /// commit path (see [`Transaction::commit`]).
     pub fn auto_checkpoints(&self) -> u64 {
         self.auto_checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint and commit-stall counters.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        let mut histogram = [0u64; STALL_BUCKETS];
+        for (slot, counter) in histogram.iter_mut().zip(&self.stall_histogram) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        CheckpointStats {
+            checkpoints_started: self.checkpoints_started.load(Ordering::Relaxed),
+            checkpoints_completed: self.checkpoints_completed.load(Ordering::Relaxed),
+            auto_checkpoints: self.auto_checkpoints.load(Ordering::Relaxed),
+            commit_stalls: self.commit_stalls.load(Ordering::Relaxed),
+            commit_stall_ns: self.commit_stall_ns.load(Ordering::Relaxed),
+            max_commit_stall_ns: self.max_commit_stall_ns.load(Ordering::Relaxed),
+            stall_histogram: histogram,
+        }
+    }
+
+    /// One snapshot covering the whole stack: store, group commit and
+    /// checkpointing.
+    pub fn stats(&self) -> TxnStoreStats {
+        TxnStoreStats {
+            store: self.store.stats(),
+            group_commit: self.group_commit_stats(),
+            checkpoint: self.checkpoint_stats(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Backpressure plumbing between committers and the checkpointer.
+    // ------------------------------------------------------------------
+
+    /// Blocks until the journal has `needed` free bytes, checkpointing as
+    /// required. With a checkpointer attached this is backpressure: ask
+    /// it to drain, wait for reclaimed space, and only checkpoint inline
+    /// (stop-the-world) if patience runs out. Without one, it is the
+    /// seed-equivalent inline auto-checkpoint.
+    fn wait_for_space(&self, needed: u64) -> Result<()> {
+        let journal = self.group.journal();
+        if self.signals.checkpointer_attached.load(Ordering::Acquire) {
+            self.request_checkpoint();
+            let deadline = Instant::now() + BACKPRESSURE_PATIENCE;
+            let mut guard = self.signals.space_lock.lock().expect("space lock");
+            while journal.available_bytes() < needed
+                && self.signals.checkpointer_attached.load(Ordering::Acquire)
+            {
+                let Some(remaining) = deadline
+                    .checked_duration_since(Instant::now())
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (next, timeout) = self
+                    .signals
+                    .space_cv
+                    .wait_timeout(guard, remaining)
+                    .expect("space cv");
+                guard = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            drop(guard);
+            if journal.available_bytes() >= needed {
+                return Ok(());
+            }
+        }
+        // Stop-the-world fallback (and the no-checkpointer contract).
+        let _exclusive = self.checkpoint_gate.write();
+        // A racing checkpoint may have freed the space while this thread
+        // waited for the write lock.
+        if journal.available_bytes() >= needed {
+            return Ok(());
+        }
+        self.checkpoint_locked()?;
+        self.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flags the checkpointer monitor to fire now.
+    fn request_checkpoint(&self) {
+        self.signals.requested.store(true, Ordering::Release);
+        let _guard = self.signals.wake_lock.lock().expect("wake lock");
+        self.signals.wake_cv.notify_all();
+    }
+
+    fn notify_space_freed(&self) {
+        let _guard = self.signals.space_lock.lock().expect("space lock");
+        self.signals.space_cv.notify_all();
+    }
+
+    /// Marks a checkpointer as attached; commits now treat a full journal
+    /// as backpressure instead of checkpointing inline immediately.
+    pub(crate) fn attach_checkpointer(&self) {
+        self.signals
+            .checkpointer_attached
+            .store(true, Ordering::Release);
+    }
+
+    /// Detaches the checkpointer and releases any stalled committers into
+    /// the inline-checkpoint path.
+    pub(crate) fn detach_checkpointer(&self) {
+        self.signals
+            .checkpointer_attached
+            .store(false, Ordering::Release);
+        self.notify_space_freed();
+        let _guard = self.signals.wake_lock.lock().expect("wake lock");
+        self.signals.wake_cv.notify_all();
+    }
+
+    /// Parks the checkpointer monitor until a committer requests a drain
+    /// (or `interval` elapses — the watermark/age poll cadence).
+    pub(crate) fn wait_checkpoint_signal(&self, interval: Duration) {
+        let guard = self.signals.wake_lock.lock().expect("wake lock");
+        if self.signals.requested.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = self
+            .signals
+            .wake_cv
+            .wait_timeout(guard, interval)
+            .expect("wake cv");
+    }
+
+    /// Consumes a pending drain request, if any.
+    pub(crate) fn take_checkpoint_request(&self) -> bool {
+        self.signals.requested.swap(false, Ordering::AcqRel)
+    }
+
+    /// Folds one successful commit's stall time into the counters and the
+    /// histogram.
+    fn record_commit_stall(&self, stall_ns: u64) {
+        let bucket = if stall_ns == 0 {
+            0
+        } else {
+            1 + STALL_BUCKET_BOUNDS_NS
+                .iter()
+                .position(|&bound| stall_ns <= bound)
+                .unwrap_or(STALL_BUCKET_BOUNDS_NS.len())
+        };
+        self.stall_histogram[bucket].fetch_add(1, Ordering::Relaxed);
+        if stall_ns > 0 {
+            self.commit_stalls.fetch_add(1, Ordering::Relaxed);
+            self.commit_stall_ns.fetch_add(stall_ns, Ordering::Relaxed);
+            self.max_commit_stall_ns
+                .fetch_max(stall_ns, Ordering::Relaxed);
+        }
     }
 }
 
@@ -310,16 +595,20 @@ impl Transaction<'_> {
     /// transaction batched with it — are flushed. Only then are the
     /// operations applied to the store.
     ///
-    /// A commit rejected because the journal region has filled up
-    /// triggers an automatic checkpoint (wait for in-flight commits to
-    /// apply, flush the store's device, reset the journal) and retries
-    /// once, so callers only ever see [`StorageError::JournalFull`]
-    /// for a transaction too large to fit even an *empty* journal region.
+    /// A commit rejected because the journal ring has filled up is
+    /// treated as backpressure, never surfaced: with a background
+    /// checkpointer attached the committer briefly blocks until the
+    /// in-flight drain reclaims extents; without one it checkpoints
+    /// inline (the seed behaviour) and retries. Callers only ever see
+    /// [`StorageError::JournalFull`] for a transaction too large to fit
+    /// even an *empty* ring. Stall time spent waiting for space is
+    /// recorded in [`CheckpointStats`].
     pub fn commit(mut self) -> Result<()> {
         self.check_open()?;
         self.closed = true;
         let ts = self.txn_store;
-        let region_bytes = ts.group.journal().region_bytes();
+        let capacity = ts.group.journal().capacity_bytes();
+        let mut stall_ns = 0u64;
         loop {
             let gate = ts.checkpoint_gate.read();
             // Payloads are encoded per attempt so the common (no-retry)
@@ -328,29 +617,32 @@ impl Transaction<'_> {
             match ts.group.commit(self.id, payloads) {
                 Ok(_) => {
                     // Apply while still holding the gate: a checkpoint
-                    // must not reset the journal while this acknowledged
-                    // transaction's redo is its only durable record.
+                    // must not reclaim the journal while this
+                    // acknowledged transaction's redo is its only
+                    // durable record.
                     for op in &self.ops {
                         op.apply(&ts.store)?;
                     }
+                    drop(gate);
+                    ts.record_commit_stall(stall_ns);
                     return Ok(());
                 }
                 Err(err @ StorageError::JournalFull { needed, .. }) => {
-                    if needed as u64 > region_bytes {
-                        // Too large for even an empty region: no number
-                        // of checkpoints can admit it.
+                    if needed as u64 > capacity {
+                        // Too large for even an empty ring: no number of
+                        // checkpoints can admit it.
                         return Err(err.into());
                     }
-                    // The journal is full of *previous* transactions'
-                    // frames. Checkpoint and retry: the gate is dropped
-                    // first so batch-mates that also hit JournalFull can
-                    // race us to the write lock; whoever wins resets, the
-                    // rest loop and retry into an emptied (or re-filling)
-                    // region.
+                    // The ring is full of *previous* transactions'
+                    // frames. Drop the gate (a checkpoint needs it
+                    // exclusively) and wait for space — reclaimed in the
+                    // background if a checkpointer is running, inline
+                    // otherwise — then retry.
                     drop(gate);
-                    let _exclusive = ts.checkpoint_gate.write();
-                    ts.checkpoint_locked()?;
-                    ts.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+                    let stalled = Instant::now();
+                    let waited = ts.wait_for_space(needed as u64);
+                    stall_ns += stalled.elapsed().as_nanos() as u64;
+                    waited?;
                 }
                 Err(err) => return Err(err.into()),
             }
@@ -538,7 +830,7 @@ mod tests {
             ObjectStore::create(
                 device,
                 StoreConfig {
-                    journal_blocks: 1,
+                    journal_blocks: 3,
                     ..Default::default()
                 },
             )
@@ -569,8 +861,8 @@ mod tests {
             ObjectStore::create(
                 device,
                 StoreConfig {
-                    // Tiny region: fills after a handful of commits.
-                    journal_blocks: 2,
+                    // Tiny ring: fills after a handful of commits.
+                    journal_blocks: 3,
                     ..Default::default()
                 },
             )

@@ -259,7 +259,7 @@ fn concurrent_batch_overflow_fails_only_the_oversized_txn() {
         ObjectStore::create(
             Arc::clone(&device) as Arc<dyn BlockDevice>,
             StoreConfig {
-                journal_blocks: 1, // 4 KiB region: small txns fit, big cannot
+                journal_blocks: 3, // 4 KiB ring: small txns fit, big cannot
                 ..Default::default()
             },
         )

@@ -436,9 +436,9 @@ mod tests {
 
     #[test]
     fn overflowing_txn_fails_alone() {
-        // Region: 2 blocks x 512 = 1024 bytes.
+        // Ring: 1 block x 512 bytes (after the 2 header blocks).
         let dev = Arc::new(MemDevice::new(8, 512));
-        let journal = Journal::new(dev, 1, 2).unwrap();
+        let journal = Journal::new(dev, 1, 3).unwrap();
         let gc = GroupCommit::new(journal, GroupCommitConfig::default());
         let err = gc.commit(1, vec![vec![0u8; 2048]]).unwrap_err();
         assert!(matches!(err, StorageError::JournalFull { .. }));

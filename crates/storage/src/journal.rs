@@ -1,11 +1,43 @@
-//! A write-ahead log over a reserved journal region.
+//! A circular write-ahead log over a reserved journal region.
 //!
 //! The paper leaves transactionality of the OSD as "an implementation
 //! decision, not a requirement" (§3.3). This journal backs the optional
-//! transactional OSD wrapper (`hfad-osd::txn`) and the E6 ablation that
-//! measures its cost. Records are framed with a length, a sequence number
-//! and an FNV-1a checksum; recovery scans forward until the first invalid
-//! frame.
+//! transactional OSD wrapper (`hfad-osd::txn`) and the E6/E8/E11
+//! experiments that measure its cost. Records are framed with a length, a
+//! sequence number and an FNV-1a checksum.
+//!
+//! # Circular layout
+//!
+//! The region is split into two header blocks and a frame ring:
+//!
+//! ```text
+//! block 0..2   : header slots A/B (ping-pong; tail offset + tail seq)
+//! blocks 2..N  : frame ring, byte-granular wrap-around
+//! ```
+//!
+//! `head` and `tail` are *monotone logical byte offsets* (they never wrap;
+//! a frame's physical position is `logical % capacity`), so the live
+//! extent is simply `tail..head` and free space is `capacity - (head -
+//! tail)`. Checkpointing reclaims space by advancing the tail — one
+//! header write plus one flush, independent of log size — instead of the
+//! old full zeroing pass over every discarded block.
+//!
+//! # Recovery across the wrap
+//!
+//! Sequence numbers are monotone for the life of the journal and are
+//! *never* restarted by a checkpoint: the header records the seq of the
+//! first live frame, and the recovery scan starts at the persisted tail
+//! and accepts a frame only if its checksum holds **and** its seq
+//! continues the chain exactly. A stale frame surviving from a previous
+//! lap of the ring always carries a lower seq, so the scan stops at it —
+//! which is what makes zeroing-free reclaim safe, including when the live
+//! extent wraps around the physical end of the ring.
+//!
+//! The header is updated ping-pong (the newer slot is chosen by update
+//! counter at open) and flushed before the reclaimed extent can be
+//! rewritten, so a crash mid-checkpoint at worst recovers with the *old*
+//! tail and replays extra already-applied transactions — safe for the
+//! redo-only records stored here.
 
 use parking_lot::Mutex;
 
@@ -55,13 +87,22 @@ pub struct JournalRecord {
 const FRAME_HEADER: usize = 4 + 8 + 8 + 1;
 const FRAME_TRAILER: usize = 8;
 
+/// Blocks at the start of the region holding the ping-pong tail headers.
+pub const JOURNAL_HEADER_BLOCKS: u64 = 2;
+
+/// Magic identifying a journal header block ("hFAD JRNL", versioned).
+const JOURNAL_HEADER_MAGIC: u64 = 0x6846_4144_4A52_4E01;
+
+// Header layout: magic(u64) | update(u64) | tail(u64) | tail_seq(u64) | crc(u64)
+const HEADER_ENCODED_LEN: usize = 5 * 8;
+
 /// The encoded frames of one whole transaction, ready for a batched
 /// append: a Begin frame, one Data frame per payload, and a Commit frame.
 ///
 /// This is the unit the group-commit leader hands to
 /// [`Journal::append_txn_batch`]; keeping a transaction's frames together
 /// lets the journal admit or reject each transaction independently when
-/// the region runs out of space.
+/// the ring runs out of free space.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TxnFrames {
     /// Transaction id stamped on every frame.
@@ -84,70 +125,149 @@ impl TxnFrames {
     }
 }
 
-struct JournalInner {
-    /// Next byte offset within the journal region to append at.
-    head: u64,
-    next_seq: u64,
+/// A consistent `(head, next seq)` snapshot of the log, taken with
+/// [`Journal::mark`] and consumed by [`Journal::reclaim_to`]: everything
+/// appended before the mark can be reclaimed once a checkpoint has made
+/// it redundant, while frames appended after the mark stay live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalMark {
+    /// Logical head offset at snapshot time.
+    pub head: u64,
+    /// The seq the next frame after the snapshot will carry.
+    pub seq: u64,
 }
 
-/// An append-only write-ahead log stored in the journal region of a device.
+struct JournalInner {
+    /// Logical (monotone, un-wrapped) offset one past the newest frame.
+    head: u64,
+    /// Logical offset of the oldest live frame.
+    tail: u64,
+    /// Seq of the frame at `tail` (== `next_seq` when the log is empty).
+    tail_seq: u64,
+    next_seq: u64,
+    /// Header slot holding the newest persisted header, and its counter.
+    header_slot: u64,
+    header_update: u64,
+}
+
+/// A circular write-ahead log stored in the journal region of a device.
 pub struct Journal<D: BlockDevice> {
     device: D,
     start_block: u64,
     region_bytes: u64,
+    /// Ring capacity in bytes (region minus the header blocks).
+    capacity: u64,
     block_size: usize,
     inner: Mutex<JournalInner>,
 }
 
 impl<D: BlockDevice> Journal<D> {
     /// Opens (or initialises) the journal occupying `journal_blocks` blocks
-    /// starting at `start_block`.
+    /// starting at `start_block`. At least [`JOURNAL_HEADER_BLOCKS`]` + 1`
+    /// blocks are required (two header slots plus a non-empty ring).
     ///
-    /// Opening scans the region like recovery does and positions the
-    /// append head after the last valid record, continuing its sequence
-    /// numbering — so a re-opened journal extends the surviving log
-    /// instead of silently overwriting it. A zeroed (fresh) region scans
-    /// empty and starts at offset 0, seq 1.
+    /// Opening reads the newest valid header to find the live tail, scans
+    /// the ring from there like recovery does (following seq continuity
+    /// across the wrap point) and positions the append head after the last
+    /// valid frame, continuing its sequence numbering — so a re-opened
+    /// journal extends the surviving log instead of silently overwriting
+    /// it. A region with no valid header (e.g. freshly zeroed) is
+    /// initialised empty at offset 0, seq 1.
     pub fn new(device: D, start_block: u64, journal_blocks: u64) -> Result<Self> {
-        if journal_blocks == 0 {
-            return Err(StorageError::Corrupt(
-                "journal region has zero length".to_string(),
-            ));
+        if journal_blocks <= JOURNAL_HEADER_BLOCKS {
+            return Err(StorageError::Corrupt(format!(
+                "journal region of {journal_blocks} blocks too small: needs \
+                 {JOURNAL_HEADER_BLOCKS} header blocks plus a non-empty ring"
+            )));
         }
         let block_size = device.block_size();
         let journal = Journal {
             region_bytes: journal_blocks * block_size as u64,
+            capacity: (journal_blocks - JOURNAL_HEADER_BLOCKS) * block_size as u64,
             device,
             start_block,
             block_size,
             inner: Mutex::new(JournalInner {
                 head: 0,
+                tail: 0,
+                tail_seq: 1,
                 next_seq: 1,
+                header_slot: 0,
+                header_update: 0,
             }),
         };
-        let (records, end_offset) = journal.scan()?;
+        let header = journal.read_newest_header()?;
+        let (slot, update, tail, tail_seq) = match header {
+            Some(h) => h,
+            None => {
+                // No valid header: a fresh (or foreign) region. Write an
+                // empty-log header without forcing it out — the first
+                // commit's own flush makes it durable before any frame
+                // is acknowledged, and losing it earlier just re-runs
+                // this initialisation.
+                journal.write_header(0, 1, 0, 1, false)?;
+                (0, 1, 0, 1)
+            }
+        };
+        let (records, head) = journal.scan_from(tail, tail_seq)?;
         {
             let mut inner = journal.inner.lock();
-            inner.head = end_offset;
-            inner.next_seq = records.last().map(|r| r.seq + 1).unwrap_or(1);
+            inner.head = head;
+            inner.tail = tail;
+            inner.tail_seq = tail_seq;
+            inner.next_seq = records.last().map(|r| r.seq + 1).unwrap_or(tail_seq);
+            inner.header_slot = slot;
+            inner.header_update = update;
         }
         Ok(journal)
     }
 
-    /// Bytes of journal space still available before the region is full.
+    /// Bytes of ring space still free before appends would hit
+    /// [`StorageError::JournalFull`].
     pub fn available_bytes(&self) -> u64 {
-        self.region_bytes - self.inner.lock().head
+        let inner = self.inner.lock();
+        self.capacity - (inner.head - inner.tail)
     }
 
-    /// Current append offset within the region (bytes of valid log). Used
-    /// by recovery tests to corrupt the tail precisely.
+    /// Bytes currently occupied by live (unreclaimed) frames.
+    pub fn live_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.head - inner.tail
+    }
+
+    /// Live bytes as a fraction of ring capacity, in `0.0..=1.0` — the
+    /// signal a watermark-driven checkpointer fires on.
+    pub fn utilization(&self) -> f64 {
+        let inner = self.inner.lock();
+        (inner.head - inner.tail) as f64 / self.capacity as f64
+    }
+
+    /// Physical byte offset (relative to the region start) where the next
+    /// frame will be written. Used by recovery tests to corrupt the tail
+    /// of the log precisely; within one lap of the ring, frame extents are
+    /// contiguous between two `head_offset` readings.
     pub fn head_offset(&self) -> u64 {
-        self.inner.lock().head
+        let inner = self.inner.lock();
+        JOURNAL_HEADER_BLOCKS * self.block_size as u64 + inner.head % self.capacity
     }
 
-    /// Total bytes in the journal region.
+    /// Physical byte offset (relative to the region start) of the oldest
+    /// live frame.
+    pub fn tail_offset(&self) -> u64 {
+        let inner = self.inner.lock();
+        JOURNAL_HEADER_BLOCKS * self.block_size as u64 + inner.tail % self.capacity
+    }
+
+    /// Total bytes in the journal region (headers + ring).
     pub fn region_bytes(&self) -> u64 {
         self.region_bytes
+    }
+
+    /// Bytes of frame capacity in the ring — the largest log the journal
+    /// can hold between checkpoints, and the bound above which a single
+    /// transaction can never be admitted.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
     }
 
     /// First device block of the journal region.
@@ -171,16 +291,17 @@ impl<D: BlockDevice> Journal<D> {
     pub fn append(&self, txn_id: u64, kind: RecordKind, payload: &[u8]) -> Result<u64> {
         let frame_len = FRAME_HEADER + payload.len() + FRAME_TRAILER;
         let mut inner = self.inner.lock();
-        if inner.head + frame_len as u64 > self.region_bytes {
+        let free = self.capacity - (inner.head - inner.tail);
+        if frame_len as u64 > free {
             return Err(StorageError::JournalFull {
                 needed: frame_len,
-                available: (self.region_bytes - inner.head) as usize,
+                available: free as usize,
             });
         }
         let seq = inner.next_seq;
         let mut frame = Vec::with_capacity(frame_len);
         Self::encode_frame(&mut frame, seq, txn_id, kind, payload);
-        self.write_bytes(inner.head, &frame)?;
+        self.ring_write(inner.head, &frame)?;
         inner.head += frame_len as u64;
         inner.next_seq += 1;
         Ok(seq)
@@ -191,17 +312,17 @@ impl<D: BlockDevice> Journal<D> {
     /// returning per-transaction results.
     ///
     /// Each transaction is admitted or rejected independently: one that
-    /// would overflow the region gets `Err(JournalFull)` while smaller
-    /// transactions later in the batch may still fit. Admitted
+    /// would overflow the ring's free space gets `Err(JournalFull)` while
+    /// smaller transactions later in the batch may still fit. Admitted
     /// transactions are encoded back to back into a single buffer,
-    /// written with one pass over the device and made durable with a
-    /// single flush, so a group-commit leader pays one write path and
-    /// one sync for the whole batch.
+    /// written with one pass over the device (wrapping at the ring
+    /// boundary) and made durable with a single flush, so a group-commit
+    /// leader pays one write path and one sync for the whole batch.
     ///
     /// Durability is all-or-nothing for the admitted set: if the write
     /// or the flush fails, the batch's frames are unreachable to
-    /// recovery (the head does not advance and the batch's first length
-    /// prefix is zeroed) and every admitted transaction reports the
+    /// recovery (the head does not advance and the batch's whole byte
+    /// extent is zeroed) and every admitted transaction reports the
     /// error — a commit that was reported failed can never become
     /// durable retroactively via a later batch's flush.
     ///
@@ -216,13 +337,14 @@ impl<D: BlockDevice> Journal<D> {
         let mut buf = Vec::new();
         let mut results = Vec::with_capacity(txns.len());
         let head = inner.head;
+        let free = self.capacity - (head - inner.tail);
         let mut next_seq = inner.next_seq;
         for txn in txns {
             let needed = txn.encoded_len();
-            if head + buf.len() as u64 + needed as u64 > self.region_bytes {
+            if buf.len() as u64 + needed as u64 > free {
                 results.push(Err(StorageError::JournalFull {
                     needed,
-                    available: (self.region_bytes - head - buf.len() as u64) as usize,
+                    available: (free - buf.len() as u64) as usize,
                 }));
                 continue;
             }
@@ -240,7 +362,7 @@ impl<D: BlockDevice> Journal<D> {
             return Ok(results);
         }
         let committed = self
-            .write_bytes(head, &buf)
+            .ring_write(head, &buf)
             .and_then(|()| self.device.flush());
         match committed {
             Ok(()) => {
@@ -259,7 +381,7 @@ impl<D: BlockDevice> Journal<D> {
                 // prefix with the same seqs and revalidate the stale
                 // frames behind it. Rejected (JournalFull) entries keep
                 // their own error.
-                self.write_bytes(head, &vec![0u8; buf.len()])?;
+                self.ring_write(head, &vec![0u8; buf.len()])?;
                 Ok(results
                     .into_iter()
                     .map(|r| match r {
@@ -276,64 +398,134 @@ impl<D: BlockDevice> Journal<D> {
         self.device.flush()
     }
 
-    /// Resets the journal to empty (checkpoint has made its contents
-    /// redundant).
-    ///
-    /// The whole used prefix of the region is zeroed block-wise, not
-    /// just the first frame length: a crash after the reset re-opens
-    /// the journal with sequence numbering restarted at 1, and a new,
-    /// shorter log could otherwise end exactly on an old frame boundary
-    /// whose surviving frame still has a valid checksum *and* the next
-    /// expected seq — recovery would replay it as a ghost of a
-    /// checkpointed transaction. Zeroing is one sequential pass over
-    /// only the blocks the discarded log occupied; checkpoints are
-    /// rare.
-    pub fn reset(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        // Zero every block the log reached, plus one more so a
-        // half-written frame past the head cannot survive either.
-        let used = inner.head.max(self.scan()?.1) + self.block_size as u64;
-        let used_blocks = used.div_ceil(self.block_size as u64);
-        let region_blocks = self.region_bytes / self.block_size as u64;
-        let zeros = vec![0u8; self.block_size];
-        for block in 0..used_blocks.min(region_blocks) {
-            self.device.write_block(self.start_block + block, &zeros)?;
+    /// A consistent snapshot of the current head and next seq, to hand to
+    /// [`reclaim_to`](Self::reclaim_to) after a checkpoint has made
+    /// everything up to this point redundant. Frames appended after the
+    /// mark stay live.
+    pub fn mark(&self) -> JournalMark {
+        let inner = self.inner.lock();
+        JournalMark {
+            head: inner.head,
+            seq: inner.next_seq,
         }
-        inner.head = 0;
+    }
+
+    /// Advances the tail to `mark`, reclaiming every frame appended before
+    /// it — one header write plus one flush, independent of how many bytes
+    /// are discarded. Reclaimed bytes are *not* zeroed; monotone sequence
+    /// numbering makes stale frames unreplayable (see the module docs).
+    ///
+    /// The header is persisted (and flushed) before this returns, so no
+    /// later append can overwrite the reclaimed extent while an older
+    /// on-device header still points into it. A mark older than the
+    /// current tail is a no-op: a racing checkpointer and committer can
+    /// both reclaim without coordination.
+    pub fn reclaim_to(&self, mark: JournalMark) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if mark.head <= inner.tail {
+            return Ok(());
+        }
+        debug_assert!(
+            mark.head <= inner.head,
+            "mark must come from this journal's own history"
+        );
+        let slot = 1 - inner.header_slot;
+        let update = inner.header_update + 1;
+        self.write_header(slot, update, mark.head, mark.seq, true)?;
+        inner.tail = mark.head;
+        inner.tail_seq = mark.seq;
+        inner.header_slot = slot;
+        inner.header_update = update;
         Ok(())
     }
 
-    /// Scans the journal from the start and returns every valid record, in
-    /// order, stopping at the first invalid or empty frame.
-    ///
-    /// A frame is valid only if its length, checksum and kind check out
-    /// **and** its sequence number continues the previous frame's — every
-    /// append path hands out consecutive seqs, so a seq discontinuity
-    /// marks stale frames surviving past the head of a shorter, newer log
-    /// (e.g. after a checkpoint reset) and recovery must not replay them.
-    pub fn recover(&self) -> Result<Vec<JournalRecord>> {
-        Ok(self.scan()?.0)
+    /// Reclaims the whole current log (checkpoint has made its contents
+    /// redundant): equivalent to `reclaim_to(self.mark())` but atomic with
+    /// respect to concurrent appends. O(1) — one header write and flush,
+    /// no zeroing pass.
+    pub fn reset(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.head == inner.tail {
+            return Ok(());
+        }
+        let slot = 1 - inner.header_slot;
+        let update = inner.header_update + 1;
+        let (head, seq) = (inner.head, inner.next_seq);
+        self.write_header(slot, update, head, seq, true)?;
+        inner.tail = head;
+        inner.tail_seq = seq;
+        inner.header_slot = slot;
+        inner.header_update = update;
+        Ok(())
     }
 
-    /// The recovery scan; also returns the byte offset one past the last
-    /// valid frame (where the append head belongs).
-    fn scan(&self) -> Result<(Vec<JournalRecord>, u64)> {
+    /// Restores the journal to its freshly-formatted state: zeroes the
+    /// entire region (headers and ring) and restarts offsets and sequence
+    /// numbering from scratch.
+    ///
+    /// This is the old stop-the-world reset — one sequential pass over
+    /// the whole region — kept for formatting (a reused device must not
+    /// resurrect a previous instance's log, headers included) and as the
+    /// E11 ablation baseline against incremental reclaim. Steady-state
+    /// checkpointing should use [`reset`](Self::reset) /
+    /// [`reclaim_to`](Self::reclaim_to) instead.
+    pub fn reset_full(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let zeros = vec![0u8; self.block_size];
+        let region_blocks = self.region_bytes / self.block_size as u64;
+        for block in 0..region_blocks {
+            self.device.write_block(self.start_block + block, &zeros)?;
+        }
+        self.write_header(0, 1, 0, 1, true)?;
+        inner.head = 0;
+        inner.tail = 0;
+        inner.tail_seq = 1;
+        inner.next_seq = 1;
+        inner.header_slot = 0;
+        inner.header_update = 1;
+        Ok(())
+    }
+
+    /// Scans the live extent and returns every valid record, in order,
+    /// stopping at the first invalid frame or seq discontinuity.
+    ///
+    /// A frame is valid only if its length, checksum and kind check out
+    /// **and** its sequence number continues the chain — the first frame
+    /// must carry exactly the tail seq the header recorded, every later
+    /// frame the previous seq plus one. Sequence numbers are monotone for
+    /// the journal's whole life, so a stale frame surviving from a
+    /// previous lap of the ring (its space reclaimed but never zeroed)
+    /// always fails the continuity check and recovery never replays it.
+    pub fn recover(&self) -> Result<Vec<JournalRecord>> {
+        let (tail, tail_seq) = {
+            let inner = self.inner.lock();
+            (inner.tail, inner.tail_seq)
+        };
+        Ok(self.scan_from(tail, tail_seq)?.0)
+    }
+
+    /// The recovery scan from a given tail; also returns the logical
+    /// offset one past the last valid frame (where the append head
+    /// belongs).
+    fn scan_from(&self, tail: u64, tail_seq: u64) -> Result<(Vec<JournalRecord>, u64)> {
         let mut records: Vec<JournalRecord> = Vec::new();
-        let mut offset = 0u64;
+        let mut offset = tail;
+        let mut expected_seq = tail_seq;
         loop {
-            if offset + 4 > self.region_bytes {
+            let scanned = offset - tail;
+            if scanned + 4 > self.capacity {
                 break;
             }
             let mut len_buf = [0u8; 4];
-            self.read_bytes(offset, &mut len_buf)?;
+            self.ring_read(offset, &mut len_buf)?;
             let frame_len = u32::from_le_bytes(len_buf) as u64;
             if frame_len < (FRAME_HEADER + FRAME_TRAILER) as u64
-                || offset + frame_len > self.region_bytes
+                || scanned + frame_len > self.capacity
             {
                 break;
             }
             let mut frame = vec![0u8; frame_len as usize];
-            self.read_bytes(offset, &mut frame)?;
+            self.ring_read(offset, &mut frame)?;
             let body_len = frame_len as usize - FRAME_TRAILER;
             let stored_crc = u64::from_le_bytes(frame[body_len..].try_into().expect("8-byte crc"));
             if fnv1a(&frame[..body_len]) != stored_crc {
@@ -344,10 +536,8 @@ impl<D: BlockDevice> Journal<D> {
             let Some(kind) = RecordKind::from_u8(frame[20]) else {
                 break;
             };
-            if let Some(prev) = records.last() {
-                if seq != prev.seq + 1 {
-                    break;
-                }
+            if seq != expected_seq {
+                break;
             }
             let payload = frame[FRAME_HEADER..body_len].to_vec();
             records.push(JournalRecord {
@@ -357,6 +547,7 @@ impl<D: BlockDevice> Journal<D> {
                 payload,
             });
             offset += frame_len;
+            expected_seq += 1;
         }
         Ok((records, offset))
     }
@@ -387,6 +578,92 @@ impl<D: BlockDevice> Journal<D> {
             }
         }
         Ok(committed)
+    }
+
+    // ------------------------------------------------------------------
+    // Header persistence.
+    // ------------------------------------------------------------------
+
+    fn write_header(
+        &self,
+        slot: u64,
+        update: u64,
+        tail: u64,
+        tail_seq: u64,
+        sync: bool,
+    ) -> Result<()> {
+        let mut block = vec![0u8; self.block_size];
+        block[0..8].copy_from_slice(&JOURNAL_HEADER_MAGIC.to_le_bytes());
+        block[8..16].copy_from_slice(&update.to_le_bytes());
+        block[16..24].copy_from_slice(&tail.to_le_bytes());
+        block[24..32].copy_from_slice(&tail_seq.to_le_bytes());
+        let crc = fnv1a(&block[..HEADER_ENCODED_LEN - 8]);
+        block[32..40].copy_from_slice(&crc.to_le_bytes());
+        self.device.write_block(self.start_block + slot, &block)?;
+        // A tail-advancing header must be durable before any append can
+        // overwrite the extent it reclaimed; recovery otherwise follows
+        // a stale tail into rewritten bytes.
+        if sync {
+            self.device.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Reads both header slots and returns the newest valid one as
+    /// `(slot, update, tail, tail_seq)`, or `None` if neither validates.
+    fn read_newest_header(&self) -> Result<Option<(u64, u64, u64, u64)>> {
+        let mut best: Option<(u64, u64, u64, u64)> = None;
+        let mut block = vec![0u8; self.block_size];
+        for slot in 0..JOURNAL_HEADER_BLOCKS {
+            self.device
+                .read_block(self.start_block + slot, &mut block)?;
+            if u64::from_le_bytes(block[0..8].try_into().expect("magic")) != JOURNAL_HEADER_MAGIC {
+                continue;
+            }
+            let stored_crc = u64::from_le_bytes(block[32..40].try_into().expect("8-byte crc"));
+            if fnv1a(&block[..HEADER_ENCODED_LEN - 8]) != stored_crc {
+                continue;
+            }
+            let update = u64::from_le_bytes(block[8..16].try_into().expect("update"));
+            let tail = u64::from_le_bytes(block[16..24].try_into().expect("tail"));
+            let tail_seq = u64::from_le_bytes(block[24..32].try_into().expect("tail_seq"));
+            if best.map(|(_, u, _, _)| update > u).unwrap_or(true) {
+                best = Some((slot, update, tail, tail_seq));
+            }
+        }
+        Ok(best)
+    }
+
+    // ------------------------------------------------------------------
+    // Ring I/O: logical offsets, wrap at the capacity boundary.
+    // ------------------------------------------------------------------
+
+    fn ring_write(&self, logical: u64, data: &[u8]) -> Result<()> {
+        debug_assert!(data.len() as u64 <= self.capacity);
+        let pos = logical % self.capacity;
+        let first = (data.len() as u64).min(self.capacity - pos) as usize;
+        self.write_bytes(self.ring_start() + pos, &data[..first])?;
+        if first < data.len() {
+            self.write_bytes(self.ring_start(), &data[first..])?;
+        }
+        Ok(())
+    }
+
+    fn ring_read(&self, logical: u64, out: &mut [u8]) -> Result<()> {
+        debug_assert!(out.len() as u64 <= self.capacity);
+        let pos = logical % self.capacity;
+        let first = (out.len() as u64).min(self.capacity - pos) as usize;
+        self.read_bytes(self.ring_start() + pos, &mut out[..first])?;
+        if first < out.len() {
+            let start = self.ring_start();
+            self.read_bytes(start, &mut out[first..])?;
+        }
+        Ok(())
+    }
+
+    /// Physical byte offset of the ring within the region.
+    fn ring_start(&self) -> u64 {
+        JOURNAL_HEADER_BLOCKS * self.block_size as u64
     }
 
     fn write_bytes(&self, offset: u64, data: &[u8]) -> Result<()> {
@@ -436,6 +713,9 @@ mod tests {
         Journal::new(dev, 1, 32).unwrap()
     }
 
+    /// Ring capacity of `make()`: 32 blocks minus 2 header blocks.
+    const MAKE_CAPACITY: u64 = 30 * 512;
+
     #[test]
     fn append_and_recover_round_trip() {
         let j = make();
@@ -484,9 +764,9 @@ mod tests {
     #[test]
     fn reset_then_shorter_log_never_replays_stale_tail() {
         // Regression: a checkpoint reset followed by a shorter new log
-        // used to leave old valid-CRC frames reachable past the new
-        // head, and recovery replayed them as ghost transactions. The
-        // seq-continuity check must stop the scan at the stale boundary.
+        // leaves old valid-CRC frames physically intact past the new
+        // head (reclaim does not zero). Monotone seq numbering must stop
+        // recovery at the stale boundary, live and after a cold re-open.
         let dev = Arc::new(MemDevice::new(64, 512));
         let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
         for t in 1..=3u64 {
@@ -509,12 +789,11 @@ mod tests {
 
     #[test]
     fn reset_then_crash_then_aligned_log_never_replays_stale_tail() {
-        // The nastier variant: after reset() the process CRASHES, so the
-        // re-opened journal restarts seq numbering at 1. If the new log
-        // has the same frame sizes as the old one, its end lands exactly
-        // on an old frame boundary and the surviving stale frame carries
-        // both a valid CRC and the next expected seq — only reset()'s
-        // zeroing of every stale length prefix prevents a ghost replay.
+        // After reset() the process CRASHES. The re-opened journal reads
+        // the persisted header and *continues* the old seq stream — seqs
+        // never restart — so even a new log whose frame sizes exactly
+        // match the old one can never line up a stale frame with the
+        // next expected seq.
         let dev = Arc::new(MemDevice::new(64, 512));
         {
             let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
@@ -527,10 +806,12 @@ mod tests {
             // Crash here: drop the journal without another append.
         }
         let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
-        // Fresh-looking journal: seqs restart at 1, frame sizes identical
-        // to the old txn 1, so the new log ends exactly where stale txn
-        // 2's Begin frame (seq 4 = 3 + 1) used to start.
-        j.append(9, RecordKind::Begin, b"").unwrap();
+        assert!(j.recover().unwrap().is_empty(), "reset survived the crash");
+        // Same frame sizes as the old txn 1: under restarting seq
+        // numbering this log would end exactly where stale txn 2's
+        // Begin frame starts, with the next expected seq.
+        let first = j.append(9, RecordKind::Begin, b"").unwrap();
+        assert_eq!(first, 7, "seq numbering must continue across the reset");
         j.append(9, RecordKind::Data, b"ten-bytes!").unwrap();
         j.append(9, RecordKind::Commit, b"").unwrap();
         for journal in [&j, &Journal::new(Arc::clone(&dev), 1, 32).unwrap()] {
@@ -563,19 +844,141 @@ mod tests {
         j.append(1, RecordKind::Data, b"x").unwrap();
         j.reset().unwrap();
         assert!(j.recover().unwrap().is_empty());
-        assert_eq!(j.available_bytes(), 32 * 512);
+        assert_eq!(j.available_bytes(), MAKE_CAPACITY);
+        assert_eq!(j.live_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_full_restarts_offsets_and_seqs() {
+        let dev = Arc::new(MemDevice::new(64, 512));
+        let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        j.append(1, RecordKind::Data, b"old-life").unwrap();
+        j.reset_full().unwrap();
+        assert!(j.recover().unwrap().is_empty());
+        assert_eq!(j.append(1, RecordKind::Data, b"new").unwrap(), 1);
+        // A cold re-open agrees: the region is a fresh journal.
+        let cold = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        let recs = cold.recover().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq, 1);
+        assert_eq!(recs[0].payload, b"new");
+    }
+
+    #[test]
+    fn incremental_reclaim_is_constant_cost() {
+        // Reclaiming must not scale with the discarded log: no zeroing
+        // pass, just one header block write (plus its flush).
+        let dev = Arc::new(MemDevice::new(64, 512));
+        let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        for t in 1..=20u64 {
+            j.append(t, RecordKind::Data, &[t as u8; 256]).unwrap();
+        }
+        let before = dev.counters();
+        j.reset().unwrap();
+        let delta = dev.counters().delta_since(&before);
+        assert_eq!(delta.writes, 1, "reclaim is one header write");
+        assert_eq!(j.live_bytes(), 0);
+    }
+
+    #[test]
+    fn reclaim_to_mark_keeps_later_frames_live() {
+        let j = make();
+        j.append(1, RecordKind::Begin, b"").unwrap();
+        j.append(1, RecordKind::Data, b"checkpointed").unwrap();
+        j.append(1, RecordKind::Commit, b"").unwrap();
+        let mark = j.mark();
+        j.append(2, RecordKind::Begin, b"").unwrap();
+        j.append(2, RecordKind::Data, b"still-live").unwrap();
+        j.append(2, RecordKind::Commit, b"").unwrap();
+        j.reclaim_to(mark).unwrap();
+        let committed = j.committed_payloads().unwrap();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].0, 2);
+        // A stale mark (already reclaimed past it) is a no-op.
+        j.reclaim_to(mark).unwrap();
+        assert_eq!(j.committed_payloads().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn wrapped_log_recovers_across_the_boundary() {
+        // Fill most of the ring, checkpoint, keep appending until the
+        // live extent straddles the physical end of the ring. Recovery —
+        // live and cold — must follow the log across the wrap point.
+        let dev = Arc::new(MemDevice::new(16, 512));
+        let j = Journal::new(Arc::clone(&dev), 1, 6).unwrap(); // ring: 4 * 512
+        let payload = [0x5Au8; 300];
+        for t in 1..=8u64 {
+            while j.available_bytes() < 400 {
+                j.reset().unwrap();
+            }
+            j.append(t, RecordKind::Begin, b"").unwrap();
+            j.append(t, RecordKind::Data, &payload).unwrap();
+            j.append(t, RecordKind::Commit, b"").unwrap();
+        }
+        // By txn 8 the log has lapped the ring at least once.
+        assert!(j.mark().head > j.capacity_bytes());
+        let live = j.committed_payloads().unwrap();
+        assert!(!live.is_empty());
+        let cold = Journal::new(Arc::clone(&dev), 1, 6).unwrap();
+        assert_eq!(cold.committed_payloads().unwrap(), live);
+        assert_eq!(cold.recover().unwrap(), j.recover().unwrap());
+    }
+
+    #[test]
+    fn frame_spanning_the_wrap_point_round_trips() {
+        // A single frame whose bytes cross the physical end of the ring.
+        let dev = Arc::new(MemDevice::new(16, 512));
+        let j = Journal::new(Arc::clone(&dev), 1, 6).unwrap(); // ring: 2048
+        j.append(1, RecordKind::Data, &[1u8; 1500]).unwrap();
+        j.reset().unwrap();
+        // Head is at 1529; a 900-byte payload frame ends past 2048.
+        let wrapped = vec![0xC3u8; 900];
+        j.append(2, RecordKind::Data, &wrapped).unwrap();
+        for journal in [&j, &Journal::new(Arc::clone(&dev), 1, 6).unwrap()] {
+            let recs = journal.recover().unwrap();
+            assert_eq!(recs.len(), 1);
+            assert_eq!(recs[0].txn_id, 2);
+            assert_eq!(recs[0].payload, wrapped);
+        }
+    }
+
+    #[test]
+    fn wrap_landing_on_stale_frame_boundary_does_not_ghost() {
+        // The circular analogue of the old aligned-ghost hazard: after a
+        // checkpoint the head waraps and new frames end exactly on an old
+        // frame boundary. The stale frame there has a valid CRC but a
+        // *lower* seq — monotone numbering, not zeroing, kills the ghost.
+        let dev = Arc::new(MemDevice::new(16, 512));
+        let j = Journal::new(Arc::clone(&dev), 1, 6).unwrap(); // ring: 2048
+        let quarter = 512 - (FRAME_HEADER + FRAME_TRAILER); // frame = 512 bytes
+        for t in 1..=4u64 {
+            j.append(t, RecordKind::Data, &vec![t as u8; quarter])
+                .unwrap();
+        }
+        j.reset().unwrap();
+        // Two new quarter frames: the log now ends exactly where stale
+        // frame 3 (valid CRC, seq 3) begins.
+        j.append(9, RecordKind::Data, &vec![9u8; quarter]).unwrap();
+        j.append(9, RecordKind::Data, &vec![9u8; quarter]).unwrap();
+        for journal in [&j, &Journal::new(Arc::clone(&dev), 1, 6).unwrap()] {
+            let recs = journal.recover().unwrap();
+            assert_eq!(recs.len(), 2, "stale frames must not replay");
+            assert!(recs.iter().all(|r| r.txn_id == 9));
+        }
     }
 
     #[test]
     fn journal_full_is_reported() {
         let dev = Arc::new(MemDevice::new(4, 512));
-        let j = Journal::new(dev, 1, 1).unwrap();
-        // One 512-byte region fills quickly.
+        let j = Journal::new(dev, 1, 3).unwrap(); // ring: 1 block
         let payload = vec![0u8; 200];
         j.append(1, RecordKind::Data, &payload).unwrap();
         j.append(1, RecordKind::Data, &payload).unwrap();
         let err = j.append(1, RecordKind::Data, &payload).unwrap_err();
         assert!(matches!(err, StorageError::JournalFull { .. }));
+        // Reclaiming frees the space without zeroing.
+        j.reset().unwrap();
+        j.append(1, RecordKind::Data, &payload).unwrap();
     }
 
     #[test]
@@ -613,11 +1016,37 @@ mod tests {
     }
 
     #[test]
+    fn batched_append_wraps_like_sequential() {
+        // A batch whose buffer straddles the ring boundary.
+        let dev = Arc::new(MemDevice::new(16, 512));
+        let j = Journal::new(Arc::clone(&dev), 1, 6).unwrap(); // ring: 2048
+        j.append(1, RecordKind::Data, &[0u8; 1400]).unwrap();
+        j.reset().unwrap();
+        let txns: Vec<TxnFrames> = (2..=3u64)
+            .map(|t| TxnFrames {
+                txn_id: t,
+                payloads: vec![vec![t as u8; 300]],
+            })
+            .collect();
+        let results = j.append_txn_batch(&txns).unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        for journal in [&j, &Journal::new(Arc::clone(&dev), 1, 6).unwrap()] {
+            let ids: Vec<u64> = journal
+                .committed_payloads()
+                .unwrap()
+                .iter()
+                .map(|(t, _)| *t)
+                .collect();
+            assert_eq!(ids, vec![2, 3]);
+        }
+    }
+
+    #[test]
     fn batch_rejects_only_the_overflowing_txn() {
-        // Region: 1 block x 512 bytes. A huge txn in the middle of the
+        // Ring: 1 block x 512 bytes. A huge txn in the middle of the
         // batch must fail alone; its neighbours commit.
-        let dev = Arc::new(MemDevice::new(4, 512));
-        let j = Journal::new(dev, 1, 1).unwrap();
+        let dev = Arc::new(MemDevice::new(8, 512));
+        let j = Journal::new(dev, 1, 3).unwrap();
         let small = |t: u64| TxnFrames {
             txn_id: t,
             payloads: vec![b"ok".to_vec()],
@@ -654,9 +1083,14 @@ mod tests {
     }
 
     #[test]
-    fn zero_length_region_rejected() {
+    fn too_small_regions_rejected() {
         let dev = Arc::new(MemDevice::new(4, 512));
-        assert!(Journal::new(dev, 1, 0).is_err());
+        // Zero-length, header-only and headers-without-ring regions all
+        // fail: the ring needs at least one block.
+        for blocks in 0..=JOURNAL_HEADER_BLOCKS {
+            assert!(Journal::new(Arc::clone(&dev), 1, blocks).is_err());
+        }
+        assert!(Journal::new(dev, 1, JOURNAL_HEADER_BLOCKS + 1).is_ok());
     }
 
     #[test]
@@ -665,14 +1099,41 @@ mod tests {
         let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
         j.append(1, RecordKind::Data, b"first").unwrap();
         j.append(1, RecordKind::Data, b"second").unwrap();
-        // Corrupt the second record's payload area directly on the device.
+        // Corrupt the second record's payload area directly on the
+        // device. Frames start after the two header blocks.
+        let ring_first_block = 1 + JOURNAL_HEADER_BLOCKS;
         let mut block = vec![0u8; 512];
-        dev.read_block(1, &mut block).unwrap();
+        dev.read_block(ring_first_block, &mut block).unwrap();
         // First frame: header 21 + 5 payload + 8 crc = 34 bytes; corrupt after it.
         block[40] ^= 0xFF;
-        dev.write_block(1, &block).unwrap();
+        dev.write_block(ring_first_block, &block).unwrap();
         let recs = j.recover().unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].payload, b"first");
+    }
+
+    #[test]
+    fn torn_header_write_falls_back_to_the_previous_tail() {
+        // A checkpoint whose header write tears (bad CRC) must not lose
+        // the log: the surviving slot still points at the old tail, and
+        // replaying from there is merely redundant, never wrong.
+        let dev = Arc::new(MemDevice::new(64, 512));
+        let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        j.append(1, RecordKind::Begin, b"").unwrap();
+        j.append(1, RecordKind::Data, b"applied-and-checkpointed")
+            .unwrap();
+        j.append(1, RecordKind::Commit, b"").unwrap();
+        j.reset().unwrap(); // header now in slot 1 (update 2)
+                            // Tear the newest header: flip a byte of slot 1.
+        let mut block = vec![0u8; 512];
+        dev.read_block(2, &mut block).unwrap();
+        block[20] ^= 0xFF;
+        dev.write_block(2, &block).unwrap();
+        // Cold open falls back to slot 0 (tail 0) and replays txn 1 —
+        // extra but idempotent redo, not data loss.
+        let cold = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        let committed = cold.committed_payloads().unwrap();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].0, 1);
     }
 }

@@ -21,8 +21,12 @@
 //!   shared by every lock-striped structure in the workspace.
 //! * [`layout`] — superblock / region map shared by hFAD and the
 //!   hierarchical baseline, plus the FNV-1a checksum.
-//! * [`journal`] — a write-ahead log backing the optional transactional
-//!   OSD.
+//! * [`journal`] — a circular write-ahead log backing the optional
+//!   transactional OSD: wrap-around append with O(1) incremental
+//!   reclaim of checkpointed extents.
+//! * [`background`] — the [`background::BackgroundExecutor`] trait
+//!   implemented by the async I/O engine and consumed by lazy indexing
+//!   and the journal checkpointer.
 //! * [`group_commit`] — the batched commit pipeline over the journal:
 //!   concurrent committers share one contiguous append and one flush.
 //!
@@ -31,6 +35,7 @@
 //! devices, caches and allocators without touching higher layers.
 
 pub mod alloc;
+pub mod background;
 pub mod buddy;
 pub mod bump;
 pub mod cache;
@@ -43,6 +48,7 @@ pub mod layout;
 pub mod shard;
 
 pub use alloc::{AllocStats, Allocator};
+pub use background::{BackgroundExecutor, SubmitError};
 pub use buddy::BuddyAllocator;
 pub use bump::BumpAllocator;
 pub use cache::{CacheStats, CachedDevice, PrefetchSink};
@@ -53,7 +59,9 @@ pub use device::{
 pub use error::{Result, StorageError};
 pub use extent::Extent;
 pub use group_commit::{GroupCommit, GroupCommitConfig, GroupCommitStats};
-pub use journal::{Journal, JournalRecord, RecordKind, TxnFrames};
+pub use journal::{
+    Journal, JournalMark, JournalRecord, RecordKind, TxnFrames, JOURNAL_HEADER_BLOCKS,
+};
 pub use layout::{fnv1a, Superblock, FORMAT_VERSION, SUPERBLOCK_MAGIC};
 pub use shard::{resolve_shard_count, shard_index, MAX_SHARDS};
 

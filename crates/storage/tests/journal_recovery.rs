@@ -224,7 +224,7 @@ fn concurrent_batch_with_overflowing_txn_fails_it_alone() {
     // transaction must be refused with JournalFull while every other
     // transaction in the same batch commits and recovers.
     let device = Arc::new(MemDevice::new(16, BLOCK_SIZE));
-    let journal = Journal::new(Arc::clone(&device), START_BLOCK, 2).unwrap(); // 1 KiB region
+    let journal = Journal::new(Arc::clone(&device), START_BLOCK, 3).unwrap(); // 512-byte ring
     let group = Arc::new(GroupCommit::new(
         journal,
         GroupCommitConfig::batched(8, Duration::from_millis(50)),
@@ -237,7 +237,7 @@ fn concurrent_batch_with_overflowing_txn_fails_it_alone() {
         handles.push(std::thread::spawn(move || {
             barrier.wait();
             let payloads = if t == 0 {
-                vec![vec![0xAA; 4096]] // cannot fit in a 1 KiB region
+                vec![vec![0xAA; 4096]] // cannot fit in a 512-byte ring
             } else {
                 vec![format!("small-{t}").into_bytes()]
             };
@@ -257,7 +257,7 @@ fn concurrent_batch_with_overflowing_txn_fails_it_alone() {
         }
     }
     assert_eq!((failed, committed), (1, 3));
-    let journal = Journal::new(Arc::clone(&device), START_BLOCK, 2).unwrap();
+    let journal = Journal::new(Arc::clone(&device), START_BLOCK, 3).unwrap();
     let recovered = journal.committed_payloads().unwrap();
     let mut ids: Vec<u64> = recovered.iter().map(|(t, _)| *t).collect();
     ids.sort_unstable();

@@ -1,0 +1,216 @@
+//! Crash-recovery torture tests at the circular journal's wrap point.
+//!
+//! The circular log's hard cases all live where the live extent crosses
+//! the physical end of the ring: a frame split across the boundary can
+//! tear in either half, stale frames from the previous lap sit directly
+//! past the head with valid checksums, and the tail header is the only
+//! thing distinguishing the two laps. Each test builds a log whose tail
+//! has been reclaimed mid-ring, drives the head across the wrap, damages
+//! the log the way a crash would, and asserts a cold re-open replays
+//! exactly the acknowledged prefix.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hfad_storage::{
+    BlockDevice, GroupCommit, GroupCommitConfig, Journal, MemDevice, RecordKind,
+    JOURNAL_HEADER_BLOCKS,
+};
+
+const START_BLOCK: u64 = 1;
+const JOURNAL_BLOCKS: u64 = 6;
+const BLOCK_SIZE: usize = 512;
+/// Ring capacity of the test journal: 4 data blocks.
+const RING: u64 = (JOURNAL_BLOCKS - JOURNAL_HEADER_BLOCKS) * BLOCK_SIZE as u64;
+/// Region-relative physical offset where the ring (and thus the wrap
+/// point) lives.
+const RING_START: u64 = JOURNAL_HEADER_BLOCKS * BLOCK_SIZE as u64;
+
+/// Frame overhead: header (21) + crc trailer (8).
+const FRAME_OVERHEAD: u64 = 29;
+
+fn device() -> Arc<MemDevice> {
+    Arc::new(MemDevice::new(16, BLOCK_SIZE))
+}
+
+fn open(dev: &Arc<MemDevice>) -> Journal<Arc<MemDevice>> {
+    Journal::new(Arc::clone(dev), START_BLOCK, JOURNAL_BLOCKS).unwrap()
+}
+
+/// XORs one raw journal byte at region offset `off` with `mask`.
+fn corrupt_byte(dev: &Arc<MemDevice>, off: u64, mask: u8) {
+    let block = START_BLOCK + off / BLOCK_SIZE as u64;
+    let in_block = (off % BLOCK_SIZE as u64) as usize;
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    dev.read_block(block, &mut buf).unwrap();
+    buf[in_block] ^= mask;
+    dev.write_block(block, &buf).unwrap();
+}
+
+/// Overwrites `len` raw journal bytes starting at region offset `off`.
+fn overwrite(dev: &Arc<MemDevice>, off: u64, len: u64, fill: u8) {
+    for i in 0..len {
+        let block = START_BLOCK + (off + i) / BLOCK_SIZE as u64;
+        let in_block = ((off + i) % BLOCK_SIZE as u64) as usize;
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(block, &mut buf).unwrap();
+        buf[in_block] = fill;
+        dev.write_block(block, &buf).unwrap();
+    }
+}
+
+/// Builds the canonical wrap scenario: old-lap frames reclaimed
+/// mid-ring, one committed survivor transaction fully before the
+/// boundary, then a victim transaction whose Data frame spans the wrap
+/// point. Returns `(device, journal, victim_continuation_bytes)` where
+/// the continuation is how many of the victim's frame bytes landed at
+/// the ring start after wrapping.
+fn wrap_scenario() -> (Arc<MemDevice>, Journal<Arc<MemDevice>>, u64) {
+    let dev = device();
+    let j = open(&dev);
+    // Old lap: a big frame that recovery must never resurrect.
+    j.append(900, RecordKind::Begin, b"").unwrap();
+    j.append(900, RecordKind::Data, &vec![0x0Du8; 1300])
+        .unwrap();
+    j.append(900, RecordKind::Commit, b"").unwrap();
+    j.reset().unwrap(); // tail now mid-ring; old frames stay on disk
+                        // Survivor: committed entirely before the wrap point.
+    j.append(1, RecordKind::Begin, b"").unwrap();
+    j.append(1, RecordKind::Data, b"survivor").unwrap();
+    j.append(1, RecordKind::Commit, b"").unwrap();
+    // Victim: its Data frame crosses the physical end of the ring.
+    let head = j.mark().head;
+    assert!(head < RING, "scenario expects the first lap");
+    let span_payload = (RING - head % RING) as usize + 64; // 64 bytes wrap
+    j.append(2, RecordKind::Begin, b"").unwrap();
+    j.append(2, RecordKind::Data, &vec![0xABu8; span_payload])
+        .unwrap();
+    j.append(2, RecordKind::Commit, b"").unwrap();
+    let continuation = (j.mark().head) % RING;
+    assert!(j.mark().head > RING, "victim must cross the wrap point");
+    (dev, j, continuation)
+}
+
+fn committed_ids(j: &Journal<Arc<MemDevice>>) -> Vec<u64> {
+    j.committed_payloads()
+        .unwrap()
+        .iter()
+        .map(|(t, _)| *t)
+        .collect()
+}
+
+#[test]
+fn clean_wrapped_log_replays_live_and_cold_identically() {
+    let (dev, j, _) = wrap_scenario();
+    assert_eq!(committed_ids(&j), vec![1, 2]);
+    let cold = open(&dev);
+    assert_eq!(cold.recover().unwrap(), j.recover().unwrap());
+    assert_eq!(committed_ids(&cold), vec![1, 2]);
+}
+
+#[test]
+fn torn_frame_at_the_wrap_point_drops_only_the_victim() {
+    // The wrapped continuation of the victim's Data frame was never
+    // written (torn at the physical boundary): every byte of it is
+    // whatever the previous lap left at the ring start.
+    let (dev, _, continuation) = wrap_scenario();
+    overwrite(&dev, RING_START, continuation, 0x0D);
+    let cold = open(&dev);
+    assert_eq!(
+        committed_ids(&cold),
+        vec![1],
+        "survivor stays, torn victim and old lap never replay"
+    );
+}
+
+#[test]
+fn truncated_wrap_frame_drops_only_the_victim() {
+    // The trailing bytes of the continuation are lost — the crash-mid-
+    // flush shape, landed exactly past the wrap.
+    let (dev, _, continuation) = wrap_scenario();
+    overwrite(&dev, RING_START + continuation - 8, 8, 0);
+    let cold = open(&dev);
+    assert_eq!(committed_ids(&cold), vec![1]);
+}
+
+#[test]
+fn bit_flip_in_the_wrapped_half_drops_only_the_victim() {
+    // A single flipped bit in the bytes that wrapped to the ring start.
+    let (dev, _, _) = wrap_scenario();
+    corrupt_byte(&dev, RING_START + 3, 0x10);
+    let cold = open(&dev);
+    assert_eq!(committed_ids(&cold), vec![1]);
+}
+
+#[test]
+fn bit_flip_before_the_wrap_point_drops_the_victim_too() {
+    // The same victim frame, damaged in its pre-wrap half: the last byte
+    // of the ring.
+    let (dev, _, _) = wrap_scenario();
+    corrupt_byte(&dev, RING_START + RING - 1, 0x80);
+    let cold = open(&dev);
+    assert_eq!(committed_ids(&cold), vec![1]);
+}
+
+#[test]
+fn crash_before_tail_advance_replays_extra_but_never_loses() {
+    // A checkpoint's store flush completed but the crash hit before the
+    // tail header was written (the window the checkpointer leaves open).
+    // Recovery falls back to the old tail and replays already-applied
+    // transactions — redundant redo, never data loss, and never the
+    // previous lap.
+    let dev = device();
+    let j = open(&dev);
+    j.append(1, RecordKind::Begin, b"").unwrap();
+    j.append(1, RecordKind::Data, b"applied").unwrap();
+    j.append(1, RecordKind::Commit, b"").unwrap();
+    let _mark_never_persisted = j.mark(); // crash before reclaim_to
+    drop(j);
+    let cold = open(&dev);
+    assert_eq!(committed_ids(&cold), vec![1]);
+}
+
+#[test]
+fn wrapped_workload_recovers_identically_across_batch_sizes() {
+    // The journal_recovery suite's batch-size invariant, driven across
+    // the wrap: group commit must change the flush schedule and nothing
+    // else, even when the log laps the ring.
+    let mut recovered_per_size = Vec::new();
+    for max_batch in [0usize, 1, 8] {
+        let dev = device();
+        let j = open(&dev);
+        let config = if max_batch == 0 {
+            GroupCommitConfig::unbatched()
+        } else {
+            GroupCommitConfig::batched(max_batch, Duration::ZERO)
+        };
+        let gc = GroupCommit::new(j, config);
+        let payload = |t: u64| vec![format!("wrap-txn-{t:04}").into_bytes()];
+        let mut expected = Vec::new();
+        let frame = 2 * FRAME_OVERHEAD + FRAME_OVERHEAD + 13; // begin+commit+data
+        let mut t = 1u64;
+        // Commit ~3 rings' worth, checkpointing when space runs low.
+        while t <= 3 * RING / frame {
+            if gc.journal().available_bytes() < 2 * frame {
+                gc.journal().reset().unwrap();
+                expected.clear();
+            }
+            gc.commit(t, payload(t)).unwrap();
+            expected.push((t, payload(t)));
+            t += 1;
+        }
+        assert!(gc.journal().mark().head > RING, "workload must wrap");
+        let cold = open(&dev);
+        let recovered = cold.committed_payloads().unwrap();
+        assert_eq!(recovered, expected, "batch size {max_batch}");
+        // Normalise away the checkpoint-timing dependence before the
+        // cross-size comparison: only the ids relative to the last
+        // checkpoint are deterministic.
+        recovered_per_size.push(recovered.len());
+        assert!(!recovered.is_empty());
+    }
+    assert!(
+        recovered_per_size.windows(2).all(|w| w[0] == w[1]),
+        "all batch sizes must survive the same number of txns past the last checkpoint"
+    );
+}
