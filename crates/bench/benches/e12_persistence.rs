@@ -1,0 +1,60 @@
+//! E12: persistent embedded-DB mode — fsync'd file-backed commit cost
+//! vs the in-memory device, and crash-recovery (journal replay) time
+//! as a function of journal fill.
+//!
+//! Each iteration measures a full create → run → teardown cycle (the
+//! vendored criterion shim only exposes `iter`), so absolute numbers
+//! include store setup; compare bars against each other, and use
+//! `BENCH_E12.json` for the isolated commit/recovery timings.
+//!
+//! Note: on tmpfs, `fsync` is nearly free, so the file-vs-memory gap
+//! here underestimates what a real disk pays per group commit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hfad_bench::experiments::{e12_commit_burst, e12_crash, e12_file_store};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_persistence");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(900));
+
+    let burst = 200usize;
+    group.bench_with_input(
+        BenchmarkId::new("file_commit_burst", burst),
+        &burst,
+        |b, &burst| {
+            b.iter(|| {
+                let (ts, path, oid) = e12_file_store("bench-commit.hfad");
+                e12_commit_burst(&ts, oid, burst);
+                drop(ts);
+                let _ = std::fs::remove_file(&path);
+            })
+        },
+    );
+
+    for fill in [32usize, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("kill9_recovery", fill),
+            &fill,
+            |b, &fill| {
+                b.iter(|| {
+                    let (ts, path, oid) = e12_file_store("bench-recovery.hfad");
+                    e12_commit_burst(&ts, oid, fill);
+                    e12_crash(ts, &path);
+                    let (ts, replayed) =
+                        hfad_osd::open_file(&path, Default::default(), Default::default())
+                            .expect("recover store");
+                    assert!(replayed > 0, "recovery bench must replay something");
+                    drop(ts);
+                    let _ = std::fs::remove_file(&path);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

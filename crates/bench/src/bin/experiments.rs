@@ -43,13 +43,13 @@ fn main() -> ExitCode {
             "--exp" => {
                 exp = iter.next().cloned();
                 if exp.is_none() {
-                    eprintln!("--exp requires an experiment id (t1, f1, e1..e11)");
+                    eprintln!("--exp requires an experiment id (t1, f1, e1..e12)");
                     return ExitCode::FAILURE;
                 }
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--quick|--full] [--exp <t1|f1|e1..e11>] [--json] \
+                    "usage: experiments [--quick|--full] [--exp <t1|f1|e1..e12>] [--json] \
                      [--json-out <dir>]\n\
                      Regenerates the hFAD experiment tables (see EXPERIMENTS.md).\n\
                      --json-out writes one machine-readable BENCH_<ID>.json per table."
@@ -67,7 +67,7 @@ fn main() -> ExitCode {
         Some(id) => match run_one(id, scale) {
             Some(table) => vec![table],
             None => {
-                eprintln!("unknown experiment id: {id} (expected t1, f1, e1..e11)");
+                eprintln!("unknown experiment id: {id} (expected t1, f1, e1..e12)");
                 return ExitCode::FAILURE;
             }
         },

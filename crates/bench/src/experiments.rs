@@ -14,7 +14,7 @@ use hfad_core::{Hfad, HfadConfig, Tag, TagValue};
 use hfad_engine::{Engine, EngineConfig, EnginePrefetcher};
 use hfad_hierfs::HierConfig;
 
-use hfad_osd::{AllocatorKind, ObjectStore, StoreConfig};
+use hfad_osd::{unix_now, AllocatorKind, ObjectMeta, ObjectStore, StoreConfig};
 use hfad_storage::{BlockDevice, MemDevice};
 use hfad_workload::{documents, mail_store, photo_library, CorpusConfig, Item};
 
@@ -1619,6 +1619,210 @@ pub fn e11_steady_state(scale: Scale) -> Table {
     table
 }
 
+// ---------------------------------------------------------------------
+// E12 — crash-safe file-backed persistence: commit cost and recovery.
+// ---------------------------------------------------------------------
+
+/// Bytes written per E12 commit.
+pub const E12_PAYLOAD: usize = 512;
+
+/// Store file capacity for the E12 fixtures.
+pub const E12_CAPACITY: u64 = 16 * 1024 * 1024;
+
+/// A scratch store path under the system temp dir, cleared of any stale
+/// store file and lock directory from a previous run.
+pub fn e12_scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hfad-e12-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join(name);
+    std::fs::remove_file(&store).ok();
+    let mut lck = store.file_name().unwrap().to_os_string();
+    lck.push(".lck");
+    std::fs::remove_dir_all(store.with_file_name(lck)).ok();
+    store
+}
+
+/// Simulates `kill -9` on a file-backed writer: the store is leaked (no
+/// final checkpoint, no cache writeback) and its lockfiles are swept the
+/// way the next opener's dead-holder healing would.
+pub fn e12_crash(ts: Arc<hfad_osd::TxnStore>, path: &std::path::Path) {
+    std::mem::forget(ts);
+    let mut lck = path.file_name().unwrap().to_os_string();
+    lck.push(".lck");
+    std::fs::remove_dir_all(path.with_file_name(lck)).unwrap();
+}
+
+/// Commits `n` small transactions (one [`E12_PAYLOAD`]-byte write each,
+/// over a 64-slot rotating window) and returns the elapsed time.
+pub fn e12_commit_burst(
+    ts: &Arc<hfad_osd::TxnStore>,
+    oid: hfad_osd::ObjectId,
+    n: usize,
+) -> Duration {
+    let payload = vec![0xE1u8; E12_PAYLOAD];
+    let (_, elapsed) = time(|| {
+        for i in 0..n {
+            let mut txn = ts.begin();
+            txn.write(oid, ((i % 64) * E12_PAYLOAD) as u64, &payload)
+                .unwrap();
+            txn.commit().unwrap();
+        }
+    });
+    elapsed
+}
+
+/// Builds a file-backed store with one transactionally created (hence
+/// durable) object, returning the handle, the path and the oid.
+pub fn e12_file_store(
+    name: &str,
+) -> (
+    Arc<hfad_osd::TxnStore>,
+    std::path::PathBuf,
+    hfad_osd::ObjectId,
+) {
+    let path = e12_scratch(name);
+    let ts = hfad_osd::create_file(
+        &path,
+        E12_CAPACITY,
+        StoreConfig::default(),
+        hfad_storage::GroupCommitConfig::default(),
+    )
+    .unwrap();
+    let mut txn = ts.begin();
+    let oid = txn
+        .create(ObjectMeta::new(0, 0, 0o644, unix_now()))
+        .unwrap();
+    txn.commit().unwrap();
+    ts.checkpoint().unwrap();
+    (ts, path, oid)
+}
+
+/// One E12 recovery measurement: commit `fill` transactions past the
+/// last checkpoint, crash, and time the reopen. Returns `(replayed
+/// operations, recovery elapsed)`.
+pub fn e12_recovery_run(fill: usize) -> (u64, Duration) {
+    let (ts, path, oid) = e12_file_store(&format!("recovery-{fill}.hfad"));
+    e12_commit_burst(&ts, oid, fill);
+    e12_crash(ts, &path);
+    let ((ts, replayed), elapsed) = time(|| {
+        hfad_osd::open_file(
+            &path,
+            StoreConfig::default(),
+            hfad_storage::GroupCommitConfig::default(),
+        )
+        .unwrap()
+    });
+    drop(ts);
+    std::fs::remove_file(&path).ok();
+    (replayed, elapsed)
+}
+
+/// E12: the crash-safe file-backed mode — the commit-path cost of real
+/// durability (journal fsync + doublewrite checkpoints) against the
+/// in-memory engine, and recovery time as a function of how much
+/// journal the crash left unreplayed.
+pub fn e12_persistence(scale: Scale) -> Table {
+    let burst = scale.pick(300, 2_000);
+    let fills: &[usize] = match scale {
+        Scale::Quick => &[32, 128],
+        Scale::Full => &[64, 256, 1024],
+    };
+
+    let mut table = Table::new(
+        "E12",
+        "File-backed persistence: commit cost vs in-memory; recovery time vs journal fill",
+        "the transactional OSD (§3.3) only means something if it survives real process \
+         death: commits pay one fsync'd journal append, checkpoints stage home pages \
+         through a doublewrite region, and reopen replays only the checkpoint-floored \
+         journal suffix",
+        &["metric", "setting", "value", "detail"],
+    );
+
+    // Commit throughput: the same burst on an in-memory journaled store
+    // (flush is a no-op) and on the file-backed store (real fsync per
+    // group-commit flush, doublewrite checkpoints when the ring fills).
+    let device = Arc::new(MemDevice::with_capacity(E12_CAPACITY));
+    let mem_store = Arc::new(
+        ObjectStore::create(
+            device,
+            StoreConfig {
+                journal_blocks: hfad_osd::DEFAULT_PERSIST_JOURNAL_BLOCKS,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let mem_ts = Arc::new(
+        hfad_osd::TxnStore::with_config(
+            Arc::clone(&mem_store),
+            hfad_storage::GroupCommitConfig::default(),
+        )
+        .unwrap(),
+    );
+    let mem_oid = mem_store.create_default(0).unwrap();
+    let mem_elapsed = e12_commit_burst(&mem_ts, mem_oid, burst);
+    table.push_row(vec![
+        "commit burst".into(),
+        "in-memory".into(),
+        format!("{} commits/s", ops_per_sec(burst as u64, mem_elapsed)),
+        "journal appends, no-op flush".into(),
+    ]);
+
+    let (file_ts, file_path, file_oid) = e12_file_store("throughput.hfad");
+    let file_elapsed = e12_commit_burst(&file_ts, file_oid, burst);
+    table.push_row(vec![
+        "commit burst".into(),
+        "file-backed".into(),
+        format!("{} commits/s", ops_per_sec(burst as u64, file_elapsed)),
+        "fsync per group-commit flush".into(),
+    ]);
+    drop(file_ts);
+    std::fs::remove_file(&file_path).ok();
+    table.push_derived(
+        "file_backed_commit_cost",
+        file_elapsed.as_secs_f64() / mem_elapsed.as_secs_f64(),
+        "x",
+    );
+
+    // Recovery time vs journal fill: everything past the checkpoint
+    // floor replays on reopen.
+    let mut last_rate = 0.0;
+    for &fill in fills {
+        let (replayed, elapsed) = e12_recovery_run(fill);
+        last_rate = replayed as f64 / elapsed.as_secs_f64().max(1e-9);
+        table.push_row(vec![
+            "recovery".into(),
+            format!("{fill} unreplayed txns"),
+            format!("{:.2} ms", elapsed.as_secs_f64() * 1e3),
+            format!("{replayed} ops replayed"),
+        ]);
+    }
+    table.push_derived("replay_ops_per_sec_largest_fill", last_rate, "ops/s");
+
+    // A clean close checkpoints on drop, so reopen replays nothing —
+    // recovery work is a function of crash timing, not store size.
+    let (ts, path, oid) = e12_file_store("clean.hfad");
+    e12_commit_burst(&ts, oid, fills[0]);
+    drop(ts);
+    let ((ts, replayed), elapsed) = time(|| {
+        hfad_osd::open_file(
+            &path,
+            StoreConfig::default(),
+            hfad_storage::GroupCommitConfig::default(),
+        )
+        .unwrap()
+    });
+    table.push_row(vec![
+        "recovery".into(),
+        "clean close".into(),
+        format!("{:.2} ms", elapsed.as_secs_f64() * 1e3),
+        format!("{replayed} ops replayed"),
+    ]);
+    drop(ts);
+    std::fs::remove_file(&path).ok();
+    table
+}
+
 /// Runs every experiment at the given scale, in declaration order.
 pub fn run_all(scale: Scale) -> Vec<Table> {
     vec![
@@ -1635,6 +1839,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
         e9_cache_contention(scale),
         e10_async_engine(scale),
         e11_steady_state(scale),
+        e12_persistence(scale),
     ]
 }
 
@@ -1654,6 +1859,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
         "e9" => Some(e9_cache_contention(scale)),
         "e10" => Some(e10_async_engine(scale)),
         "e11" => Some(e11_steady_state(scale)),
+        "e12" => Some(e12_persistence(scale)),
         _ => None,
     }
 }
@@ -1662,7 +1868,7 @@ pub fn run_one(id: &str, scale: Scale) -> Option<Table> {
 mod tests {
     use super::*;
 
-    /// Runs all thirteen experiments end to end at quick scale (~30 s): the
+    /// Runs all fourteen experiments end to end at quick scale (~30 s): the
     /// full-coverage smoke test for the experiment table. Too slow for the
     /// default test run, so it is gated behind `--ignored`; run it with
     /// `cargo test -p hfad_bench -- --ignored` (CI runs the cheap
@@ -1671,7 +1877,7 @@ mod tests {
     #[ignore = "runs every experiment at quick scale (~30 s); use cargo test -- --ignored"]
     fn every_experiment_id_resolves() {
         for id in [
-            "t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+            "t1", "f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
         ] {
             assert!(run_one(id, Scale::Quick).is_some() || id.is_empty());
         }

@@ -1,0 +1,165 @@
+//! Crash-torture child process for the kill-9 harness
+//! (`tests/crash_harness.rs`).
+//!
+//! The harness forks this binary as a real OS subprocess, lets it run a
+//! randomized commit workload against a file-backed store, and SIGKILLs
+//! it at a random point — mid-group-commit, mid-background-checkpoint,
+//! even mid-recovery. The parent then reopens the store and checks the
+//! recovered bytes against a shadow model, so everything this child
+//! writes must be a pure function of `(seed, oid, counter)`.
+//!
+//! Subcommands:
+//!
+//! * `workload <store> <seed> <oid...>` — open the store as the writer
+//!   (with a background checkpointer attached) and run one thread per
+//!   oid. Each thread repeatedly commits a transaction that bumps an
+//!   8-byte little-endian counter at offset 0 and writes the
+//!   deterministic 64-byte record for the new counter value into one of
+//!   [`WINDOW`] rotating slots. After each commit returns, the new
+//!   counter is recorded in an fsync'd per-thread ack sidecar
+//!   (`<store>.ack.<thread>`): every acked value is a durability
+//!   promise the parent holds recovery to.
+//! * `lock-writer <store> <hold_ms>` — take the exclusive multi-process
+//!   lock, print `ACQUIRED`, and sit on it (the parent kills us to test
+//!   stale-holder healing).
+//! * `lock-reader-churn <store> <iters>` — repeatedly take and release
+//!   the shared lock (the parent checks writers are not starved).
+
+use std::io::{Seek, SeekFrom, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hfad_osd::{open_file, CheckpointConfig, Checkpointer, ObjectId};
+use hfad_storage::{LockMode, ProcLock};
+
+/// Record bytes written per commit (besides the counter).
+pub const REC: usize = 64;
+/// Rotating record slots per object; slot for counter `k` is
+/// `k % WINDOW`, at byte offset `8 + (k % WINDOW) * REC`.
+pub const WINDOW: u64 = 8;
+
+/// The deterministic record for `(seed, oid, k)`: 64 LCG-filled bytes.
+/// The parent rebuilds its shadow model with the identical function.
+pub fn record(seed: u64, oid: u64, k: u64) -> [u8; REC] {
+    let mut state =
+        seed ^ oid.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ k.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    let mut out = [0u8; REC];
+    for chunk in out.chunks_mut(8) {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        chunk.copy_from_slice(&state.to_le_bytes()[..chunk.len()]);
+    }
+    out
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crash_child workload <store> <seed> <oid...>\n\
+         \x20      crash_child lock-writer <store> <hold_ms>\n\
+         \x20      crash_child lock-reader-churn <store> <iters>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("workload") => workload(&args[1..]),
+        Some("lock-writer") => lock_writer(&args[1..]),
+        Some("lock-reader-churn") => lock_reader_churn(&args[1..]),
+        _ => usage(),
+    }
+}
+
+/// One commit-loop thread: bump the object's counter forever, acking
+/// each durable commit. Runs until the process is SIGKILLed.
+fn commit_loop(
+    ts: Arc<hfad_osd::TxnStore>,
+    store_path: String,
+    seed: u64,
+    thread: usize,
+    oid: u64,
+) {
+    let mut ack = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .open(format!("{store_path}.ack.{thread}"))
+        .expect("open ack sidecar");
+    let id = ObjectId::from(oid);
+    let mut k = u64::from_le_bytes(
+        ts.store()
+            .read(id, 0, 8)
+            .expect("read counter")
+            .try_into()
+            .expect("counter is 8 bytes"),
+    );
+    loop {
+        k += 1;
+        let mut txn = ts.begin();
+        txn.write(id, 0, &k.to_le_bytes()).expect("buffer counter");
+        txn.write(id, 8 + (k % WINDOW) * REC as u64, &record(seed, oid, k))
+            .expect("buffer record");
+        txn.commit().expect("commit");
+        // The commit fsync'd the journal: promise durability to the
+        // parent. The ack itself is fsync'd so a kill between commit
+        // and ack can only *under*-promise, never over-promise.
+        ack.seek(SeekFrom::Start(0)).expect("seek ack");
+        ack.write_all(&k.to_le_bytes()).expect("write ack");
+        ack.sync_data().expect("fsync ack");
+    }
+}
+
+fn workload(args: &[String]) {
+    if args.len() < 3 {
+        usage();
+    }
+    let store_path = args[0].clone();
+    let seed: u64 = args[1].parse().expect("seed");
+    let oids: Vec<u64> = args[2..].iter().map(|a| a.parse().expect("oid")).collect();
+    let (ts, _replayed) =
+        open_file(&store_path, Default::default(), Default::default()).expect("open store");
+    // A real background checkpointer, so kills land mid-background-
+    // checkpoint as well as mid-commit.
+    let _cp = Checkpointer::start(Arc::clone(&ts), None, CheckpointConfig::default());
+    let mut handles = Vec::new();
+    for (thread, &oid) in oids.iter().enumerate() {
+        let ts = Arc::clone(&ts);
+        let path = store_path.clone();
+        handles.push(std::thread::spawn(move || {
+            commit_loop(ts, path, seed, thread, oid)
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+fn lock_writer(args: &[String]) {
+    if args.len() != 2 {
+        usage();
+    }
+    let hold_ms: u64 = args[1].parse().expect("hold_ms");
+    let _lock = ProcLock::acquire(std::path::Path::new(&args[0]), LockMode::Exclusive)
+        .expect("acquire exclusive lock");
+    println!("ACQUIRED");
+    std::io::stdout().flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(hold_ms));
+}
+
+fn lock_reader_churn(args: &[String]) {
+    if args.len() != 2 {
+        usage();
+    }
+    let path = std::path::PathBuf::from(&args[0]);
+    let iters: u64 = args[1].parse().expect("iters");
+    for _ in 0..iters {
+        // The parent may hold (or be queued for) the exclusive lock;
+        // a timeout here just means churn continues around it.
+        if let Ok(lock) =
+            ProcLock::acquire_timeout(&path, LockMode::Shared, Duration::from_millis(50))
+        {
+            drop(lock);
+        }
+    }
+}

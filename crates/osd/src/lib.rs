@@ -22,12 +22,17 @@
 //! * [`checkpoint::Checkpointer`] — watermark-driven background journal
 //!   reclaim, so sustained write traffic never sees a stop-the-world
 //!   checkpoint stall (experiment E11).
+//! * [`persist`] — the crash-safe file-backed mode: doublewrite-protected
+//!   checkpoints of retain-dirty cache pages, checksummed metadata
+//!   ping-pong slots, floored journal replay on reopen, and single-writer
+//!   / multi-reader multi-process arbitration.
 
 pub mod checkpoint;
 pub mod error;
 pub mod meta;
 pub mod object;
 pub mod oid;
+pub mod persist;
 pub mod shard;
 pub mod store;
 pub mod txn;
@@ -37,6 +42,9 @@ pub use error::{OsdError, Result};
 pub use meta::{unix_now, ObjectMeta, Security};
 pub use object::{Object, ObjectStats, DEFAULT_MAX_EXTENT_BYTES};
 pub use oid::{ObjectId, OidAllocator, OID_RANGE};
+pub use persist::{
+    create_file, open_file, open_file_reader, StoreMeta, DEFAULT_PERSIST_JOURNAL_BLOCKS,
+};
 pub use shard::{resolve_shard_count, shard_index, ShardedMap, MAX_SHARDS};
 pub use store::{AllocatorKind, ObjectStore, StoreConfig, StoreStats};
 pub use txn::{

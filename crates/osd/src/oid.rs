@@ -109,6 +109,24 @@ impl OidAllocator {
         self.allocate_from(shard_index(hasher.finish(), self.shards.len()))
     }
 
+    /// Start of the next unclaimed range: every id this allocator has
+    /// handed out — or may still hand out from a shard's already-claimed
+    /// range — is strictly below it. A persistent checkpoint records it as
+    /// the restart floor so no id is ever reissued after recovery.
+    pub fn range_head(&self) -> u64 {
+        self.range_head.load(Ordering::Relaxed)
+    }
+
+    /// Raises the range head to at least `floor` (never lowers it).
+    ///
+    /// Used by journal replay on open: a replayed create may carry an id
+    /// from a range claimed after the last checkpoint, so the head is
+    /// floored above it before the store issues new ids. Only sound while
+    /// shard ranges are fresh (`next == limit == 0`), i.e. during open.
+    pub fn ensure_floor(&self, floor: u64) {
+        self.range_head.fetch_max(floor, Ordering::Relaxed);
+    }
+
     /// Allocates the next id from an explicit shard (tests, benches).
     pub fn allocate_from(&self, shard: usize) -> ObjectId {
         let mut range = self.shards[shard % self.shards.len()].lock();

@@ -55,7 +55,7 @@ use parking_lot::{Mutex, RwLock};
 use hfad_btree::{BTree, TreeContext};
 use hfad_storage::{
     AllocStats, Allocator, BlockDevice, BuddyAllocator, BumpAllocator, CacheStats, CachedDevice,
-    DeviceCounters, Superblock,
+    DeviceCounters, ProcLock, Superblock,
 };
 
 use crate::error::{OsdError, Result};
@@ -170,6 +170,12 @@ pub struct ObjectStore {
     /// Typed handle to the block cache fronting the device, when
     /// configured ([`TreeContext::device`] is the same object, type-erased).
     block_cache: Option<Arc<CachedDevice<Arc<dyn BlockDevice>>>>,
+    /// Persistence context for a file-backed writer store (`None` for
+    /// in-memory and read-only stores). See [`crate::persist`].
+    persist: Option<Arc<crate::persist::PersistCtx>>,
+    /// Store-lifetime shared multi-process lock held by a read-only
+    /// file-backed open (writers keep theirs inside [`PersistCtx`]).
+    _proc_lock: Option<ProcLock>,
 }
 
 impl ObjectStore {
@@ -241,7 +247,133 @@ impl ObjectStore {
             objects: ShardedMap::new(shard_count),
             oid_alloc: OidAllocator::new(1, shard_count),
             block_cache,
+            persist: None,
+            _proc_lock: None,
         })
+    }
+
+    /// Assembles a store over an already-formatted persistent device.
+    ///
+    /// Unlike [`create`](Self::create) this never writes the superblock or
+    /// journal — the persistent open/create flows in [`crate::persist`] do
+    /// that on the raw device, beneath the retain-dirty `cache` this store
+    /// reads and writes through. With `shard_state = Some(roots)` the
+    /// object-table shards are reopened from checkpointed
+    /// `(root_page, live_count)` pairs (which also fix the shard count);
+    /// with `None` fresh empty shards are created per `config.shards`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build_persistent(
+        cache: Arc<CachedDevice<Arc<dyn BlockDevice>>>,
+        allocator: Arc<dyn Allocator>,
+        superblock: Superblock,
+        config: StoreConfig,
+        shard_state: Option<&[(u64, u64)]>,
+        next_oid: u64,
+        persist: Option<Arc<crate::persist::PersistCtx>>,
+        proc_lock: Option<ProcLock>,
+    ) -> Result<Self> {
+        let block_cache = Some(Arc::clone(&cache));
+        let device: Arc<dyn BlockDevice> = cache;
+        let ctx = TreeContext::new(device, allocator).with_node_cache(config.node_cache_pages);
+        let mut tables = Vec::new();
+        match shard_state {
+            Some(state) => {
+                for &(root, live) in state {
+                    tables.push(TableShard {
+                        tree: RwLock::new(BTree::open(ctx.clone(), root)),
+                        live: AtomicU64::new(live),
+                    });
+                }
+            }
+            None => {
+                for _ in 0..resolve_shard_count(config.shards) {
+                    tables.push(TableShard {
+                        tree: RwLock::new(BTree::create(ctx.clone())?),
+                        live: AtomicU64::new(0),
+                    });
+                }
+            }
+        }
+        let shard_count = tables.len();
+        if !shard_count.is_power_of_two() {
+            return Err(OsdError::Corrupt(format!(
+                "persistent store metadata carries {shard_count} table shards (not a power of two)"
+            )));
+        }
+        Ok(ObjectStore {
+            ctx,
+            superblock,
+            config,
+            tables: tables.into_boxed_slice(),
+            objects: ShardedMap::new(shard_count),
+            oid_alloc: OidAllocator::new(next_oid.max(1), shard_count),
+            block_cache,
+            persist,
+            _proc_lock: proc_lock,
+        })
+    }
+
+    /// The persistence context, when this is a file-backed writer store.
+    pub(crate) fn persist(&self) -> Option<&Arc<crate::persist::PersistCtx>> {
+        self.persist.as_ref()
+    }
+
+    /// Returns `true` when this store persists to a file (writer mode).
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Checkpointable object-table state: one `(root_page, live_count)`
+    /// pair per shard, in shard order.
+    pub(crate) fn table_state(&self) -> Vec<(u64, u64)> {
+        self.tables
+            .iter()
+            .map(|s| (s.tree.read().root_page(), s.live.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// The object-id allocator (checkpoints record its range head).
+    pub(crate) fn oid_alloc(&self) -> &OidAllocator {
+        &self.oid_alloc
+    }
+
+    /// Allocates an object id without creating the object — used by
+    /// transactional creates, which journal the id before applying.
+    pub(crate) fn allocate_oid(&self) -> ObjectId {
+        self.oid_alloc.allocate()
+    }
+
+    /// Creates an empty object under a caller-chosen id.
+    ///
+    /// This is the replay/transactional twin of
+    /// [`create_object`](Self::create_object): the id was allocated (and
+    /// journalled) beforehand, so applying the same record twice must be
+    /// harmless — an id that already exists returns `Ok` without touching
+    /// anything.
+    pub(crate) fn create_object_with_id(&self, oid: ObjectId, meta: ObjectMeta) -> Result<()> {
+        let shard = self.table(oid);
+        let mut map_shard = self.objects.lock_shard(oid.as_u64());
+        {
+            let tree = shard.tree.read();
+            if tree.get(&oid.to_key())?.is_some() {
+                return Ok(());
+            }
+        }
+        let object = Object::create(oid, self.ctx.clone(), meta, self.config.max_extent_bytes)?;
+        let root = object.root_page();
+        {
+            let mut tree = shard.tree.write();
+            tree.insert(&oid.to_key(), &root.to_le_bytes())?;
+        }
+        shard.live.fetch_add(1, Ordering::Relaxed);
+        map_shard.insert(
+            oid.as_u64(),
+            Arc::new(Mutex::new(OpenObject {
+                object,
+                persisted_root: root,
+            })),
+        );
+        Ok(())
     }
 
     /// Convenience constructor: an in-memory store with `capacity_bytes` of

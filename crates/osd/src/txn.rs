@@ -42,7 +42,9 @@ use hfad_storage::{
 use parking_lot::RwLock;
 
 use crate::error::{OsdError, Result};
+use crate::meta::ObjectMeta;
 use crate::oid::ObjectId;
+use crate::persist::{PersistCtx, StoreMeta};
 use crate::store::{ObjectStore, StoreStats};
 
 /// A logged, redo-only operation.
@@ -75,6 +77,22 @@ pub enum TxnOp {
         /// Bytes to remove.
         len: u64,
     },
+    /// Create an empty object under a pre-allocated id.
+    ///
+    /// The id is drawn from the store's allocator when the operation is
+    /// buffered, so replaying the record recreates the *same* object; the
+    /// apply is idempotent (an existing id is left untouched).
+    Create {
+        /// The pre-allocated object id.
+        oid: ObjectId,
+        /// Initial metadata.
+        meta: ObjectMeta,
+    },
+    /// Delete an object and free its storage.
+    Delete {
+        /// Target object.
+        oid: ObjectId,
+    },
 }
 
 impl TxnOp {
@@ -100,38 +118,51 @@ impl TxnOp {
                 out.extend_from_slice(&offset.to_le_bytes());
                 out.extend_from_slice(&len.to_le_bytes());
             }
+            TxnOp::Create { oid, meta } => {
+                out.push(4);
+                out.extend_from_slice(&oid.as_u64().to_le_bytes());
+                out.extend_from_slice(&meta.encode());
+            }
+            TxnOp::Delete { oid } => {
+                out.push(5);
+                out.extend_from_slice(&oid.as_u64().to_le_bytes());
+            }
         }
         out
     }
 
     /// Deserialises an operation written by [`encode`](Self::encode).
     pub fn decode(buf: &[u8]) -> Result<Self> {
-        if buf.len() < 17 {
+        if buf.len() < 9 {
             return Err(OsdError::Corrupt("transaction record too short".into()));
         }
         let oid = ObjectId(u64::from_le_bytes(buf[1..9].try_into().expect("u64")));
-        let offset = u64::from_le_bytes(buf[9..17].try_into().expect("u64"));
+        let offset_at = |at: usize| -> Result<u64> {
+            buf.get(at..at + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("u64")))
+                .ok_or_else(|| OsdError::Corrupt("transaction record too short".into()))
+        };
         match buf[0] {
             1 => Ok(TxnOp::Write {
                 oid,
-                offset,
+                offset: offset_at(9)?,
                 data: buf[17..].to_vec(),
             }),
             2 => Ok(TxnOp::Insert {
                 oid,
-                offset,
+                offset: offset_at(9)?,
                 data: buf[17..].to_vec(),
             }),
-            3 => {
-                if buf.len() < 25 {
-                    return Err(OsdError::Corrupt("truncate record too short".into()));
-                }
-                Ok(TxnOp::TruncateRange {
-                    oid,
-                    offset,
-                    len: u64::from_le_bytes(buf[17..25].try_into().expect("u64")),
-                })
-            }
+            3 => Ok(TxnOp::TruncateRange {
+                oid,
+                offset: offset_at(9)?,
+                len: offset_at(17)?,
+            }),
+            4 => Ok(TxnOp::Create {
+                oid,
+                meta: ObjectMeta::decode(&buf[9..])?,
+            }),
+            5 => Ok(TxnOp::Delete { oid }),
             other => Err(OsdError::Corrupt(format!(
                 "unknown transaction opcode {other}"
             ))),
@@ -143,6 +174,13 @@ impl TxnOp {
             TxnOp::Write { oid, offset, data } => store.write(*oid, *offset, data),
             TxnOp::Insert { oid, offset, data } => store.insert(*oid, *offset, data),
             TxnOp::TruncateRange { oid, offset, len } => store.truncate_range(*oid, *offset, *len),
+            TxnOp::Create { oid, meta } => store.create_object_with_id(*oid, *meta),
+            TxnOp::Delete { oid } => match store.delete(*oid) {
+                // Redo must be idempotent: the object may already be gone
+                // (applied before a crash, then replayed).
+                Err(OsdError::NoSuchObject(_)) => Ok(()),
+                other => other,
+            },
         }
     }
 }
@@ -253,11 +291,14 @@ impl TxnStore {
                 "store was created without a journal region".to_string(),
             ));
         }
-        let journal = Journal::new(
-            Arc::clone(&store.context().device),
-            sb.journal_start,
-            sb.journal_blocks,
-        )?;
+        // In persistent mode the journal must live on the *raw* device:
+        // routing appends through the retain-dirty cache would leave
+        // commit records as dirty frames instead of durable bytes.
+        let journal_device: Arc<dyn hfad_storage::BlockDevice> = match store.persist() {
+            Some(p) => Arc::clone(&p.raw),
+            None => Arc::clone(&store.context().device),
+        };
+        let journal = Journal::new(journal_device, sb.journal_start, sb.journal_blocks)?;
         Ok(TxnStore {
             store,
             group: GroupCommit::new(journal, config),
@@ -319,6 +360,75 @@ impl TxnStore {
         Ok(applied)
     }
 
+    /// A shared handle to the wrapped store.
+    pub fn shared_store(&self) -> Arc<ObjectStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Raises the next transaction id to at least `floor` (recovery:
+    /// replayed ids must never be reissued).
+    pub(crate) fn floor_next_txn(&self, floor: u64) {
+        self.next_txn.fetch_max(floor.max(1), Ordering::Relaxed);
+    }
+
+    /// Replays journalled transactions whose commit landed at or after
+    /// `floor`, in journal order, returning the number of applied
+    /// operations. Used by the persistent open path: commits below the
+    /// floor are already in the checkpointed home pages.
+    ///
+    /// Data records are buffered per transaction and applied only on
+    /// `Commit` (an `Abort` or a missing commit — the crash tail —
+    /// discards them). The floor test on the *commit* record is sound
+    /// because floors are taken under the exclusive gate: no transaction
+    /// straddles a checkpoint, so a commit at or above the floor implies
+    /// all of its records are too.
+    pub(crate) fn replay_from_floor(&self, floor: u64) -> Result<u64> {
+        let mut pending: std::collections::HashMap<u64, Vec<TxnOp>> =
+            std::collections::HashMap::new();
+        let mut applied = 0u64;
+        let mut max_txn = 0u64;
+        for rec in self.group.journal().recover()? {
+            max_txn = max_txn.max(rec.txn_id);
+            match rec.kind {
+                RecordKind::Begin => {
+                    pending.insert(rec.txn_id, Vec::new());
+                }
+                RecordKind::Data => {
+                    pending
+                        .entry(rec.txn_id)
+                        .or_default()
+                        .push(TxnOp::decode(&rec.payload)?);
+                }
+                RecordKind::Abort => {
+                    pending.remove(&rec.txn_id);
+                }
+                RecordKind::Commit => {
+                    let ops = pending.remove(&rec.txn_id).unwrap_or_default();
+                    if rec.seq < floor {
+                        continue;
+                    }
+                    for op in ops {
+                        if let TxnOp::Create { oid, .. } = &op {
+                            // The id came from a range claimed after the
+                            // checkpoint: floor the allocator above it so
+                            // it is never reissued.
+                            self.store.oid_alloc().ensure_floor(oid.as_u64() + 1);
+                        }
+                        match op.apply(&self.store) {
+                            Ok(()) => applied += 1,
+                            // Defensive: a redo against an object a later
+                            // replayed delete removes is skippable.
+                            Err(OsdError::NoSuchObject(_)) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            }
+        }
+        self.floor_next_txn(max_txn + 1);
+        Ok(applied)
+    }
+
     /// Truncates the journal after a checkpoint, stop-the-world style.
     ///
     /// Waits for every in-flight commit to finish applying, flushes the
@@ -334,12 +444,105 @@ impl TxnStore {
 
     /// The checkpoint body; caller holds the exclusive gate.
     fn checkpoint_locked(&self) -> Result<()> {
+        if let Some(p) = self.store.persist() {
+            let p = Arc::clone(p);
+            return self.checkpoint_persistent_locked(&p);
+        }
         self.checkpoints_started.fetch_add(1, Ordering::Relaxed);
         self.store.context().device.flush()?;
         self.group.journal().reset()?;
         self.checkpoints_completed.fetch_add(1, Ordering::Relaxed);
         self.notify_space_freed();
         Ok(())
+    }
+
+    /// The persistent (file-backed) checkpoint body; caller holds the
+    /// exclusive gate, so no transaction is mid-append or mid-apply.
+    ///
+    /// Protocol (see [`crate::persist`] for the crash-window analysis):
+    /// collect the dirty page set, snapshot the store metadata with the
+    /// journal's current sequence as the next replay floor, stage pages +
+    /// metadata as **one** doublewrite batch (fsynced before and after the
+    /// batch header), install them at their home addresses, then reset the
+    /// journal — whose durable header write also makes the installs
+    /// durable. A crash before the reset recovers by re-installing the
+    /// staged batch; a crash after it finds a clean journal and the new
+    /// metadata epoch. Only then are the staged frames marked clean in the
+    /// cache (skipping any re-dirtied meanwhile — impossible under the
+    /// gate, but cheap to keep exact) and the staging region cleared so
+    /// readers can tell a clean store from one needing recovery.
+    fn checkpoint_persistent_locked(&self, p: &Arc<PersistCtx>) -> Result<()> {
+        self.checkpoints_started.fetch_add(1, Ordering::Relaxed);
+        let cache = self.store.block_cache().ok_or_else(|| {
+            OsdError::Corrupt("persistent store is missing its block cache".into())
+        })?;
+        let dirty = cache.collect_dirty();
+        let floor = self.group.journal().mark().seq;
+        let epoch = p.epoch.load(Ordering::Acquire);
+        let meta = StoreMeta {
+            epoch,
+            replay_floor: floor,
+            next_txn: self.next_txn.load(Ordering::Relaxed),
+            next_oid: self.store.oid_alloc().range_head(),
+            alloc: self.store.context().allocator.snapshot(),
+            shards: self.store.table_state(),
+        };
+        let mut batch = dirty.clone();
+        batch.extend(p.meta_frames(&meta)?);
+        if batch.len() > p.dw.capacity() {
+            // Never silently split the batch: a partial install is not
+            // atomic. The commit-path trigger checkpoints at a quarter of
+            // this capacity, so hitting the ceiling means the thresholds
+            // are misconfigured — fail loudly rather than corrupt.
+            return Err(OsdError::Corrupt(format!(
+                "checkpoint batch of {} pages exceeds the doublewrite capacity of {}; \
+                 recreate the store with a larger doublewrite region",
+                batch.len(),
+                p.dw.capacity()
+            )));
+        }
+        p.dw.stage(epoch, &batch)?;
+        p.dw.install(&batch)?;
+        self.group.journal().reset()?;
+        p.dw.clear()?;
+        for (block, data) in &dirty {
+            cache.mark_clean_if_unchanged(*block, data);
+        }
+        p.epoch.store(epoch + 1, Ordering::Release);
+        p.replay_floor.store(floor, Ordering::Release);
+        self.checkpoints_completed.fetch_add(1, Ordering::Relaxed);
+        self.notify_space_freed();
+        Ok(())
+    }
+
+    /// Commit-path checkpoint trigger for persistent stores: once the
+    /// dirty page set reaches the persistence context's threshold (a
+    /// quarter of the doublewrite capacity), drain it — via the attached
+    /// checkpointer when one is running, inline otherwise — long before
+    /// a checkpoint could outgrow the staging region.
+    fn maybe_persistent_checkpoint(&self) -> Result<()> {
+        let Some(p) = self.store.persist() else {
+            return Ok(());
+        };
+        let threshold = p.checkpoint_threshold();
+        let Some(cache) = self.store.block_cache() else {
+            return Ok(());
+        };
+        if cache.dirty_blocks() < threshold {
+            return Ok(());
+        }
+        if self.signals.checkpointer_attached.load(Ordering::Acquire) {
+            self.request_checkpoint();
+            return Ok(());
+        }
+        let _exclusive = self.checkpoint_gate.write();
+        // A racing committer may have checkpointed while this thread
+        // waited for the gate.
+        if cache.dirty_blocks() < threshold {
+            return Ok(());
+        }
+        self.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_locked()
     }
 
     /// Checkpoints while admitting new commits concurrently.
@@ -357,6 +560,17 @@ impl TxnStore {
     /// tail in effect: recovery replays extra already-applied
     /// transactions, which is safe for redo-only records.
     pub fn checkpoint_background(&self) -> Result<()> {
+        if self.store.persist().is_some() {
+            // Persistent mode cannot use the mark-based overlap: the
+            // reclaimed journal extent is only redundant once the dirty
+            // pages it covers are installed, and retain-dirty pages are
+            // only installed by the doublewrite protocol — which needs
+            // the gate held across collect/stage/install anyway. Take the
+            // sharp (gate-held) checkpoint instead; commits admitted
+            // after the gate drops simply journal into the emptied ring.
+            let _exclusive = self.checkpoint_gate.write();
+            return self.checkpoint_locked();
+        }
         self.checkpoints_started.fetch_add(1, Ordering::Relaxed);
         let mark = self.group.journal().mark();
         // Every commit covered by the mark acquired the read gate before
@@ -525,6 +739,19 @@ impl TxnStore {
     }
 }
 
+impl Drop for TxnStore {
+    /// Best-effort final checkpoint for persistent stores: a cleanly
+    /// dropped writer leaves an empty journal and a cleared staging
+    /// region, so the next open (writer *or* reader) needs no recovery.
+    /// A kill -9 skips this — that is exactly what the recovery path in
+    /// [`crate::persist::open_file`] is for.
+    fn drop(&mut self) {
+        if self.store.persist().is_some() {
+            let _ = self.checkpoint();
+        }
+    }
+}
+
 /// An open transaction; buffered operations are applied atomically (with
 /// respect to crashes before commit) when [`commit`](Self::commit) is
 /// called.
@@ -588,6 +815,26 @@ impl Transaction<'_> {
         Ok(())
     }
 
+    /// Buffers an object create, returning the id the object will have.
+    ///
+    /// The id is allocated now (ids are never reused, so an aborted
+    /// transaction simply strands it) and journalled with the create, so
+    /// crash recovery recreates the object under the same id and later
+    /// records in the same transaction can target it.
+    pub fn create(&mut self, meta: ObjectMeta) -> Result<ObjectId> {
+        self.check_open()?;
+        let oid = self.txn_store.store.allocate_oid();
+        self.ops.push(TxnOp::Create { oid, meta });
+        Ok(oid)
+    }
+
+    /// Buffers an object delete.
+    pub fn delete(&mut self, oid: ObjectId) -> Result<()> {
+        self.check_open()?;
+        self.ops.push(TxnOp::Delete { oid });
+        Ok(())
+    }
+
     /// Logs, syncs and applies the buffered operations.
     ///
     /// The commit rides the store's group-commit pipeline: this call
@@ -625,6 +872,9 @@ impl Transaction<'_> {
                     }
                     drop(gate);
                     ts.record_commit_stall(stall_ns);
+                    // Persistent stores: keep the dirty page set well
+                    // inside the doublewrite staging capacity.
+                    ts.maybe_persistent_checkpoint()?;
                     return Ok(());
                 }
                 Err(err @ StorageError::JournalFull { needed, .. }) => {
@@ -961,10 +1211,79 @@ mod tests {
                 offset: 100,
                 len: 50,
             },
+            TxnOp::Create {
+                oid: ObjectId(6),
+                meta: crate::meta::ObjectMeta::new(10, 20, 0o640, 1234),
+            },
+            TxnOp::Delete { oid: ObjectId(7) },
         ] {
             assert_eq!(TxnOp::decode(&op.encode()).unwrap(), op);
         }
         assert!(TxnOp::decode(&[9u8; 30]).is_err());
         assert!(TxnOp::decode(&[1u8; 4]).is_err());
+        assert!(TxnOp::decode(&[3u8; 20]).is_err(), "short truncate");
+        assert!(TxnOp::decode(&[4u8; 12]).is_err(), "short create");
+    }
+
+    #[test]
+    fn transactional_create_write_and_delete() {
+        let ts = txn_store();
+        let mut txn = ts.begin();
+        // Create and write in the same transaction: the create's id is
+        // available immediately for subsequent buffered operations.
+        let oid = txn
+            .create(crate::meta::ObjectMeta::new(5, 5, 0o600, 42))
+            .unwrap();
+        txn.write(oid, 0, b"born transactional").unwrap();
+        txn.commit().unwrap();
+        assert_eq!(
+            ts.store().read(oid, 0, 100).unwrap(),
+            b"born transactional".to_vec()
+        );
+        assert_eq!(ts.store().meta(oid).unwrap().security.uid, 5);
+        let mut txn = ts.begin();
+        txn.delete(oid).unwrap();
+        txn.commit().unwrap();
+        assert!(matches!(
+            ts.store().read(oid, 0, 1),
+            Err(OsdError::NoSuchObject(_))
+        ));
+        assert_eq!(ts.store().object_count(), 0);
+    }
+
+    #[test]
+    fn aborted_create_leaves_no_object_and_strands_its_id() {
+        let ts = txn_store();
+        let mut txn = ts.begin();
+        let doomed = txn
+            .create(crate::meta::ObjectMeta::new(0, 0, 0o644, 0))
+            .unwrap();
+        txn.write(doomed, 0, b"never").unwrap();
+        txn.abort().unwrap();
+        assert!(matches!(
+            ts.store().read(doomed, 0, 1),
+            Err(OsdError::NoSuchObject(_))
+        ));
+        // Ids are never reused, aborted or not.
+        let next = ts.store().create_default(0).unwrap();
+        assert_ne!(next, doomed);
+    }
+
+    #[test]
+    fn create_with_id_is_idempotent() {
+        let ts = txn_store();
+        let mut txn = ts.begin();
+        let oid = txn
+            .create(crate::meta::ObjectMeta::new(0, 0, 0o644, 0))
+            .unwrap();
+        txn.write(oid, 0, b"payload").unwrap();
+        txn.commit().unwrap();
+        // Redoing the create (as crash replay would) must not clobber the
+        // already-applied state.
+        ts.store()
+            .create_object_with_id(oid, crate::meta::ObjectMeta::new(0, 0, 0o644, 0))
+            .unwrap();
+        assert_eq!(ts.store().read(oid, 0, 100).unwrap(), b"payload".to_vec());
+        assert_eq!(ts.store().object_count(), 1);
     }
 }

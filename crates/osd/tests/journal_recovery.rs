@@ -12,7 +12,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hfad_osd::{ObjectId, ObjectStore, OsdError, StoreConfig, TxnStore};
-use hfad_storage::{BlockDevice, GroupCommitConfig, MemDevice, StorageError};
+use hfad_storage::{
+    BlockDevice, FaultConfig, FaultDevice, GroupCommitConfig, Journal, MemDevice, OpFault,
+    RecordKind, StorageError,
+};
 
 const BATCH_SIZES: [usize; 3] = [0, 1, 8];
 
@@ -150,6 +153,87 @@ fn half_written_txn_is_never_applied_at_every_batch_size() {
         assert_eq!(applied, 1, "batch {batch}");
         let data = r.ts.store().read(oid, 0, 16).unwrap();
         assert_eq!(data, b"committed".to_vec(), "batch {batch}");
+    }
+}
+
+#[test]
+fn torn_journal_append_never_surfaces_a_half_written_txn() {
+    // The torn-write model: the device acknowledges the append but only
+    // a prefix of each block actually lands (the rest keeps the old
+    // sector contents). A whole transaction — Begin, Data, Commit — is
+    // appended through such a device, so even its Commit frame "made
+    // it" as far as the writer knows. Frame checksums must confine the
+    // lie: replay applies exactly the intact prefix, never a byte of
+    // the torn transaction.
+    // The tear keeps a prefix of the *block*, so the damage to the new
+    // frames depends on where the append head sits inside it: these
+    // offsets (added to the head position) land the tear before the
+    // first new frame, inside it, and inside the Data/Commit frames.
+    for &batch in &BATCH_SIZES {
+        for tear_at in [0usize, 5, 40] {
+            let r = rig(batch);
+            let oid = r.ts.store().create_default(0).unwrap();
+            commit_markers(&r.ts, oid, &["intact-one-", "intact-two-"]);
+            let bs = r.device.block_size();
+            let head_in_block = (r.ts.journal().head_offset() as usize) % bs;
+            let keep_bytes = (head_in_block + tear_at).min(bs - 1);
+            // A second handle onto the same journal region, through a
+            // device that tears every write and reports success. It
+            // opens at the existing head and continues the sequence —
+            // exactly the frames a real appender would have written.
+            let sb = r.ts.store().superblock();
+            let torn_device = Arc::new(FaultDevice::new(
+                Arc::clone(&r.device) as Arc<dyn BlockDevice>,
+                FaultConfig {
+                    write: OpFault::torn_write(1, keep_bytes, true),
+                    ..Default::default()
+                },
+            ));
+            let torn_journal = Journal::new(
+                Arc::clone(&torn_device),
+                sb.journal_start,
+                sb.journal_blocks,
+            )
+            .unwrap();
+            let phantom = hfad_osd::TxnOp::Write {
+                oid,
+                offset: 0,
+                data: b"PHANTOM__".to_vec(),
+            }
+            .encode();
+            torn_journal.append(777, RecordKind::Begin, b"").unwrap();
+            torn_journal
+                .append(777, RecordKind::Data, &phantom)
+                .unwrap();
+            torn_journal.append(777, RecordKind::Commit, b"").unwrap();
+            assert!(
+                torn_device.torn_writes() > 0,
+                "batch {batch}, tear {tear_at}: the fault device must \
+                 actually have torn the appends"
+            );
+            let applied = r.crash_and_replay(&[oid]);
+            assert_eq!(
+                applied, 2,
+                "batch {batch}, tear {tear_at}: only the intact prefix replays"
+            );
+            let data = r.ts.store().read(oid, 0, 64).unwrap();
+            assert_eq!(
+                data,
+                b"intact-one-intact-two-".to_vec(),
+                "batch {batch}, tear {tear_at}"
+            );
+            // The store stays writable: the next commit overwrites the
+            // torn garbage at the head.
+            let mut txn = r.ts.begin();
+            txn.write(oid, 22, b"after").unwrap();
+            txn.commit().unwrap();
+            assert_eq!(r.crash_and_replay(&[oid]), 3);
+            assert_eq!(
+                r.ts.store().read(oid, 0, 64).unwrap(),
+                b"intact-one-intact-two-after".to_vec(),
+                "batch {batch}, tear {tear_at}"
+            );
+        }
     }
 }
 

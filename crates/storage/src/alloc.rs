@@ -43,6 +43,22 @@ impl AllocStats {
     }
 }
 
+/// A serializable snapshot of an allocator's live state, captured at a
+/// persistent checkpoint and replayed on open to rebuild the allocator
+/// without a device scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocatorSnapshot {
+    /// Live extents of a [`BuddyAllocator`](crate::BuddyAllocator):
+    /// `(start_block, order)` pairs from
+    /// [`allocated_snapshot`](crate::BuddyAllocator::allocated_snapshot).
+    Buddy(Vec<(u64, u32)>),
+    /// High-water mark of a [`BumpAllocator`](crate::BumpAllocator).
+    Bump(u64),
+    /// The allocator does not support snapshots; stores backed by it
+    /// cannot be persisted.
+    Unsupported,
+}
+
 /// A block allocator over a region of a device.
 ///
 /// The paper's OSD uses a buddy storage allocator (Knuth) at its lowest
@@ -67,6 +83,14 @@ pub trait Allocator: Send + Sync {
 
     /// Human-readable allocator name used in experiment output.
     fn name(&self) -> &'static str;
+
+    /// Captures the allocator's live state for a persistent checkpoint.
+    ///
+    /// The default reports [`AllocatorSnapshot::Unsupported`]; allocators
+    /// that can be rebuilt on open override it.
+    fn snapshot(&self) -> AllocatorSnapshot {
+        AllocatorSnapshot::Unsupported
+    }
 }
 
 impl<A: Allocator + ?Sized> Allocator for std::sync::Arc<A> {
@@ -81,6 +105,9 @@ impl<A: Allocator + ?Sized> Allocator for std::sync::Arc<A> {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn snapshot(&self) -> AllocatorSnapshot {
+        (**self).snapshot()
     }
 }
 

@@ -91,6 +91,74 @@ impl BuddyAllocator {
     pub fn managed_blocks(&self) -> u64 {
         self.managed_blocks
     }
+
+    /// Every outstanding allocation as `(relative offset, order)` pairs,
+    /// sorted by offset — the unit of persistence for checkpoint metadata.
+    pub fn allocated_snapshot(&self) -> Vec<(u64, u32)> {
+        let inner = self.inner.lock();
+        let mut out: Vec<(u64, u32)> = inner.allocated.iter().map(|(&o, &k)| (o, k)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuilds an allocator from a snapshot taken by
+    /// [`allocated_snapshot`](Self::allocated_snapshot): each `(offset,
+    /// order)` chunk is carved back out of the freshly seeded free lists.
+    /// Fails with [`StorageError::Corrupt`] if a chunk does not fit the
+    /// managed range or overlaps another allocation.
+    pub fn restore(base: u64, managed_blocks: u64, snapshot: &[(u64, u32)]) -> Result<Self> {
+        let alloc = Self::new(base, managed_blocks);
+        {
+            let mut inner = alloc.inner.lock();
+            for &(offset, order) in snapshot {
+                let len = 1u64
+                    .checked_shl(order)
+                    .filter(|_| order <= MAX_ORDER)
+                    .ok_or_else(|| {
+                        StorageError::Corrupt(format!("allocator snapshot order {order} invalid"))
+                    })?;
+                if offset + len > managed_blocks || !offset.is_multiple_of(len) {
+                    return Err(StorageError::Corrupt(format!(
+                        "allocator snapshot chunk ({offset}, 2^{order}) outside managed range"
+                    )));
+                }
+                // Find the free chunk containing this allocation: walk up
+                // the orders from `order` looking for a free chunk whose
+                // range covers `offset`.
+                let mut found = None;
+                for free_order in order..=MAX_ORDER {
+                    let chunk = offset & !((1u64 << free_order) - 1);
+                    if inner.free_lists[free_order as usize].contains(&chunk) {
+                        found = Some((chunk, free_order));
+                        break;
+                    }
+                }
+                let Some((chunk, mut free_order)) = found else {
+                    return Err(StorageError::Corrupt(format!(
+                        "allocator snapshot chunk ({offset}, 2^{order}) overlaps another allocation"
+                    )));
+                };
+                // Split the containing chunk down to `order`, returning
+                // the halves that do not contain the allocation.
+                inner.free_lists[free_order as usize].remove(&chunk);
+                let mut cursor = chunk;
+                while free_order > order {
+                    free_order -= 1;
+                    let half = 1u64 << free_order;
+                    if offset < cursor + half {
+                        inner.free_lists[free_order as usize].insert(cursor + half);
+                    } else {
+                        inner.free_lists[free_order as usize].insert(cursor);
+                        cursor += half;
+                    }
+                }
+                inner.allocated.insert(offset, order);
+                inner.stats.allocated_blocks += len;
+                inner.stats.free_blocks -= len;
+            }
+        }
+        Ok(alloc)
+    }
 }
 
 impl Allocator for BuddyAllocator {
@@ -193,6 +261,10 @@ impl Allocator for BuddyAllocator {
 
     fn name(&self) -> &'static str {
         "buddy"
+    }
+
+    fn snapshot(&self) -> crate::alloc::AllocatorSnapshot {
+        crate::alloc::AllocatorSnapshot::Buddy(self.allocated_snapshot())
     }
 }
 
@@ -307,6 +379,55 @@ mod tests {
         let a = BuddyAllocator::new(0, 16);
         let err = a.allocate(1 << 30).unwrap_err();
         assert!(matches!(err, StorageError::OutOfSpace { .. }));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let a = BuddyAllocator::new(100, 256);
+        let keep1 = a.allocate(4).unwrap();
+        let keep2 = a.allocate(16).unwrap();
+        let gone = a.allocate(8).unwrap();
+        let keep3 = a.allocate(1).unwrap();
+        a.free(gone).unwrap();
+        let snapshot = a.allocated_snapshot();
+        assert_eq!(snapshot.len(), 3);
+
+        let b = BuddyAllocator::restore(100, 256, &snapshot).unwrap();
+        assert_eq!(b.allocated_snapshot(), snapshot);
+        assert_eq!(b.stats().allocated_blocks, a.stats().allocated_blocks);
+        assert_eq!(b.stats().free_blocks, a.stats().free_blocks);
+        // The restored allocator can free the surviving extents and then
+        // coalesce back to full capacity.
+        for e in [keep1, keep2, keep3] {
+            b.free(e).unwrap();
+        }
+        assert_eq!(b.stats().free_blocks, 256);
+        assert_eq!(b.allocate(256).unwrap().len, 256);
+    }
+
+    #[test]
+    fn restore_never_hands_out_snapshot_blocks() {
+        let a = BuddyAllocator::new(0, 64);
+        let live = a.allocate(8).unwrap();
+        let b = BuddyAllocator::restore(0, 64, &a.allocated_snapshot()).unwrap();
+        let mut grabbed = Vec::new();
+        while let Ok(e) = b.allocate(1) {
+            assert!(!e.overlaps(&live), "restored allocator reissued {e:?}");
+            grabbed.push(e);
+        }
+        assert_eq!(grabbed.len() as u64, 64 - 8);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        // Chunk outside the managed range.
+        assert!(BuddyAllocator::restore(0, 64, &[(64, 0)]).is_err());
+        // Misaligned chunk.
+        assert!(BuddyAllocator::restore(0, 64, &[(1, 2)]).is_err());
+        // Overlapping chunks.
+        assert!(BuddyAllocator::restore(0, 64, &[(0, 2), (2, 1)]).is_err());
+        // Nonsense order.
+        assert!(BuddyAllocator::restore(0, 64, &[(0, 63)]).is_err());
     }
 
     #[test]

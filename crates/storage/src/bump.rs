@@ -46,6 +46,25 @@ impl BumpAllocator {
     pub fn high_water_mark(&self) -> u64 {
         self.inner.lock().next
     }
+
+    /// Rebuilds a bump allocator whose pointer starts at a persisted
+    /// [`high_water_mark`](Self::high_water_mark) — everything below the
+    /// mark stays allocated, exactly as before the restart.
+    pub fn restore(base: u64, managed_blocks: u64, high_water_mark: u64) -> Result<Self> {
+        if high_water_mark > managed_blocks {
+            return Err(StorageError::Corrupt(format!(
+                "bump high-water mark {high_water_mark} exceeds managed range {managed_blocks}"
+            )));
+        }
+        let alloc = Self::new(base, managed_blocks);
+        {
+            let mut inner = alloc.inner.lock();
+            inner.next = high_water_mark;
+            inner.stats.allocated_blocks = high_water_mark;
+            inner.stats.free_blocks = managed_blocks - high_water_mark;
+        }
+        Ok(alloc)
+    }
 }
 
 impl Allocator for BumpAllocator {
@@ -90,6 +109,10 @@ impl Allocator for BumpAllocator {
     fn name(&self) -> &'static str {
         "bump"
     }
+
+    fn snapshot(&self) -> crate::alloc::AllocatorSnapshot {
+        crate::alloc::AllocatorSnapshot::Bump(self.high_water_mark())
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +151,18 @@ mod tests {
         let a = BumpAllocator::new(0, 10);
         let err = a.free(Extent::new(5, 2)).unwrap_err();
         assert!(matches!(err, StorageError::InvalidFree { .. }));
+    }
+
+    #[test]
+    fn restore_resumes_at_high_water_mark() {
+        let a = BumpAllocator::new(50, 100);
+        a.allocate(10).unwrap();
+        a.allocate(5).unwrap();
+        let b = BumpAllocator::restore(50, 100, a.high_water_mark()).unwrap();
+        assert_eq!(b.high_water_mark(), 15);
+        assert_eq!(b.allocate(1).unwrap(), Extent::new(65, 1));
+        assert_eq!(b.stats().allocated_blocks, 16);
+        assert!(BumpAllocator::restore(0, 10, 11).is_err());
     }
 
     #[test]

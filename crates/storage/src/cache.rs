@@ -51,6 +51,7 @@
 //! durable, best-effort for concurrent ones.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
@@ -215,8 +216,11 @@ impl Shard {
     /// bit clear (clearing set bits on the way — second chance). Returns
     /// the victim's slot, or `None` if two full sweeps found every frame
     /// pinned (the cache then temporarily exceeds capacity rather than
-    /// block behind a concurrent flush).
-    fn choose_victim(&mut self) -> Option<usize> {
+    /// block behind a concurrent flush). With `skip_dirty` (retain-dirty
+    /// mode) dirty frames are also never victims — evicting one would
+    /// write it to its home address outside a checkpoint, tearing the
+    /// on-disk page set mid-transaction.
+    fn choose_victim(&mut self, skip_dirty: bool) -> Option<usize> {
         if self.slots.is_empty() {
             return None;
         }
@@ -226,7 +230,7 @@ impl Shard {
             let Some(frame) = self.slots[slot].as_mut() else {
                 continue;
             };
-            if frame.pinned {
+            if frame.pinned || (skip_dirty && frame.dirty) {
                 continue;
             }
             if frame.referenced {
@@ -250,6 +254,17 @@ pub struct CachedDevice<D: BlockDevice> {
     /// Optional read-ahead: run detection lives here, block loading is
     /// delegated to the attached [`PrefetchSink`].
     read_ahead: parking_lot::RwLock<Option<Arc<ReadAhead>>>,
+    /// Retain-dirty mode (persistent stores): dirty frames are never
+    /// written to their home addresses by eviction, flush or trickle —
+    /// only an explicit checkpoint, which stages them through the
+    /// doublewrite region first, may install them. See
+    /// [`set_retain_dirty`](Self::set_retain_dirty).
+    retain_dirty: AtomicBool,
+    /// Exact count of dirty frames across all shards, maintained at every
+    /// dirty-bit transition (each under its shard's lock). Makes
+    /// [`dirty_blocks`](Self::dirty_blocks) O(1), so a persistent store
+    /// can poll it on every commit to decide when to checkpoint.
+    dirty_count: AtomicUsize,
 }
 
 impl<D: BlockDevice> CachedDevice<D> {
@@ -295,7 +310,70 @@ impl<D: BlockDevice> CachedDevice<D> {
             per_shard: capacity_blocks.div_ceil(shard_count),
             shards,
             read_ahead: parking_lot::RwLock::new(None),
+            retain_dirty: AtomicBool::new(false),
+            dirty_count: AtomicUsize::new(0),
         }
+    }
+
+    /// Switches the cache into (or out of) retain-dirty mode.
+    ///
+    /// In retain-dirty mode the cache never writes a dirty frame to its
+    /// home address on its own: eviction skips dirty frames (admitting
+    /// over budget if nothing clean is evictable),
+    /// [`flush`](BlockDevice::flush) only flushes the underlying device,
+    /// and [`writeback_some`](Self::writeback_some) is a no-op. A
+    /// persistent store's checkpoint instead drains the dirty set with
+    /// [`collect_dirty`](Self::collect_dirty), stages it through the
+    /// doublewrite region, installs it, and calls
+    /// [`mark_clean_if_unchanged`](Self::mark_clean_if_unchanged) — the
+    /// only path by which a dirty page may reach the data area, which is
+    /// what makes in-place updates crash-atomic.
+    pub fn set_retain_dirty(&self, on: bool) {
+        self.retain_dirty.store(on, Ordering::Release);
+    }
+
+    /// Whether retain-dirty mode is active.
+    pub fn retain_dirty(&self) -> bool {
+        self.retain_dirty.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of every dirty frame as `(block, data)`, sorted by block
+    /// number. The `Arc`s are clones of the live frames, so a matching
+    /// [`mark_clean_if_unchanged`](Self::mark_clean_if_unchanged) call
+    /// can later prove the frame was not re-dirtied in between.
+    pub fn collect_dirty(&self) -> Vec<(u64, Arc<[u8]>)> {
+        let mut dirty: Vec<(u64, Arc<[u8]>)> = Vec::new();
+        for shard in self.shards.iter() {
+            let guard = shard.lock();
+            for frame in guard.slots.iter().flatten() {
+                if frame.dirty {
+                    dirty.push((frame.block, Arc::clone(&frame.data)));
+                }
+            }
+        }
+        dirty.sort_unstable_by_key(|(block, _)| *block);
+        dirty
+    }
+
+    /// Marks `block`'s frame clean if it still holds exactly `data`
+    /// (pointer identity — `write_block` always replaces the frame's
+    /// `Arc`, so identity proves no intervening write). Returns whether
+    /// the frame was cleaned. Used by persistent checkpoints after
+    /// installing the collected dirty set: a frame re-dirtied during the
+    /// install keeps its dirty bit and rides the next checkpoint.
+    pub fn mark_clean_if_unchanged(&self, block: u64, data: &Arc<[u8]>) -> bool {
+        let mut guard = self.shard_for(block).lock();
+        if let Some(&slot) = guard.map.get(&block) {
+            let frame = guard.slots[slot].as_mut().expect("mapped slot holds frame");
+            if Arc::ptr_eq(&frame.data, data) {
+                if frame.dirty {
+                    frame.dirty = false;
+                    self.dirty_count.fetch_sub(1, Ordering::AcqRel);
+                }
+                return true;
+            }
+        }
+        false
     }
 
     /// Attaches sequential read-ahead: after `trigger` strictly ascending
@@ -408,18 +486,12 @@ impl<D: BlockDevice> CachedDevice<D> {
     }
 
     /// Number of dirty frames currently cached, across all shards.
+    ///
+    /// O(1): an exact counter maintained at every dirty-bit transition,
+    /// so commit paths can poll it for checkpoint triggering without
+    /// touching a shard lock.
     pub fn dirty_blocks(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|shard| {
-                shard
-                    .lock()
-                    .slots
-                    .iter()
-                    .filter(|f| f.as_ref().is_some_and(|f| f.dirty))
-                    .count()
-            })
-            .sum()
+        self.dirty_count.load(Ordering::Acquire)
     }
 
     /// Writes back up to `max` dirty frames (oldest slots first within
@@ -432,6 +504,10 @@ impl<D: BlockDevice> CachedDevice<D> {
     /// `flush`, so it cannot race an eviction write-back of the same
     /// block, and a frame re-dirtied mid-write-back stays dirty.
     pub fn writeback_some(&self, max: usize) -> Result<usize> {
+        if self.retain_dirty() {
+            // Dirty frames only reach the device through a checkpoint.
+            return Ok(0);
+        }
         let mut remaining = max;
         for shard in self.shards.iter() {
             if remaining == 0 {
@@ -446,6 +522,7 @@ impl<D: BlockDevice> CachedDevice<D> {
                 if let Some(frame) = frame {
                     if frame.dirty && !frame.pinned {
                         frame.dirty = false;
+                        self.dirty_count.fetch_sub(1, Ordering::AcqRel);
                         frame.pinned = true;
                         batch.push((slot, frame.block, Arc::clone(&frame.data)));
                     }
@@ -468,8 +545,9 @@ impl<D: BlockDevice> CachedDevice<D> {
             for (i, (slot, _, _)) in batch.iter().enumerate() {
                 if let Some(frame) = guard.slots[*slot].as_mut() {
                     frame.pinned = false;
-                    if i >= written {
+                    if i >= written && !frame.dirty {
                         frame.dirty = true;
+                        self.dirty_count.fetch_add(1, Ordering::AcqRel);
                     }
                 }
             }
@@ -515,18 +593,23 @@ impl<D: BlockDevice> CachedDevice<D> {
     /// left in place (their write-back is already in flight); everything
     /// else is written back under the shard lock and dropped.
     pub fn invalidate(&self) -> Result<()> {
+        let retain_dirty = self.retain_dirty();
         for shard in self.shards.iter() {
             let mut guard = shard.lock();
             let blocks: Vec<u64> = guard.map.keys().copied().collect();
             for block in blocks {
                 let slot = guard.map[&block];
-                if guard.slots[slot].as_ref().is_some_and(|f| f.pinned) {
+                if guard.slots[slot]
+                    .as_ref()
+                    .is_some_and(|f| f.pinned || (retain_dirty && f.dirty))
+                {
                     continue;
                 }
                 let frame = guard.slots[slot].take().expect("mapped slot holds frame");
                 guard.map.remove(&block);
                 guard.free.push(slot);
                 if frame.dirty {
+                    self.dirty_count.fetch_sub(1, Ordering::AcqRel);
                     self.inner.write_block(frame.block, &frame.data)?;
                     guard.stats.writebacks += 1;
                 }
@@ -547,10 +630,12 @@ impl<D: BlockDevice> CachedDevice<D> {
         dirty: bool,
         prefetched: bool,
     ) -> Result<()> {
+        let retain_dirty = self.retain_dirty();
         while guard.live() >= self.per_shard {
-            let Some(slot) = guard.choose_victim() else {
-                // Every frame is pinned by an in-flight flush: admit the
-                // frame over budget rather than block behind the flush;
+            let Some(slot) = guard.choose_victim(retain_dirty) else {
+                // Every frame is pinned by an in-flight flush (or dirty
+                // in retain-dirty mode): admit the frame over budget
+                // rather than block behind the flush / next checkpoint;
                 // the next eviction pass shrinks the shard back.
                 break;
             };
@@ -558,6 +643,7 @@ impl<D: BlockDevice> CachedDevice<D> {
             guard.map.remove(&victim.block);
             guard.free.push(slot);
             if victim.dirty {
+                self.dirty_count.fetch_sub(1, Ordering::AcqRel);
                 // Written back under the shard lock: the write must land
                 // before the frame is forgotten, or a concurrent miss on
                 // the victim block could read stale device bytes.
@@ -565,6 +651,9 @@ impl<D: BlockDevice> CachedDevice<D> {
                 guard.stats.writebacks += 1;
             }
             guard.stats.evictions += 1;
+        }
+        if dirty {
+            self.dirty_count.fetch_add(1, Ordering::AcqRel);
         }
         let frame = Frame {
             block,
@@ -669,7 +758,10 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
         if let Some(&slot) = guard.map.get(&block) {
             let frame = guard.slots[slot].as_mut().expect("mapped slot holds frame");
             frame.data = Arc::from(buf);
-            frame.dirty = true;
+            if !frame.dirty {
+                frame.dirty = true;
+                self.dirty_count.fetch_add(1, Ordering::AcqRel);
+            }
             frame.referenced = true;
             frame.prefetched = false;
             return Ok(());
@@ -678,6 +770,13 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
     }
 
     fn flush(&self) -> Result<()> {
+        if self.retain_dirty() {
+            // Dirty frames stay in the cache until a checkpoint stages
+            // them through the doublewrite region; a flush only pushes
+            // already-issued raw-device writes (journal, superblock) to
+            // stable storage.
+            return self.inner.flush();
+        }
         for shard in self.shards.iter() {
             // Snapshot and pin this shard's dirty frames, then write them
             // back with the lock released so concurrent readers of other
@@ -691,6 +790,7 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
                 if let Some(frame) = frame {
                     if frame.dirty && !frame.pinned {
                         frame.dirty = false;
+                        self.dirty_count.fetch_sub(1, Ordering::AcqRel);
                         frame.pinned = true;
                         dirty.push((slot, frame.block, Arc::clone(&frame.data)));
                     }
@@ -713,10 +813,11 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
             for (i, (slot, _, _)) in dirty.iter().enumerate() {
                 if let Some(frame) = guard.slots[*slot].as_mut() {
                     frame.pinned = false;
-                    if i >= written {
+                    if i >= written && !frame.dirty {
                         // Never reached the device: restore the dirty bit
                         // so the data is not silently lost.
                         frame.dirty = true;
+                        self.dirty_count.fetch_add(1, Ordering::AcqRel);
                     }
                 }
             }
@@ -1217,6 +1318,93 @@ mod tests {
         let mut out = vec![0u8; 128];
         dev.inner().read_block(0, &mut out).unwrap();
         assert!(out.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn retain_dirty_holds_pages_until_checkpoint_drains_them() {
+        let dev = make(8);
+        dev.set_retain_dirty(true);
+        for b in 0..4u64 {
+            dev.write_block(b, &[b as u8 + 1; 128]).unwrap();
+        }
+        // Neither flush nor trickle writes a home page.
+        dev.flush().unwrap();
+        assert_eq!(dev.writeback_some(16).unwrap(), 0);
+        assert_eq!(dev.counters().writes, 0);
+        assert_eq!(dev.dirty_blocks(), 4);
+        // The checkpoint path: collect, (stage+)install, mark clean.
+        let dirty = dev.collect_dirty();
+        assert_eq!(
+            dirty.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        for (block, data) in &dirty {
+            dev.inner().write_block(*block, data).unwrap();
+            assert!(dev.mark_clean_if_unchanged(*block, data));
+        }
+        assert_eq!(dev.dirty_blocks(), 0);
+        let mut out = vec![0u8; 128];
+        for b in 0..4u64 {
+            dev.inner().read_block(b, &mut out).unwrap();
+            assert!(out.iter().all(|&x| x == b as u8 + 1), "block {b}");
+        }
+    }
+
+    #[test]
+    fn retain_dirty_never_evicts_dirty_frames() {
+        // Single shard, capacity 2, every frame dirty: inserts must admit
+        // over budget instead of writing a dirty victim home.
+        let dev = CachedDevice::with_shards(MemDevice::new(64, 128), 2, 1);
+        dev.set_retain_dirty(true);
+        for b in 0..5u64 {
+            dev.write_block(b, &[b as u8; 128]).unwrap();
+        }
+        assert_eq!(dev.counters().writes, 0, "no dirty page reached home");
+        assert_eq!(dev.dirty_blocks(), 5, "all writes retained over budget");
+        // Every value still readable (served from cache).
+        let mut out = vec![0u8; 128];
+        for b in 0..5u64 {
+            dev.read_block(b, &mut out).unwrap();
+            assert!(out.iter().all(|&x| x == b as u8), "block {b}");
+        }
+        // Once cleaned, frames become evictable again.
+        for (block, data) in dev.collect_dirty() {
+            dev.inner().write_block(block, &data).unwrap();
+            assert!(dev.mark_clean_if_unchanged(block, &data));
+        }
+        dev.write_block(10, &[10u8; 128]).unwrap();
+        assert!(dev.cache_stats().evictions > 0);
+    }
+
+    #[test]
+    fn mark_clean_if_unchanged_spares_redirtied_frames() {
+        let dev = make(8);
+        dev.set_retain_dirty(true);
+        dev.write_block(0, &[1u8; 128]).unwrap();
+        let snapshot = dev.collect_dirty();
+        // Re-dirty between collect and mark: the stale Arc must not clean
+        // the newer frame.
+        dev.write_block(0, &[2u8; 128]).unwrap();
+        let (block, data) = &snapshot[0];
+        assert!(!dev.mark_clean_if_unchanged(*block, data));
+        assert_eq!(dev.dirty_blocks(), 1);
+        let newer = dev.collect_dirty();
+        assert!(newer[0].1.iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn retain_dirty_invalidate_keeps_dirty_frames() {
+        let dev = make(8);
+        dev.set_retain_dirty(true);
+        dev.write_block(0, &[1u8; 128]).unwrap();
+        dev.inner().write_block(1, &[9u8; 128]).unwrap();
+        let mut out = vec![0u8; 128];
+        dev.read_block(1, &mut out).unwrap(); // clean frame
+        let writes_before = dev.counters().writes;
+        dev.invalidate().unwrap();
+        // The clean frame is gone, the dirty one survives untouched.
+        assert_eq!(dev.dirty_blocks(), 1);
+        assert_eq!(dev.counters().writes, writes_before);
     }
 
     #[test]

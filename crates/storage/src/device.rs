@@ -343,6 +343,19 @@ pub struct OpFault {
     /// count is per class and starts at 1, so `error_every = 1` fails every
     /// operation and `error_every = 3` fails the 3rd, 6th, 9th, …
     pub error_every: u64,
+    /// When non-zero, every `torn_every`-th **write** tears: only the
+    /// first [`torn_bytes`](Self::torn_bytes) bytes of the buffer land on
+    /// the wrapped device while the rest of the block keeps its previous
+    /// contents — the partial-sector landing a power cut leaves behind.
+    /// Only meaningful on the write class; cadence counts like
+    /// `error_every`.
+    pub torn_every: u64,
+    /// Bytes of the buffer that land when a write tears.
+    pub torn_bytes: usize,
+    /// Whether a torn write *reports* success (the lying-drive model: the
+    /// caller believes the write landed) or an [`StorageError::Io`] (the
+    /// crash-before-ack model). Either way only `torn_bytes` bytes landed.
+    pub torn_reports_success: bool,
 }
 
 impl OpFault {
@@ -367,6 +380,20 @@ impl OpFault {
     pub fn error_every(n: u64) -> Self {
         OpFault {
             error_every: n,
+            ..Default::default()
+        }
+    }
+
+    /// A write fault that tears every `n`-th write after `keep_bytes`
+    /// bytes. `reports_success` selects between the lying-drive model
+    /// (`true`: the torn write is acknowledged) and the crash-before-ack
+    /// model (`false`: the caller sees an I/O error, but the prefix
+    /// already landed).
+    pub fn torn_write(n: u64, keep_bytes: usize, reports_success: bool) -> Self {
+        OpFault {
+            torn_every: n,
+            torn_bytes: keep_bytes,
+            torn_reports_success: reports_success,
             ..Default::default()
         }
     }
@@ -399,6 +426,8 @@ pub struct FaultDevice<D: BlockDevice> {
     gates: [parking_lot::Mutex<()>; 3],
     attempts: [AtomicU64; 3],
     injected: [AtomicU64; 3],
+    torn_attempts: AtomicU64,
+    torn_injected: AtomicU64,
 }
 
 /// Indices into the per-class state of a [`FaultDevice`].
@@ -418,6 +447,8 @@ impl<D: BlockDevice> FaultDevice<D> {
             gates: Default::default(),
             attempts: Default::default(),
             injected: Default::default(),
+            torn_attempts: AtomicU64::new(0),
+            torn_injected: AtomicU64::new(0),
         }
     }
 
@@ -448,6 +479,44 @@ impl<D: BlockDevice> FaultDevice<D> {
     /// The wrapped device.
     pub fn inner(&self) -> &D {
         &self.inner
+    }
+
+    /// Number of torn writes injected so far.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_injected.load(Ordering::Relaxed)
+    }
+
+    /// Tears the write if this attempt is on the torn cadence: the first
+    /// `torn_bytes` of `buf` land merged over the block's previous
+    /// contents. Returns `Some(result)` when the write was torn (and thus
+    /// already handled), `None` when it should proceed normally.
+    fn apply_torn_write(&self, block: u64, buf: &[u8]) -> Option<Result<()>> {
+        let fault = &self.config.write;
+        if fault.torn_every == 0 {
+            return None;
+        }
+        let attempt = self.torn_attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        if !attempt.is_multiple_of(fault.torn_every) {
+            return None;
+        }
+        self.torn_injected.fetch_add(1, Ordering::Relaxed);
+        let mut merged = vec![0u8; self.inner.block_size()];
+        if let Err(e) = self.inner.read_block(block, &mut merged) {
+            return Some(Err(e));
+        }
+        let keep = fault.torn_bytes.min(buf.len());
+        merged[..keep].copy_from_slice(&buf[..keep]);
+        if let Err(e) = self.inner.write_block(block, &merged) {
+            return Some(Err(e));
+        }
+        if fault.torn_reports_success {
+            Some(Ok(()))
+        } else {
+            Some(Err(StorageError::Io(format!(
+                "injected torn write (attempt {attempt}, {keep} of {} bytes landed)",
+                buf.len()
+            ))))
+        }
     }
 
     /// Number of errors injected so far, per class `(reads, writes,
@@ -503,6 +572,9 @@ impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
     }
 
     fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+        if let Some(torn) = self.apply_torn_write(block, buf) {
+            return torn;
+        }
         self.apply(FaultClass::Write, "write")?;
         self.inner.write_block(block, buf)
     }
@@ -726,6 +798,71 @@ mod tests {
         assert!(dev.write_block(3, &data).is_ok());
         assert!(dev.write_block(3, &data).is_err());
         assert_eq!(dev.injected_errors(), (0, 2, 0));
+    }
+
+    #[test]
+    fn torn_write_lands_prefix_only() {
+        let dev = FaultDevice::new(
+            MemDevice::new(8, 128),
+            FaultConfig {
+                write: OpFault::torn_write(2, 40, false),
+                ..Default::default()
+            },
+        );
+        let old = vec![0x11u8; 128];
+        dev.write_block(0, &old).unwrap(); // attempt 1: intact
+        let new = vec![0x22u8; 128];
+        let err = dev.write_block(0, &new).unwrap_err(); // attempt 2: torn
+        assert!(matches!(err, StorageError::Io(_)));
+        assert_eq!(dev.torn_writes(), 1);
+        let mut out = vec![0u8; 128];
+        dev.inner().read_block(0, &mut out).unwrap();
+        assert!(out[..40].iter().all(|&b| b == 0x22), "prefix must land");
+        assert!(
+            out[40..].iter().all(|&b| b == 0x11),
+            "tail must keep the previous contents"
+        );
+    }
+
+    #[test]
+    fn torn_write_can_lie_about_success() {
+        let dev = FaultDevice::new(
+            MemDevice::new(4, 128),
+            FaultConfig {
+                write: OpFault::torn_write(1, 16, true),
+                ..Default::default()
+            },
+        );
+        // Every write tears but is acknowledged — the lying-drive model.
+        dev.write_block(1, &[0xABu8; 128]).unwrap();
+        assert_eq!(dev.torn_writes(), 1);
+        let mut out = vec![0u8; 128];
+        dev.inner().read_block(1, &mut out).unwrap();
+        assert!(out[..16].iter().all(|&b| b == 0xAB));
+        assert!(out[16..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn torn_write_proxy_over_file_device() {
+        // The torn-write proxy must compose over a real file, reading the
+        // on-disk tail back for the merge.
+        let dir = std::env::temp_dir().join(format!("hfad-dev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn_proxy.img");
+        let dev = FaultDevice::new(
+            FileDevice::create(&path, 8, 512).unwrap(),
+            FaultConfig {
+                write: OpFault::torn_write(2, 100, false),
+                ..Default::default()
+            },
+        );
+        dev.write_block(3, &vec![0x5Au8; 512]).unwrap();
+        assert!(dev.write_block(3, &vec![0xC3u8; 512]).is_err());
+        let mut out = vec![0u8; 512];
+        dev.inner().read_block(3, &mut out).unwrap();
+        assert!(out[..100].iter().all(|&b| b == 0xC3));
+        assert!(out[100..].iter().all(|&b| b == 0x5A));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Doublewrite region: torn-page protection for checkpoint installs.
+//!
+//! A persistent checkpoint must overwrite live B+tree pages in place. A
+//! crash mid-overwrite would leave a torn page that no journal replay can
+//! repair (the journal records logical ops, not page images). The classic
+//! fix — InnoDB's doublewrite buffer — is to first write every page image
+//! to a dedicated scratch region and fsync it, and only then install the
+//! images at their home addresses. After a crash, a fully-valid scratch
+//! batch is simply re-installed: either the installs never started (the
+//! batch is the source of truth) or they partially completed (re-install
+//! is idempotent), and a torn *scratch* batch means the installs never
+//! started, so the home pages are still the old, consistent images.
+//!
+//! Batch layout inside the `dw` region of a persistent superblock:
+//!
+//! ```text
+//! header blocks:  magic(8) | epoch(8) | count(8) | crc(8) |
+//!                 count × (home_addr u64, frame_crc u64)
+//! frame blocks:   one page image per entry, in entry order
+//! ```
+//!
+//! The header CRC covers magic, epoch, count, and all entries; each frame
+//! additionally carries its own CRC in the header so a torn frame write
+//! invalidates the batch.
+
+use std::sync::Arc;
+
+use crate::device::BlockDevice;
+use crate::error::{Result, StorageError};
+
+const DW_MAGIC: u64 = 0x6866_6164_5f64_7721; // "hfad_dw!"
+
+/// A fully validated staged batch: its epoch and the `(home_addr,
+/// page image)` pairs to (re-)install.
+pub type StagedBatch = (u64, Vec<(u64, Arc<[u8]>)>);
+
+/// Fixed bytes before the entry table: magic, epoch, count, crc.
+const HEADER_FIXED: usize = 32;
+/// Bytes per entry: home address + frame CRC.
+const ENTRY_LEN: usize = 16;
+
+/// Same FNV-1a the rest of the storage layer uses for integrity checks.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The doublewrite region of a persistent store: `dw_blocks` blocks
+/// starting at `dw_start` on the *raw* device (never the cache — the
+/// whole point is controlling physical write order).
+pub struct Doublewrite {
+    device: Arc<dyn BlockDevice>,
+    dw_start: u64,
+    dw_blocks: u64,
+    block_size: usize,
+    header_blocks: u64,
+}
+
+/// Number of header blocks reserved for a region of `dw_blocks` blocks.
+/// Overestimates by sizing the entry table for every region block, so the
+/// header never collides with frames regardless of batch size.
+fn header_blocks_for(dw_blocks: u64, block_size: usize) -> u64 {
+    let bytes = HEADER_FIXED as u64 + dw_blocks * ENTRY_LEN as u64;
+    bytes.div_ceil(block_size as u64)
+}
+
+impl Doublewrite {
+    /// Opens the doublewrite region described by a persistent superblock.
+    pub fn new(device: Arc<dyn BlockDevice>, dw_start: u64, dw_blocks: u64) -> Result<Self> {
+        let block_size = device.block_size();
+        let header_blocks = header_blocks_for(dw_blocks, block_size);
+        if header_blocks >= dw_blocks {
+            return Err(StorageError::Corrupt(format!(
+                "doublewrite region of {dw_blocks} blocks leaves no room for frames \
+                 ({header_blocks} header blocks)"
+            )));
+        }
+        Ok(Doublewrite {
+            device,
+            dw_start,
+            dw_blocks,
+            block_size,
+            header_blocks,
+        })
+    }
+
+    /// Page images one batch can hold.
+    pub fn capacity(&self) -> usize {
+        (self.dw_blocks - self.header_blocks) as usize
+    }
+
+    /// Writes `frames` (home address, page image) to the scratch region
+    /// and fsyncs. After this returns, the batch survives any crash and
+    /// [`recover`](Self::recover) will re-install it. The caller then
+    /// installs the frames at their home addresses itself (or lets a
+    /// future recovery do it).
+    pub fn stage(&self, epoch: u64, frames: &[(u64, Arc<[u8]>)]) -> Result<()> {
+        if frames.len() > self.capacity() {
+            return Err(StorageError::Corrupt(format!(
+                "checkpoint dirty set of {} frames overflows doublewrite capacity {}",
+                frames.len(),
+                self.capacity()
+            )));
+        }
+        let mut header = vec![0u8; HEADER_FIXED + frames.len() * ENTRY_LEN];
+        header[0..8].copy_from_slice(&DW_MAGIC.to_le_bytes());
+        header[8..16].copy_from_slice(&epoch.to_le_bytes());
+        header[16..24].copy_from_slice(&(frames.len() as u64).to_le_bytes());
+        for (i, (home, data)) in frames.iter().enumerate() {
+            if data.len() != self.block_size {
+                return Err(StorageError::Corrupt(format!(
+                    "doublewrite frame for block {home} is {} bytes, device block size is {}",
+                    data.len(),
+                    self.block_size
+                )));
+            }
+            let at = HEADER_FIXED + i * ENTRY_LEN;
+            header[at..at + 8].copy_from_slice(&home.to_le_bytes());
+            header[at + 8..at + 16].copy_from_slice(&fnv1a(data).to_le_bytes());
+        }
+        // CRC covers everything except its own slot.
+        let mut crc_input = Vec::with_capacity(header.len() - 8);
+        crc_input.extend_from_slice(&header[0..24]);
+        crc_input.extend_from_slice(&header[HEADER_FIXED..]);
+        let crc = fnv1a(&crc_input);
+        header[24..32].copy_from_slice(&crc.to_le_bytes());
+
+        // Frames first, then the header: the header's CRC validates the
+        // batch, so it must land after the frames it vouches for. fsync
+        // between the two orders them physically.
+        for (i, (_, data)) in frames.iter().enumerate() {
+            self.device
+                .write_block(self.dw_start + self.header_blocks + i as u64, data)?;
+        }
+        self.device.flush()?;
+        let mut block = vec![0u8; self.block_size];
+        for (i, chunk) in header.chunks(self.block_size).enumerate() {
+            block[..chunk.len()].copy_from_slice(chunk);
+            block[chunk.len()..].fill(0);
+            self.device.write_block(self.dw_start + i as u64, &block)?;
+        }
+        self.device.flush()?;
+        Ok(())
+    }
+
+    /// Installs a staged batch at its home addresses and fsyncs. Safe to
+    /// call any number of times for the same batch (idempotent).
+    pub fn install(&self, frames: &[(u64, Arc<[u8]>)]) -> Result<()> {
+        for (home, data) in frames {
+            self.device.write_block(*home, data)?;
+        }
+        self.device.flush()?;
+        Ok(())
+    }
+
+    /// Invalidates the staged batch so recovery stops re-installing it.
+    /// Called once the checkpoint's commit point (journal reset) is
+    /// durable.
+    pub fn clear(&self) -> Result<()> {
+        let zero = vec![0u8; self.block_size];
+        self.device.write_block(self.dw_start, &zero)?;
+        self.device.flush()?;
+        Ok(())
+    }
+
+    /// Reads back the staged batch if — and only if — it is fully valid:
+    /// header magic and CRC check out and every frame matches its
+    /// recorded CRC. A torn header or torn frame returns `None` (the
+    /// installs never started; home pages are intact).
+    pub fn read_valid_batch(&self) -> Result<Option<StagedBatch>> {
+        let mut first = vec![0u8; self.block_size];
+        self.device.read_block(self.dw_start, &mut first)?;
+        if first.len() < HEADER_FIXED
+            || u64::from_le_bytes(first[0..8].try_into().unwrap()) != DW_MAGIC
+        {
+            return Ok(None);
+        }
+        let epoch = u64::from_le_bytes(first[8..16].try_into().unwrap());
+        let count = u64::from_le_bytes(first[16..24].try_into().unwrap());
+        let stored_crc = u64::from_le_bytes(first[24..32].try_into().unwrap());
+        if count > self.capacity() as u64 {
+            return Ok(None);
+        }
+        let header_len = HEADER_FIXED + count as usize * ENTRY_LEN;
+        let mut header = first;
+        while header.len() < header_len {
+            let next_block = header.len() / self.block_size;
+            let mut block = vec![0u8; self.block_size];
+            self.device
+                .read_block(self.dw_start + next_block as u64, &mut block)?;
+            header.extend_from_slice(&block);
+        }
+        header.truncate(header_len);
+        let mut crc_input = Vec::with_capacity(header_len - 8);
+        crc_input.extend_from_slice(&header[0..24]);
+        crc_input.extend_from_slice(&header[HEADER_FIXED..]);
+        if fnv1a(&crc_input) != stored_crc {
+            return Ok(None);
+        }
+        let mut frames = Vec::with_capacity(count as usize);
+        for i in 0..count as usize {
+            let at = HEADER_FIXED + i * ENTRY_LEN;
+            let home = u64::from_le_bytes(header[at..at + 8].try_into().unwrap());
+            let frame_crc = u64::from_le_bytes(header[at + 8..at + 16].try_into().unwrap());
+            let mut data = vec![0u8; self.block_size];
+            self.device
+                .read_block(self.dw_start + self.header_blocks + i as u64, &mut data)?;
+            if fnv1a(&data) != frame_crc {
+                return Ok(None);
+            }
+            frames.push((home, Arc::from(data.into_boxed_slice())));
+        }
+        Ok(Some((epoch, frames)))
+    }
+
+    /// Crash recovery: if a fully-valid batch is staged, re-install it
+    /// (idempotently) and report its epoch. Run before any other read of
+    /// the data area.
+    pub fn recover(&self) -> Result<Option<u64>> {
+        match self.read_valid_batch()? {
+            None => Ok(None),
+            Some((epoch, frames)) => {
+                self.install(&frames)?;
+                Ok(Some(epoch))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    const BS: usize = 512;
+    const DW_START: u64 = 8;
+    const DW_BLOCKS: u64 = 16;
+
+    fn setup() -> (Arc<MemDevice>, Doublewrite) {
+        let dev = Arc::new(MemDevice::new(64, BS));
+        let dw = Doublewrite::new(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            DW_START,
+            DW_BLOCKS,
+        )
+        .unwrap();
+        (dev, dw)
+    }
+
+    fn frame(byte: u8) -> Arc<[u8]> {
+        Arc::from(vec![byte; BS].into_boxed_slice())
+    }
+
+    #[test]
+    fn stage_install_recover_round_trip() {
+        let (dev, dw) = setup();
+        let frames = vec![(40u64, frame(0xaa)), (41u64, frame(0xbb))];
+        dw.stage(7, &frames).unwrap();
+        // Crash before install: recovery installs the batch.
+        assert_eq!(dw.recover().unwrap(), Some(7));
+        let mut buf = vec![0u8; BS];
+        dev.read_block(40, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xaa));
+        dev.read_block(41, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xbb));
+        // Recovery is idempotent.
+        assert_eq!(dw.recover().unwrap(), Some(7));
+        // After clear, nothing to recover.
+        dw.clear().unwrap();
+        assert_eq!(dw.recover().unwrap(), None);
+    }
+
+    #[test]
+    fn torn_header_invalidates_batch() {
+        let (dev, dw) = setup();
+        dw.stage(1, &[(40, frame(0x11))]).unwrap();
+        let mut hdr = vec![0u8; BS];
+        dev.read_block(DW_START, &mut hdr).unwrap();
+        hdr[26] ^= 0xff; // flip a CRC byte
+        dev.write_block(DW_START, &hdr).unwrap();
+        assert_eq!(dw.recover().unwrap(), None);
+    }
+
+    #[test]
+    fn torn_frame_invalidates_batch() {
+        let (dev, dw) = setup();
+        dw.stage(1, &[(40, frame(0x22))]).unwrap();
+        let header_blocks = header_blocks_for(DW_BLOCKS, BS);
+        let mut fr = vec![0u8; BS];
+        dev.read_block(DW_START + header_blocks, &mut fr).unwrap();
+        fr[100] ^= 0xff;
+        dev.write_block(DW_START + header_blocks, &fr).unwrap();
+        assert_eq!(dw.recover().unwrap(), None);
+        // Home page untouched.
+        let mut home = vec![0u8; BS];
+        dev.read_block(40, &mut home).unwrap();
+        assert!(home.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn overflow_is_a_loud_error() {
+        let (_dev, dw) = setup();
+        let too_many: Vec<_> = (0..dw.capacity() as u64 + 1)
+            .map(|i| (40 + i, frame(1)))
+            .collect();
+        assert!(matches!(
+            dw.stage(1, &too_many),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_sized_frame_rejected() {
+        let (_dev, dw) = setup();
+        let bad: Arc<[u8]> = Arc::from(vec![0u8; BS - 1].into_boxed_slice());
+        assert!(dw.stage(1, &[(40, bad)]).is_err());
+    }
+
+    #[test]
+    fn empty_region_never_misreads_as_batch() {
+        let (_dev, dw) = setup();
+        assert_eq!(dw.recover().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_accounts_for_header() {
+        let (_dev, dw) = setup();
+        let header_blocks = header_blocks_for(DW_BLOCKS, BS);
+        assert_eq!(dw.capacity() as u64, DW_BLOCKS - header_blocks);
+        assert!(dw.capacity() > 0);
+    }
+}

@@ -9,6 +9,17 @@
 //! blocks 1..J      : journal (write-ahead log), optional
 //! blocks J..end    : data area managed by an allocator
 //! ```
+//!
+//! Persistent (file-backed) stores use the extended layout, which reserves
+//! two additional regions between the journal and the data area:
+//!
+//! ```text
+//! block 0          : superblock (CRC'd)
+//! blocks 1..J      : journal
+//! blocks J..M      : store metadata, two ping-pong slots
+//! blocks M..W      : doublewrite staging area for atomic checkpoints
+//! blocks W..end    : data area
+//! ```
 
 use crate::device::BlockDevice;
 use crate::error::{Result, StorageError};
@@ -16,8 +27,10 @@ use crate::error::{Result, StorageError};
 /// Magic number identifying an hFAD-formatted device ("hFAD2009").
 pub const SUPERBLOCK_MAGIC: u64 = 0x6846_4144_2009_0001;
 
-/// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current on-disk format version. Version 2 added the CRC'd superblock
+/// and the persistent-mode meta/doublewrite regions (zero-length for
+/// in-memory stores).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// The superblock stored in block 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,11 +51,21 @@ pub struct Superblock {
     pub data_start: u64,
     /// Length of the data area in blocks.
     pub data_blocks: u64,
+    /// First block of the store-metadata region (0 if not persistent).
+    pub meta_start: u64,
+    /// Length of the metadata region in blocks: two ping-pong slots of
+    /// `meta_blocks / 2` blocks each (0 if not persistent).
+    pub meta_blocks: u64,
+    /// First block of the doublewrite staging region (0 if not persistent).
+    pub dw_start: u64,
+    /// Length of the doublewrite region in blocks (0 if not persistent).
+    pub dw_blocks: u64,
 }
 
 impl Superblock {
-    /// Byte length of the encoded superblock.
-    pub const ENCODED_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
+    /// Byte length of the encoded superblock (v2: v1 fields + the four
+    /// persistent-region fields + trailing CRC).
+    pub const ENCODED_LEN: usize = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 8;
 
     /// Lays out a device of `block_count` blocks with a journal of
     /// `journal_blocks` blocks.
@@ -62,11 +85,65 @@ impl Superblock {
             journal_blocks,
             data_start: reserved,
             data_blocks: block_count - reserved,
+            meta_start: 0,
+            meta_blocks: 0,
+            dw_start: 0,
+            dw_blocks: 0,
         })
     }
 
+    /// Lays out a persistent (file-backed) device: journal, then two
+    /// metadata slots of `meta_slot_blocks` each, then a doublewrite
+    /// staging region of `dw_blocks`, then the data area. Persistent
+    /// stores require a journal.
+    pub fn layout_persistent(
+        block_count: u64,
+        block_size: usize,
+        journal_blocks: u64,
+        meta_slot_blocks: u64,
+        dw_blocks: u64,
+    ) -> Result<Self> {
+        if journal_blocks == 0 || meta_slot_blocks == 0 || dw_blocks == 0 {
+            return Err(StorageError::Corrupt(
+                "persistent layout requires journal, meta and doublewrite regions".to_string(),
+            ));
+        }
+        let meta_blocks = 2 * meta_slot_blocks;
+        let reserved = 1 + journal_blocks + meta_blocks + dw_blocks;
+        if block_count <= reserved {
+            return Err(StorageError::Corrupt(format!(
+                "device of {block_count} blocks too small for persistent layout reserving {reserved}"
+            )));
+        }
+        Ok(Superblock {
+            magic: SUPERBLOCK_MAGIC,
+            version: FORMAT_VERSION,
+            block_size: block_size as u32,
+            block_count,
+            journal_start: 1,
+            journal_blocks,
+            data_start: reserved,
+            data_blocks: block_count - reserved,
+            meta_start: 1 + journal_blocks,
+            meta_blocks,
+            dw_start: 1 + journal_blocks + meta_blocks,
+            dw_blocks,
+        })
+    }
+
+    /// Whether this layout carries the persistent-mode regions.
+    pub fn is_persistent(&self) -> bool {
+        self.meta_blocks > 0 && self.dw_blocks > 0
+    }
+
+    /// Blocks in one of the two metadata ping-pong slots.
+    pub fn meta_slot_blocks(&self) -> u64 {
+        self.meta_blocks / 2
+    }
+
     /// Encodes the superblock into a buffer of at least
-    /// [`ENCODED_LEN`](Self::ENCODED_LEN) bytes.
+    /// [`ENCODED_LEN`](Self::ENCODED_LEN) bytes, including the trailing
+    /// CRC over all preceding fields.
     pub fn encode(&self, buf: &mut [u8]) {
         assert!(buf.len() >= Self::ENCODED_LEN);
         buf[0..8].copy_from_slice(&self.magic.to_le_bytes());
@@ -77,9 +154,15 @@ impl Superblock {
         buf[32..40].copy_from_slice(&self.journal_blocks.to_le_bytes());
         buf[40..48].copy_from_slice(&self.data_start.to_le_bytes());
         buf[48..56].copy_from_slice(&self.data_blocks.to_le_bytes());
+        buf[56..64].copy_from_slice(&self.meta_start.to_le_bytes());
+        buf[64..72].copy_from_slice(&self.meta_blocks.to_le_bytes());
+        buf[72..80].copy_from_slice(&self.dw_start.to_le_bytes());
+        buf[80..88].copy_from_slice(&self.dw_blocks.to_le_bytes());
+        let crc = fnv1a(&buf[..Self::ENCODED_LEN - 8]);
+        buf[88..96].copy_from_slice(&crc.to_le_bytes());
     }
 
-    /// Decodes a superblock, validating magic and version.
+    /// Decodes a superblock, validating magic, version and CRC.
     pub fn decode(buf: &[u8]) -> Result<Self> {
         if buf.len() < Self::ENCODED_LEN {
             return Err(StorageError::Corrupt(
@@ -101,6 +184,10 @@ impl Superblock {
             journal_blocks: le8(32..40),
             data_start: le8(40..48),
             data_blocks: le8(48..56),
+            meta_start: le8(56..64),
+            meta_blocks: le8(64..72),
+            dw_start: le8(72..80),
+            dw_blocks: le8(80..88),
         };
         if sb.magic != SUPERBLOCK_MAGIC {
             return Err(StorageError::Corrupt(format!(
@@ -113,6 +200,12 @@ impl Superblock {
                 "unsupported format version {}",
                 sb.version
             )));
+        }
+        let stored_crc = le8(88..96);
+        if fnv1a(&buf[..Self::ENCODED_LEN - 8]) != stored_crc {
+            return Err(StorageError::Corrupt(
+                "superblock checksum mismatch".to_string(),
+            ));
         }
         Ok(sb)
     }
@@ -190,6 +283,54 @@ mod tests {
         sb.encode(&mut buf);
         let decoded = Superblock::decode(&buf).unwrap();
         assert_eq!(decoded, sb);
+    }
+
+    #[test]
+    fn persistent_layout_partitions_device() {
+        let sb = Superblock::layout_persistent(4096, 4096, 64, 8, 128).unwrap();
+        assert!(sb.is_persistent());
+        assert_eq!(sb.journal_start, 1);
+        assert_eq!(sb.journal_blocks, 64);
+        assert_eq!(sb.meta_start, 65);
+        assert_eq!(sb.meta_blocks, 16);
+        assert_eq!(sb.meta_slot_blocks(), 8);
+        assert_eq!(sb.dw_start, 81);
+        assert_eq!(sb.dw_blocks, 128);
+        assert_eq!(sb.data_start, 209);
+        assert_eq!(sb.data_start + sb.data_blocks, sb.block_count);
+        // The in-memory layout carries no persistent regions.
+        assert!(!Superblock::layout(4096, 4096, 64).unwrap().is_persistent());
+    }
+
+    #[test]
+    fn persistent_layout_requires_all_regions() {
+        assert!(Superblock::layout_persistent(4096, 4096, 0, 8, 128).is_err());
+        assert!(Superblock::layout_persistent(4096, 4096, 64, 0, 128).is_err());
+        assert!(Superblock::layout_persistent(4096, 4096, 64, 8, 0).is_err());
+        // Too small for the reserved regions.
+        assert!(Superblock::layout_persistent(100, 4096, 64, 8, 128).is_err());
+    }
+
+    #[test]
+    fn persistent_layout_round_trips() {
+        let sb = Superblock::layout_persistent(8192, 4096, 256, 16, 512).unwrap();
+        let mut buf = vec![0u8; Superblock::ENCODED_LEN];
+        sb.encode(&mut buf);
+        assert_eq!(Superblock::decode(&buf).unwrap(), sb);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_crc() {
+        let sb = Superblock::layout(5000, 4096, 128).unwrap();
+        let mut buf = vec![0u8; Superblock::ENCODED_LEN];
+        sb.encode(&mut buf);
+        // Flip a byte of a field without touching magic/version: the CRC
+        // must catch it.
+        buf[20] ^= 0xFF;
+        assert!(matches!(
+            Superblock::decode(&buf),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //!   and the journal checkpointer.
 //! * [`group_commit`] — the batched commit pipeline over the journal:
 //!   concurrent committers share one contiguous append and one flush.
+//! * [`doublewrite`] — torn-page protection for persistent checkpoints:
+//!   page images are staged and fsynced in a scratch region before being
+//!   installed in place, so a crash mid-install is always recoverable.
+//! * [`proclock`] — multi-process single-writer / multi-reader
+//!   arbitration for file-backed stores via a queue-fair lockfile
+//!   protocol with stale-lock (kill -9) recovery.
 //!
 //! Everything above this crate (B-trees, the OSD, index stores, both file
 //! systems) is written against these traits, so experiments can swap
@@ -40,14 +46,16 @@ pub mod buddy;
 pub mod bump;
 pub mod cache;
 pub mod device;
+pub mod doublewrite;
 pub mod error;
 pub mod extent;
 pub mod group_commit;
 pub mod journal;
 pub mod layout;
+pub mod proclock;
 pub mod shard;
 
-pub use alloc::{AllocStats, Allocator};
+pub use alloc::{AllocStats, Allocator, AllocatorSnapshot};
 pub use background::{BackgroundExecutor, SubmitError};
 pub use buddy::BuddyAllocator;
 pub use bump::BumpAllocator;
@@ -56,6 +64,7 @@ pub use device::{
     BlockDevice, DeviceCounters, FaultConfig, FaultDevice, FileDevice, FlushDelayDevice, MemDevice,
     OpFault, DEFAULT_BLOCK_SIZE,
 };
+pub use doublewrite::Doublewrite;
 pub use error::{Result, StorageError};
 pub use extent::Extent;
 pub use group_commit::{GroupCommit, GroupCommitConfig, GroupCommitStats};
@@ -63,6 +72,7 @@ pub use journal::{
     Journal, JournalMark, JournalRecord, RecordKind, TxnFrames, JOURNAL_HEADER_BLOCKS,
 };
 pub use layout::{fnv1a, Superblock, FORMAT_VERSION, SUPERBLOCK_MAGIC};
+pub use proclock::{LockMode, ProcLock, DEFAULT_LOCK_TIMEOUT};
 pub use shard::{resolve_shard_count, shard_index, MAX_SHARDS};
 
 #[cfg(test)]
