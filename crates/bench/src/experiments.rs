@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hfad_core::{Hfad, HfadConfig, Tag, TagValue};
+use hfad_core::{Hfad, HfadConfig, IndexingMode, Tag, TagValue};
 use hfad_engine::{Engine, EngineConfig, EnginePrefetcher};
 use hfad_hierfs::HierConfig;
 
@@ -45,6 +45,20 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     let start = Instant::now();
     let r = f();
     (r, start.elapsed())
+}
+
+/// The seed-ablation configuration for experiments that index eagerly:
+/// [`HfadConfig::seed`] (no engine, no write-behind, no caches, no
+/// background checkpointing) with eager indexing so results are queryable
+/// immediately, exactly as [`HfadConfig::eager`] behaved before the
+/// defaults flipped to the full stack. Experiments use this explicitly —
+/// never `default()` — for their baseline rows, so the ablation cannot
+/// drift as the defaults evolve.
+pub fn seed_eager() -> HfadConfig {
+    HfadConfig {
+        indexing: IndexingMode::Eager,
+        ..HfadConfig::seed()
+    }
 }
 
 /// Mean latency of `iters` invocations of `f`.
@@ -120,6 +134,7 @@ pub fn f1_layering(scale: Scale) -> Table {
     });
     let iters = scale.pick(200, 2_000);
     let (hfad, oids) = build_hfad(&items, HfadConfig::eager());
+    let (seed_hfad, seed_oids) = build_hfad(&items, seed_eager());
     let posix = build_posix(&items, HfadConfig::eager());
     let (hier, _) = build_hierfs(&items, HierConfig::default());
 
@@ -132,12 +147,21 @@ pub fn f1_layering(scale: Scale) -> Table {
 
     let probe = &items[n / 2];
     let probe_oid = oids[n / 2];
+    let seed_probe_oid = seed_oids[n / 2];
 
     let native_lookup = mean_latency(iters, || {
         hfad.lookup(&[TagValue::posix(probe.path.clone())]).unwrap();
     });
     let native_read = mean_latency(iters, || {
         hfad.read(probe_oid, 0, 4096).unwrap();
+    });
+    let seed_lookup = mean_latency(iters, || {
+        seed_hfad
+            .lookup(&[TagValue::posix(probe.path.clone())])
+            .unwrap();
+    });
+    let seed_read = mean_latency(iters, || {
+        seed_hfad.read(seed_probe_oid, 0, 4096).unwrap();
     });
     let posix_read = mean_latency(iters, || {
         posix.read(&probe.path, 0, 4096).unwrap();
@@ -156,6 +180,16 @@ pub fn f1_layering(scale: Scale) -> Table {
         us(native_read),
     ]);
     table.push_row(vec![
+        "hfad-native (seed ablation)".into(),
+        "lookup(POSIX/path)".into(),
+        us(seed_lookup),
+    ]);
+    table.push_row(vec![
+        "hfad-native (seed ablation)".into(),
+        "read 4 KiB by oid".into(),
+        us(seed_read),
+    ]);
+    table.push_row(vec![
         "posix-veneer".into(),
         "open+read 4 KiB by path".into(),
         us(posix_read),
@@ -165,6 +199,16 @@ pub fn f1_layering(scale: Scale) -> Table {
         "open+read 4 KiB by path".into(),
         us(hier_read),
     ]);
+    table.push_derived(
+        "default_vs_seed_lookup_speedup",
+        seed_lookup.as_secs_f64() / native_lookup.as_secs_f64(),
+        "x",
+    );
+    table.push_derived(
+        "veneer_vs_hierfs_read_speedup",
+        hier_read.as_secs_f64() / posix_read.as_secs_f64(),
+        "x",
+    );
     table
 }
 

@@ -17,6 +17,12 @@ pub enum IndexingMode {
 }
 
 /// Configuration for [`Hfad`](crate::fs::Hfad).
+///
+/// [`HfadConfig::default()`] is the **full modern stack**: async I/O
+/// engine, write-behind, background checkpointing at a 50% journal
+/// watermark, and both cache tiers. The pre-engine baseline lives on as
+/// [`HfadConfig::seed()`] and is what every experiment's ablation column
+/// measures against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HfadConfig {
     /// Maximum bytes covered by a single object extent.
@@ -42,18 +48,19 @@ pub struct HfadConfig {
     /// [`StoreConfig::shards`]). Set to `1` to reproduce a
     /// single-global-lock store, the E2/E6 contention baseline.
     pub store_shards: usize,
-    /// Block-cache capacity in blocks. `0` (the default) runs directly on
-    /// the device; any other value fronts it with the storage layer's
-    /// sharded write-back block cache (see
-    /// [`StoreConfig::cache_blocks`]). Useful when the backing device is
-    /// slower than memory (e.g. a `FileDevice`).
+    /// Block-cache capacity in blocks. `0` runs directly on the device;
+    /// any other value fronts it with the storage layer's sharded
+    /// write-back block cache (see [`StoreConfig::cache_blocks`]). The
+    /// default is 4096 blocks (16 MiB at the default block size); the
+    /// [`seed()`](Self::seed) ablation runs uncached.
     pub cache_blocks: usize,
     /// Lock shards for the block cache (`0` auto-sizes; `1` reproduces
     /// the single-global-lock cache, the E9 contention baseline).
     pub cache_shards: usize,
     /// Decoded B-tree node cache capacity in pages shared by the object
-    /// table and every extent map (`0`, the default, decodes nodes on
-    /// every read — the E9 ablation baseline).
+    /// table and every extent map. `0` decodes nodes on every read — the
+    /// E9 ablation baseline, and the [`seed()`](Self::seed) behaviour.
+    /// Defaults to 1024 pages.
     pub node_cache_pages: usize,
     /// Number of shards in the key/value and full-text indices.
     pub index_shards: usize,
@@ -66,26 +73,69 @@ pub struct HfadConfig {
     /// Runs the async I/O engine and routes background work through it:
     /// cache read-ahead rides the `ReadAhead` class, lazy indexing the
     /// `Index` class, and journal checkpoints the `WriteBehind` class.
-    /// `false` (the default) reproduces the seed's ad-hoc-thread
-    /// behaviour exactly.
+    /// On by default; `false` (the [`seed()`](Self::seed) baseline)
+    /// reproduces the seed's ad-hoc-thread behaviour exactly.
     pub engine: bool,
     /// Worker threads for the engine (`0` uses the engine's default pool
     /// size). Only meaningful when [`engine`](Self::engine) is on.
     pub engine_workers: usize,
     /// Starts the watermark-driven dirty-page trickle flusher over the
     /// block cache. Requires [`engine`](Self::engine) and
-    /// [`cache_blocks`](Self::cache_blocks) `> 0`; otherwise ignored.
+    /// [`cache_blocks`](Self::cache_blocks) `> 0`; otherwise ignored. It
+    /// is also skipped on persistent (file-backed) stores, where home
+    /// pages are written only by doublewrite-protected checkpoint
+    /// installs and a trickle flusher would have nothing safe to do.
     pub write_behind: bool,
     /// Journal live-extent percentage at which the background
-    /// checkpointer starts reclaiming (1–99). `0` (the default) runs no
-    /// checkpointer: a full journal checkpoints inline on the committing
-    /// thread, the seed's stop-the-world behaviour. Only meaningful with
-    /// [`journal_blocks`](Self::journal_blocks) `> 0`.
+    /// checkpointer starts reclaiming (1–99). `0` runs no checkpointer:
+    /// a full journal checkpoints inline on the committing thread, the
+    /// seed's stop-the-world behaviour. Defaults to 50. Only meaningful
+    /// with [`journal_blocks`](Self::journal_blocks) `> 0`.
     pub checkpoint_watermark_pct: u8,
+    /// Milliseconds a committer blocked on a full journal waits for the
+    /// background checkpointer to reclaim space before falling back to an
+    /// inline stop-the-world checkpoint. `0` (the default) auto-scales
+    /// with the device's measured flush cost: 200 ms on an in-memory
+    /// device, proportionally more on a slow-fsync `FileDevice` (see
+    /// [`hfad_osd::TxnStore::backpressure_patience`]).
+    pub backpressure_patience_ms: u64,
 }
 
 impl Default for HfadConfig {
+    /// The full stack. Set the environment variable
+    /// `HFAD_DEFAULT_CONFIG=seed` to make `default()` return
+    /// [`seed()`](Self::seed) instead — the switch the CI matrix uses to
+    /// run the whole tier-1 sweep against the ablation baseline.
     fn default() -> Self {
+        if default_is_seed() {
+            return HfadConfig::seed();
+        }
+        HfadConfig {
+            cache_blocks: 4096,
+            node_cache_pages: 1024,
+            engine: true,
+            write_behind: true,
+            checkpoint_watermark_pct: 50,
+            ..HfadConfig::seed()
+        }
+    }
+}
+
+/// Whether `HFAD_DEFAULT_CONFIG=seed` is set (checked once per process).
+pub fn default_is_seed() -> bool {
+    static SEED_DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SEED_DEFAULT.get_or_init(|| {
+        std::env::var("HFAD_DEFAULT_CONFIG").is_ok_and(|v| v.eq_ignore_ascii_case("seed"))
+    })
+}
+
+impl HfadConfig {
+    /// The seed baseline: no engine, no caches, no background
+    /// checkpointer — background work on ad-hoc threads and a full
+    /// journal checkpointed inline by the committing thread. This is the
+    /// ablation configuration every experiment compares the defaults
+    /// against.
+    pub fn seed() -> Self {
         HfadConfig {
             max_extent_bytes: DEFAULT_MAX_EXTENT_BYTES,
             journal_blocks: 0,
@@ -103,11 +153,10 @@ impl Default for HfadConfig {
             engine_workers: 0,
             write_behind: false,
             checkpoint_watermark_pct: 0,
+            backpressure_patience_ms: 0,
         }
     }
-}
 
-impl HfadConfig {
     /// Derives the OSD store configuration.
     pub fn store_config(&self) -> StoreConfig {
         StoreConfig {
@@ -131,7 +180,8 @@ impl HfadConfig {
     }
 
     /// A configuration with synchronous full-text indexing, used by tests
-    /// and the eager/lazy ablation.
+    /// and the eager/lazy ablation. Inherits everything else from
+    /// [`default()`](Self::default) — i.e. the full stack.
     pub fn eager() -> Self {
         HfadConfig {
             indexing: IndexingMode::Eager,
@@ -146,6 +196,13 @@ impl HfadConfig {
             ..Default::default()
         })
     }
+
+    /// The configured backpressure patience, or `None` when `0` (let the
+    /// transactional store auto-scale it from measured flush cost).
+    pub fn backpressure_patience(&self) -> Option<Duration> {
+        (self.backpressure_patience_ms > 0)
+            .then(|| Duration::from_millis(self.backpressure_patience_ms))
+    }
 }
 
 #[cfg(test)]
@@ -153,26 +210,64 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_are_sane() {
+    fn defaults_are_the_full_stack() {
         let c = HfadConfig::default();
+        if default_is_seed() {
+            // CI's ablation matrix leg: `HFAD_DEFAULT_CONFIG=seed` makes
+            // default() reproduce the seed baseline exactly.
+            assert_eq!(c, HfadConfig::seed());
+            return;
+        }
         assert_eq!(c.indexing, IndexingMode::Lazy);
         assert!(c.index_shards >= 1);
         assert!(c.lazy_workers >= 1);
         assert_eq!(c.store_config().max_extent_bytes, c.max_extent_bytes);
         assert_eq!(c.store_config().journal_blocks, 0);
         assert_eq!(c.store_config().shards, c.store_shards);
-        // Both cache tiers default off: the seed behaviour.
-        assert_eq!(c.store_config().cache_blocks, 0);
-        assert_eq!(c.store_config().node_cache_pages, 0);
+        // Both cache tiers default on.
+        assert!(c.store_config().cache_blocks > 0);
+        assert!(c.store_config().node_cache_pages > 0);
         // Group commit defaults: batching on, zero leader wait.
         assert!(c.journal_batch > 0);
         assert_eq!(c.group_commit_config().max_batch, c.journal_batch);
         assert_eq!(c.group_commit_config().max_wait, Duration::ZERO);
-        // Engine and background checkpointing default off: the seed path.
+        // Engine-routed background work is the default path.
+        assert!(c.engine);
+        assert!(c.write_behind);
+        assert_eq!(c.checkpoint_watermark_pct, 50);
+        let cc = c.checkpoint_config().expect("watermark > 0 enables it");
+        assert_eq!(cc.watermark_pct, 50);
+        // Patience auto-scales with device flush cost by default.
+        assert_eq!(c.backpressure_patience_ms, 0);
+        assert!(c.backpressure_patience().is_none());
+    }
+
+    #[test]
+    fn seed_reproduces_the_pre_engine_baseline() {
+        let c = HfadConfig::seed();
+        assert_eq!(c.indexing, IndexingMode::Lazy);
+        assert_eq!(c.journal_blocks, 0);
+        // Both cache tiers off: the seed behaviour.
+        assert_eq!(c.store_config().cache_blocks, 0);
+        assert_eq!(c.store_config().node_cache_pages, 0);
+        // Engine and background checkpointing off: the seed path.
         assert!(!c.engine);
         assert!(!c.write_behind);
         assert_eq!(c.checkpoint_watermark_pct, 0);
         assert!(c.checkpoint_config().is_none());
+        assert_eq!(c.backpressure_patience_ms, 0);
+        // The two configurations differ only in the flipped knobs.
+        let full = HfadConfig {
+            cache_blocks: 4096,
+            node_cache_pages: 1024,
+            engine: true,
+            write_behind: true,
+            checkpoint_watermark_pct: 50,
+            ..c
+        };
+        if !default_is_seed() {
+            assert_eq!(full, HfadConfig::default());
+        }
     }
 
     #[test]
@@ -209,14 +304,23 @@ mod tests {
     #[test]
     fn cache_knobs_map_to_store_config() {
         let c = HfadConfig {
-            cache_blocks: 4096,
+            cache_blocks: 8192,
             cache_shards: 8,
-            node_cache_pages: 1024,
+            node_cache_pages: 2048,
             ..Default::default()
         };
         let sc = c.store_config();
-        assert_eq!(sc.cache_blocks, 4096);
+        assert_eq!(sc.cache_blocks, 8192);
         assert_eq!(sc.cache_shards, 8);
-        assert_eq!(sc.node_cache_pages, 1024);
+        assert_eq!(sc.node_cache_pages, 2048);
+    }
+
+    #[test]
+    fn backpressure_patience_maps_through() {
+        let c = HfadConfig {
+            backpressure_patience_ms: 750,
+            ..Default::default()
+        };
+        assert_eq!(c.backpressure_patience(), Some(Duration::from_millis(750)));
     }
 }

@@ -24,6 +24,11 @@ pub enum HfadError {
     InvalidIdValue(String),
     /// A naming operation was given an empty tag/value vector.
     EmptyName,
+    /// A read-only open refused a store holding unrecovered state; open
+    /// a writer (e.g. [`Hfad::open_file`](crate::fs::Hfad::open_file))
+    /// to run recovery first. Distinct from corruption: the store is
+    /// intact.
+    NeedsRecovery(String),
 }
 
 impl fmt::Display for HfadError {
@@ -36,6 +41,7 @@ impl fmt::Display for HfadError {
             HfadError::NotFound(name) => write!(f, "no object named by {name}"),
             HfadError::InvalidIdValue(v) => write!(f, "not a valid object id: {v}"),
             HfadError::EmptyName => write!(f, "a name requires at least one tag/value pair"),
+            HfadError::NeedsRecovery(msg) => write!(f, "store requires recovery: {msg}"),
         }
     }
 }
@@ -44,7 +50,12 @@ impl std::error::Error for HfadError {}
 
 impl From<OsdError> for HfadError {
     fn from(e: OsdError) -> Self {
-        HfadError::Osd(e)
+        match e {
+            // Keep "run recovery first" first-class across the layer
+            // boundary instead of burying it inside `Osd`.
+            OsdError::NeedsRecovery(msg) => HfadError::NeedsRecovery(msg),
+            e => HfadError::Osd(e),
+        }
     }
 }
 
@@ -90,5 +101,11 @@ mod tests {
         assert!(matches!(e, HfadError::Btree(_)));
         let e: HfadError = StorageError::ZeroAllocation.into();
         assert!(matches!(e, HfadError::Storage(_)));
+        let e: HfadError = OsdError::NeedsRecovery("staged checkpoint batch".into()).into();
+        assert!(
+            matches!(e, HfadError::NeedsRecovery(_)),
+            "NeedsRecovery must survive the OSD → core conversion as its own variant"
+        );
+        assert!(e.to_string().contains("requires recovery"));
     }
 }

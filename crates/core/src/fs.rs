@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use hfad_btree::TreeContext;
 use hfad_engine::{
     Engine, EngineConfig, EnginePrefetcher, EngineStats, Priority, WriteBehind, WriteBehindConfig,
 };
@@ -16,7 +17,7 @@ use hfad_index::{
     TagValue,
 };
 use hfad_osd::{CheckpointStats, Checkpointer, ObjectId, ObjectMeta, ObjectStore, StoreStats};
-use hfad_storage::{BlockDevice, GroupCommitStats, MemDevice};
+use hfad_storage::{Allocator, BlockDevice, BuddyAllocator, GroupCommitStats, MemDevice};
 
 use crate::config::{HfadConfig, IndexingMode};
 use crate::error::{HfadError, Result};
@@ -68,9 +69,11 @@ pub struct Hfad {
     /// exactly one writer, so the handle is cached and every caller
     /// gets the same instance.
     pub(crate) txn: parking_lot::Mutex<Option<Arc<hfad_osd::TxnStore>>>,
-    /// The async I/O engine, when [`HfadConfig::engine`] is on. Declared
-    /// last: every background service above submits into it, so it must
-    /// drain and join after they have all stopped.
+    /// The async I/O engine, when [`HfadConfig::engine`] is on. Every
+    /// background service above submits into it; the explicit [`Drop`]
+    /// impl stops them all first, then calls [`Engine::shutdown`] so the
+    /// workers join even when an outliving store handle still holds the
+    /// engine through the cache's prefetch sink.
     pub(crate) engine: Option<Arc<Engine>>,
 }
 
@@ -137,6 +140,31 @@ impl Hfad {
         Ok((Self::assemble(store, config, Some(ts))?, replayed))
     }
 
+    /// Opens a file-backed store **read-only**, holding the shared
+    /// multi-process lock for the handle's lifetime.
+    ///
+    /// Reader mode deliberately spins up **no background services** —
+    /// no engine, no write-behind, no checkpointer, no indices: a reader
+    /// must never write to the store file, and every one of those
+    /// services exists to produce or schedule writes. The returned
+    /// handle is the bare [`ObjectStore`]; reads go straight through its
+    /// (clean) cache. Config knobs other than the cache sizings are
+    /// ignored.
+    ///
+    /// A store with pending recovery work (a crashed writer left a
+    /// staged checkpoint batch or unreplayed journal commits) is refused
+    /// with [`HfadError::NeedsRecovery`]; run [`open_file`](Self::open_file)
+    /// once to recover, close it, then retry.
+    pub fn open_file_reader<P: AsRef<std::path::Path>>(
+        path: P,
+        config: HfadConfig,
+    ) -> Result<Arc<ObjectStore>> {
+        Ok(hfad_osd::persist::open_file_reader(
+            path,
+            config.store_config(),
+        )?)
+    }
+
     /// Assembles the full stack — engine, caches, indices, background
     /// services — over an already-constructed store. `txn` pre-populates
     /// the transactional slot (persistent opens build the writer first,
@@ -162,7 +190,14 @@ impl Hfad {
                 // Sequential-run detection in the cache now feeds
                 // ReadAhead-class prefetch jobs.
                 EnginePrefetcher::attach(Arc::clone(engine), cache, 32, 2);
-                config.write_behind.then(|| {
+                // No trickle flusher on a persistent store: its cache
+                // runs retain-dirty, where home pages are written only by
+                // doublewrite-protected checkpoint installs. Write-behind
+                // would find nothing flushable and only spin, and any
+                // page it *could* push would bypass the torn-page
+                // protection the checkpoint path provides.
+                let persistent = store.superblock().is_persistent();
+                (config.write_behind && !persistent).then(|| {
                     WriteBehind::start(
                         Arc::clone(engine),
                         Arc::clone(cache),
@@ -172,7 +207,30 @@ impl Hfad {
             }
             _ => None,
         };
-        let ctx = store.context().clone();
+        // Indices are volatile: `assemble` rebuilds them empty on every
+        // open. On a persistent store they therefore must not allocate
+        // from the durable data area — every block a B-tree takes there
+        // lands in the checkpoint's allocator snapshot, and the next
+        // open (building fresh trees) has no root to reach or free it
+        // by, so each open/crash cycle leaks the previous instance's
+        // index footprint until the store reports out-of-space. Routing
+        // their pages through the retain-dirty cache also drags index
+        // garbage through the doublewrite checkpoint path. Persistent
+        // stores back their indices with a memory-side arena sized like
+        // the data area instead; in-memory stores keep sharing the
+        // store context, whose device is already volatile.
+        let ctx = if store.superblock().is_persistent() {
+            let sb = store.superblock();
+            let arena = Arc::new(MemDevice::new(
+                sb.data_blocks.max(1),
+                sb.block_size as usize,
+            ));
+            let allocator: Arc<dyn Allocator> =
+                Arc::new(BuddyAllocator::new(0, sb.data_blocks.max(1)));
+            TreeContext::new(arena, allocator).with_node_cache(config.node_cache_pages)
+        } else {
+            store.context().clone()
+        };
         let registry = IndexRegistry::new();
         let keyvalue = Arc::new(KeyValueIndex::new(
             ctx.clone(),
@@ -195,6 +253,11 @@ impl Hfad {
             }),
             IndexingMode::Eager => None,
         };
+        // The transactional store auto-scales its backpressure patience
+        // from measured flush cost; an explicit config value overrides.
+        if let (Some(ts), Some(patience)) = (&txn, config.backpressure_patience()) {
+            ts.set_backpressure_patience(patience);
+        }
         let fs = Hfad {
             store,
             registry,
@@ -267,6 +330,9 @@ impl Hfad {
             Arc::clone(&self.store),
             self.config.group_commit_config(),
         )?);
+        if let Some(patience) = self.config.backpressure_patience() {
+            ts.set_backpressure_patience(patience);
+        }
         if let Some(checkpoint_config) = self.config.checkpoint_config() {
             let executor = self
                 .engine
@@ -394,6 +460,29 @@ impl Hfad {
     }
 }
 
+impl Drop for Hfad {
+    fn drop(&mut self) {
+        // Field drop order alone is not enough for a clean close: the
+        // cache's prefetch sink holds the engine *strongly*, so any
+        // outliving store/txn handle (benches, the POSIX veneer, a
+        // caller's `txn_store()` clone) would keep the worker threads
+        // alive forever if we only dropped our own `Arc<Engine>`. Stop
+        // every service that submits into the engine, then shut the
+        // engine down explicitly — late submissions (e.g. a prefetch
+        // from a surviving store handle) fail gracefully with
+        // `EngineError::Shutdown` and are dropped.
+        self.checkpointer.lock().take();
+        self.write_behind.take();
+        self.lazy.take();
+        // Dropping the last txn handle runs the persistent store's final
+        // checkpoint (synchronous, engine-free), making the close clean.
+        self.txn.lock().take();
+        if let Some(engine) = self.engine.take() {
+            engine.shutdown();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +494,60 @@ mod tests {
         assert_eq!(fs.object_count(), 0);
         assert_eq!(fs.stats().fulltext_documents, 0);
         assert!(fs.stats().indices.len() >= 2);
+    }
+
+    #[test]
+    fn default_configuration_runs_the_full_stack_in_memory() {
+        if crate::config::default_is_seed() {
+            return; // the CI ablation leg pins default() to seed()
+        }
+        let fs = Hfad::in_memory(16 * 1024 * 1024, HfadConfig::default()).unwrap();
+        assert!(fs.engine().is_some(), "engine is the default I/O path");
+        assert!(
+            fs.write_behind_active(),
+            "in-memory defaults trickle-flush the cache"
+        );
+        assert!(
+            fs.store().block_cache().is_some(),
+            "the block cache defaults on"
+        );
+        // Foreground semantics are unchanged by the routed background
+        // machinery.
+        let oid = fs.create(&[]).unwrap();
+        fs.write(oid, 0, b"defaults-on").unwrap();
+        assert_eq!(fs.read(oid, 0, 11).unwrap(), b"defaults-on".to_vec());
+        let stats = fs.stats();
+        assert!(stats.engine.is_some());
+    }
+
+    #[test]
+    fn dropping_the_instance_shuts_the_engine_down() {
+        // The cache's prefetch sink holds the engine strongly and the
+        // store owns the cache — so a surviving store handle would keep
+        // the engine workers alive forever without the explicit
+        // shutdown in Drop.
+        let fs = Hfad::in_memory(
+            16 * 1024 * 1024,
+            HfadConfig {
+                cache_blocks: 1024,
+                engine: true,
+                write_behind: true,
+                ..HfadConfig::seed()
+            },
+        )
+        .unwrap();
+        let engine = Arc::clone(fs.engine().expect("engine on"));
+        let store = Arc::clone(fs.store()); // outlives the instance
+        drop(fs);
+        let refused = engine
+            .submit_job(hfad_engine::Priority::Foreground, Box::new(|| Ok(())))
+            .err();
+        assert_eq!(
+            refused,
+            Some(hfad_engine::EngineError::Shutdown),
+            "drop must shut the engine down even with live store handles"
+        );
+        drop(store);
     }
 
     #[test]
@@ -486,8 +629,9 @@ mod tests {
 
     #[test]
     fn seed_configuration_reports_no_engine_or_checkpoint_stats() {
-        let fs = Hfad::in_memory(8 * 1024 * 1024, HfadConfig::default()).unwrap();
+        let fs = Hfad::in_memory(8 * 1024 * 1024, HfadConfig::seed()).unwrap();
         assert!(fs.engine().is_none());
+        assert!(!fs.write_behind_active());
         let stats = fs.stats();
         assert!(stats.engine.is_none());
         assert!(stats.checkpoint.is_none());
@@ -566,6 +710,125 @@ mod tests {
         txn.write(oid, 0, b"FULL").unwrap();
         txn.commit().unwrap();
         assert_eq!(fs.read(oid, 0, 4).unwrap(), b"FULL".to_vec());
+    }
+
+    fn scratch_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hfad-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        let mut lck = path.file_name().unwrap().to_os_string();
+        lck.push(".lck");
+        std::fs::remove_dir_all(path.with_file_name(lck)).ok();
+        path
+    }
+
+    #[test]
+    fn file_backed_defaults_run_the_engine_but_not_write_behind() {
+        // Persistent stores retain dirty pages for doublewrite-protected
+        // checkpoint installs; a trickle flusher would either spin on a
+        // cache it cannot drain or bypass the torn-page protection. The
+        // engine (read-ahead, checkpoint scheduling) still runs.
+        let path = scratch_file("defaults_on_file.hfad");
+        let config = HfadConfig {
+            journal_blocks: 64,
+            engine: true,
+            write_behind: true,
+            cache_blocks: 1024,
+            node_cache_pages: 256,
+            checkpoint_watermark_pct: 50,
+            ..HfadConfig::seed()
+        };
+        let oid = {
+            let fs = Hfad::create_file(&path, 8 << 20, config).unwrap();
+            assert!(fs.engine().is_some(), "engine runs on file-backed stores");
+            assert!(
+                !fs.write_behind_active(),
+                "write-behind must be skipped on a retain-dirty persistent store"
+            );
+            let ts = fs.txn_store().unwrap();
+            let mut txn = ts.begin();
+            let oid = txn
+                .create(ObjectMeta::new(0, 0, 0o644, hfad_osd::unix_now()))
+                .unwrap();
+            txn.write(oid, 0, b"checkpointed, not trickled").unwrap();
+            txn.commit().unwrap();
+            oid
+        };
+        let (fs, _) = Hfad::open_file(&path, config).unwrap();
+        assert!(!fs.write_behind_active());
+        assert_eq!(
+            fs.read(oid, 0, 100).unwrap(),
+            b"checkpointed, not trickled".to_vec()
+        );
+    }
+
+    #[test]
+    fn reader_mode_serves_bytes_without_background_services() {
+        let path = scratch_file("reader_mode.hfad");
+        let config = HfadConfig {
+            journal_blocks: 64,
+            ..HfadConfig::eager()
+        };
+        let oid = {
+            let fs = Hfad::create_file(&path, 8 << 20, config).unwrap();
+            let ts = fs.txn_store().unwrap();
+            let mut txn = ts.begin();
+            let oid = txn
+                .create(ObjectMeta::new(0, 0, 0o644, hfad_osd::unix_now()))
+                .unwrap();
+            txn.write(oid, 0, b"read-only view").unwrap();
+            txn.commit().unwrap();
+            oid
+        };
+        // Clean close → the reader opens a bare store: no engine, no
+        // services, just the shared lock and the (clean) cache.
+        let reader = Hfad::open_file_reader(&path, config).unwrap();
+        assert_eq!(
+            reader.read(oid, 0, 100).unwrap(),
+            b"read-only view".to_vec()
+        );
+        drop(reader);
+        // A crashed writer leaves recovery work; the reader must refuse
+        // with the dedicated NeedsRecovery error, not Corrupt. The
+        // "crashed" instance is deliberately service-free (seed + eager):
+        // a leaked background checkpointer would keep running after the
+        // mem::forget and could recover the store behind the test's back.
+        {
+            let crash_config = HfadConfig {
+                journal_blocks: 64,
+                indexing: IndexingMode::Eager,
+                ..HfadConfig::seed()
+            };
+            let fs = Hfad::create_file(&path, 8 << 20, crash_config).unwrap();
+            let ts = fs.txn_store().unwrap();
+            let mut txn = ts.begin();
+            let oid2 = txn
+                .create(ObjectMeta::new(0, 0, 0o644, hfad_osd::unix_now()))
+                .unwrap();
+            txn.write(oid2, 0, b"unrecovered").unwrap();
+            txn.commit().unwrap();
+            // The first commit after assemble may trip the dirty-page
+            // threshold checkpoint (index creation dirtied the cache),
+            // leaving nothing to recover; a second commit right after is
+            // guaranteed to sit above the fresh replay floor.
+            let mut txn = ts.begin();
+            txn.write(oid2, 0, b"unrecovered-2").unwrap();
+            txn.commit().unwrap();
+            // Simulate kill -9: leak the whole instance (no clean-close
+            // checkpoint) and sweep the dead holder's lockfiles.
+            std::mem::forget(fs);
+            let mut lck = path.file_name().unwrap().to_os_string();
+            lck.push(".lck");
+            std::fs::remove_dir_all(path.with_file_name(lck)).unwrap();
+        }
+        match Hfad::open_file_reader(&path, config) {
+            Ok(_) => panic!("reader must refuse a store with pending recovery"),
+            Err(err) => assert!(
+                matches!(err, HfadError::NeedsRecovery(_)),
+                "reader must surface NeedsRecovery, got: {err}"
+            ),
+        }
     }
 
     #[test]

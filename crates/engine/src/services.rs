@@ -85,6 +85,12 @@ impl Default for WriteBehindConfig {
 /// submitting the next, so write-behind self-paces instead of flooding
 /// the scheduler. Pages are written back but stay cached (and stay
 /// evictable-clean), shrinking the synchronous work left for `flush`.
+///
+/// A batch that makes no progress — a retain-dirty cache (persistent
+/// stores checkpoint through the doublewrite region instead of trickle-
+/// flushing) or an all-pinned dirty set — backs off for the poll interval
+/// rather than resubmitting immediately; without that, the monitor would
+/// busy-loop submitting no-op jobs at the `WriteBehind` class forever.
 pub struct WriteBehind {
     stop: Arc<AtomicBool>,
     monitor: Option<JoinHandle<()>>,
@@ -102,16 +108,29 @@ impl WriteBehind {
         let monitor = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
                 if cache.dirty_blocks() > config.high_watermark {
-                    let cache = Arc::clone(&cache);
+                    let job_cache = Arc::clone(&cache);
                     let batch = config.batch;
+                    let wrote = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                    let job_wrote = Arc::clone(&wrote);
                     match engine.submit_job(
                         Priority::WriteBehind,
-                        Box::new(move || cache.writeback_some(batch).map(|_| ())),
+                        Box::new(move || {
+                            let n = job_cache.writeback_some(batch)?;
+                            job_wrote.store(n, Ordering::Release);
+                            Ok(())
+                        }),
                     ) {
                         // Self-pacing: wait out this batch (errors land on
-                        // the token and are retried by the next tick).
+                        // the token and are retried by the next tick). A
+                        // zero-progress batch additionally backs off: the
+                        // dirty count is high but nothing is writable
+                        // (retain-dirty mode, pinned frames), so spinning
+                        // on no-op submissions helps no one.
                         Ok(token) => {
                             let _ = token.wait();
+                            if wrote.load(Ordering::Acquire) == 0 {
+                                std::thread::sleep(config.interval);
+                            }
                         }
                         // Engine gone or full: back off.
                         Err(_) => std::thread::sleep(config.interval),

@@ -27,6 +27,12 @@ pub enum OsdError {
     TransactionClosed,
     /// An on-disk structure failed validation.
     Corrupt(String),
+    /// The store is intact but holds unrecovered state (a staged
+    /// doublewrite batch or unreplayed journal commits) that only a
+    /// writer open may apply. Readers surface this instead of
+    /// [`Corrupt`](Self::Corrupt) so callers can distinguish "open a
+    /// writer first" from actual damage.
+    NeedsRecovery(String),
 }
 
 impl fmt::Display for OsdError {
@@ -41,6 +47,7 @@ impl fmt::Display for OsdError {
             ),
             OsdError::TransactionClosed => write!(f, "transaction already committed or aborted"),
             OsdError::Corrupt(msg) => write!(f, "corrupt OSD structure: {msg}"),
+            OsdError::NeedsRecovery(msg) => write!(f, "store requires recovery: {msg}"),
         }
     }
 }
@@ -78,6 +85,12 @@ mod tests {
         assert!(OsdError::TransactionClosed
             .to_string()
             .contains("committed"));
+        let e = OsdError::NeedsRecovery("unreplayed journal commits".into());
+        assert!(e.to_string().contains("requires recovery"));
+        assert!(
+            !matches!(e, OsdError::Corrupt(_)),
+            "recoverable state must be distinguishable from corruption"
+        );
     }
 
     #[test]

@@ -523,9 +523,10 @@ pub fn open_file<P: AsRef<Path>>(
 ///
 /// Readers have no recovery machinery, so a store with pending recovery
 /// work — a staged doublewrite batch or unreplayed journal commits — is
-/// refused with a `Corrupt` error asking for a writer open first. A store
-/// closed cleanly (every writer checkpoint empties the journal and clears
-/// the staging region) always passes.
+/// refused with [`OsdError::NeedsRecovery`] asking for a writer open
+/// first (distinct from `Corrupt`: the store is intact). A store closed
+/// cleanly (every writer checkpoint empties the journal and clears the
+/// staging region) always passes.
 pub fn open_file_reader<P: AsRef<Path>>(path: P, config: StoreConfig) -> Result<Arc<ObjectStore>> {
     let path = path.as_ref();
     let lock = ProcLock::acquire(path, LockMode::Shared)?;
@@ -539,8 +540,8 @@ pub fn open_file_reader<P: AsRef<Path>>(path: P, config: StoreConfig) -> Result<
     }
     let dw = Doublewrite::new(Arc::clone(&raw), sb.dw_start, sb.dw_blocks)?;
     if dw.read_valid_batch()?.is_some() {
-        return Err(OsdError::Corrupt(
-            "store requires recovery (staged checkpoint batch); open a writer first".into(),
+        return Err(OsdError::NeedsRecovery(
+            "staged checkpoint batch; open a writer first".into(),
         ));
     }
     let meta = load_meta(&raw, &sb)?.ok_or_else(|| {
@@ -552,8 +553,8 @@ pub fn open_file_reader<P: AsRef<Path>>(path: P, config: StoreConfig) -> Result<
         .iter()
         .any(|r| r.kind == RecordKind::Commit && r.seq >= meta.replay_floor);
     if needs_replay {
-        return Err(OsdError::Corrupt(
-            "store requires recovery (unreplayed journal commits); open a writer first".into(),
+        return Err(OsdError::NeedsRecovery(
+            "unreplayed journal commits; open a writer first".into(),
         ));
     }
     let geometry = resolve_geometry(&config);
@@ -733,9 +734,11 @@ mod tests {
             Err(e) => e,
         };
         assert!(
-            err.to_string().contains("requires recovery"),
-            "reader must refuse a crashed store, got: {err}"
+            matches!(err, OsdError::NeedsRecovery(_)),
+            "reader must refuse a crashed store with NeedsRecovery (not \
+             Corrupt), got: {err}"
         );
+        assert!(err.to_string().contains("requires recovery"));
         // A writer open recovers; after it closes the reader succeeds.
         let (ts, replayed) = open_file(&path, StoreConfig::default(), Default::default()).unwrap();
         assert!(replayed > 0);

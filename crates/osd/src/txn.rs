@@ -195,9 +195,24 @@ pub const STALL_BUCKET_BOUNDS_NS: [u64; 4] = [100_000, 500_000, 2_000_000, 10_00
 /// Number of commit-stall histogram buckets.
 pub const STALL_BUCKETS: usize = STALL_BUCKET_BOUNDS_NS.len() + 2;
 
-/// How long a committer waits on the background checkpointer to free
-/// journal space before giving up and checkpointing inline itself.
-const BACKPRESSURE_PATIENCE: Duration = Duration::from_millis(200);
+/// Default patience of a committer waiting on the background
+/// checkpointer to free journal space before giving up and checkpointing
+/// inline itself. The effective value auto-scales with the journal
+/// device's measured flush cost (see
+/// [`TxnStore::backpressure_patience`]); an in-memory device keeps
+/// exactly this floor.
+pub const DEFAULT_BACKPRESSURE_PATIENCE: Duration = Duration::from_millis(200);
+
+/// Flush-cost multiple used when auto-scaling backpressure patience: a
+/// background checkpoint is a bounded burst of device flushes, so giving
+/// the checkpointer ~this many flush-times before a committer falls back
+/// to stop-the-world keeps slow-fsync devices (a `FileDevice` on real
+/// disk) from firing the inline fallback spuriously.
+const PATIENCE_FLUSH_MULTIPLE: u32 = 50;
+
+/// Ceiling on auto-scaled patience: a pathologically slow device must
+/// not make a starved committer wait unboundedly before helping itself.
+const MAX_AUTO_PATIENCE: Duration = Duration::from_secs(5);
 
 /// Checkpoint and commit-stall counters for one [`TxnStore`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -269,6 +284,9 @@ pub struct TxnStore {
     commit_stall_ns: AtomicU64,
     max_commit_stall_ns: AtomicU64,
     stall_histogram: [AtomicU64; STALL_BUCKETS],
+    /// Nanoseconds a committer blocked on a full journal waits for the
+    /// background checkpointer before checkpointing inline itself.
+    backpressure_patience_ns: AtomicU64,
     signals: CheckpointSignals,
 }
 
@@ -298,6 +316,16 @@ impl TxnStore {
             Some(p) => Arc::clone(&p.raw),
             None => Arc::clone(&store.context().device),
         };
+        // Auto-scale backpressure patience from one measured flush: the
+        // stop-the-world fallback should only fire when the checkpointer
+        // is genuinely wedged, not merely paying a slow device's fsync a
+        // few dozen times. A memory-speed flush keeps the 200 ms floor.
+        let patience = {
+            let t0 = Instant::now();
+            journal_device.flush()?;
+            (t0.elapsed() * PATIENCE_FLUSH_MULTIPLE)
+                .clamp(DEFAULT_BACKPRESSURE_PATIENCE, MAX_AUTO_PATIENCE)
+        };
         let journal = Journal::new(journal_device, sb.journal_start, sb.journal_blocks)?;
         Ok(TxnStore {
             store,
@@ -311,6 +339,7 @@ impl TxnStore {
             commit_stall_ns: AtomicU64::new(0),
             max_commit_stall_ns: AtomicU64::new(0),
             stall_histogram: Default::default(),
+            backpressure_patience_ns: AtomicU64::new(patience.as_nanos() as u64),
             signals: CheckpointSignals {
                 checkpointer_attached: AtomicBool::new(false),
                 requested: AtomicBool::new(false),
@@ -325,6 +354,22 @@ impl TxnStore {
     /// The wrapped store.
     pub fn store(&self) -> &ObjectStore {
         &self.store
+    }
+
+    /// How long a committer blocked on a full journal waits for the
+    /// background checkpointer to reclaim space before falling back to an
+    /// inline stop-the-world checkpoint. Defaults to ~50× the measured
+    /// flush cost of the journal device, floored at
+    /// [`DEFAULT_BACKPRESSURE_PATIENCE`] (the exact value an in-memory
+    /// device gets) and capped at 5 s.
+    pub fn backpressure_patience(&self) -> Duration {
+        Duration::from_nanos(self.backpressure_patience_ns.load(Ordering::Relaxed))
+    }
+
+    /// Overrides the auto-scaled backpressure patience.
+    pub fn set_backpressure_patience(&self, patience: Duration) {
+        self.backpressure_patience_ns
+            .store(patience.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// The underlying journal (recovery scans, tests).
@@ -630,7 +675,7 @@ impl TxnStore {
         let journal = self.group.journal();
         if self.signals.checkpointer_attached.load(Ordering::Acquire) {
             self.request_checkpoint();
-            let deadline = Instant::now() + BACKPRESSURE_PATIENCE;
+            let deadline = Instant::now() + self.backpressure_patience();
             let mut guard = self.signals.space_lock.lock().expect("space lock");
             while journal.available_bytes() < needed
                 && self.signals.checkpointer_attached.load(Ordering::Acquire)
@@ -983,6 +1028,40 @@ mod tests {
         txn.commit().unwrap();
         ts.checkpoint().unwrap();
         assert_eq!(ts.replay().unwrap(), 0);
+    }
+
+    #[test]
+    fn backpressure_patience_scales_with_device_flush_cost() {
+        // Memory-speed flush: patience stays at the 200 ms floor.
+        let ts = txn_store();
+        assert_eq!(ts.backpressure_patience(), DEFAULT_BACKPRESSURE_PATIENCE);
+        // A slow-fsync device (10 ms per flush) must grow patience well
+        // beyond the floor, or the stop-the-world fallback fires while
+        // the background checkpointer is still mid-drain.
+        let device = Arc::new(hfad_storage::FlushDelayDevice::new(
+            MemDevice::with_capacity(16 * 1024 * 1024),
+            Duration::from_millis(10),
+        ));
+        let store = Arc::new(
+            ObjectStore::create(
+                device,
+                StoreConfig {
+                    journal_blocks: 256,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let ts = TxnStore::new(store).unwrap();
+        let patience = ts.backpressure_patience();
+        assert!(
+            patience >= Duration::from_millis(400),
+            "10 ms flushes must scale patience well past the 200 ms floor, got {patience:?}"
+        );
+        assert!(patience <= Duration::from_secs(5), "capped at 5 s");
+        // And the knob is overridable.
+        ts.set_backpressure_patience(Duration::from_millis(42));
+        assert_eq!(ts.backpressure_patience(), Duration::from_millis(42));
     }
 
     #[test]

@@ -33,6 +33,22 @@
 //! which is what makes zeroing-free reclaim safe, including when the live
 //! extent wraps around the physical end of the ring.
 //!
+//! Monotonicity alone is not enough across *crash generations*, though.
+//! A kill mid-batch leaves an unacknowledged frame suffix on the device;
+//! the recovery scan stops before it and the next generation re-derives
+//! `next_seq` from the scan end — re-issuing the very seqs the dead
+//! suffix carries, at the very offsets it occupies (frame layouts are
+//! deterministic). A later recovery can then walk seamlessly off the new
+//! generation's chain into the old generation's leftovers: checksum
+//! valid, seq continuous, yet the payloads are from another timeline —
+//! and a junction that lands mid-transaction replays a `Data` without
+//! its `Begin`, silently applying a stale fragment. To break the
+//! realignment, every reclaim that empties the ring ([`Journal::reset`]
+//! and a full [`Journal::reclaim_to`]) *rotates the seq lineage*: it
+//! skips `next_seq` forward by a fresh random amount and persists the
+//! skip in the header, so no two generations ever share a seq lineage
+//! and a cross-generation junction fails the continuity check.
+//!
 //! The header is updated ping-pong (the newer slot is chosen by update
 //! counter at open) and flushed before the reclaimed extent can be
 //! rewritten, so a crash mid-checkpoint at worst recovers with the *old*
@@ -92,6 +108,26 @@ pub const JOURNAL_HEADER_BLOCKS: u64 = 2;
 
 /// Magic identifying a journal header block ("hFAD JRNL", versioned).
 const JOURNAL_HEADER_MAGIC: u64 = 0x6846_4144_4A52_4E01;
+
+/// Fresh entropy for a seq-lineage rotation (see the module docs): wall
+/// clock, pid and a process-global counter folded through FNV-1a.
+/// Uniqueness only needs to be probabilistic — a stale cross-generation
+/// frame is replayed only if its stored seq *exactly* matches the
+/// rotated lineage, so a 32-bit skip bounds that to ~2⁻³² per junction
+/// while leaving 2³² rotations of headroom in the u64 seq space.
+fn lineage_skip() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut buf = [0u8; 24];
+    buf[..8].copy_from_slice(&nanos.to_le_bytes());
+    buf[8..16].copy_from_slice(&u64::from(std::process::id()).to_le_bytes());
+    buf[16..].copy_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+    1 + (fnv1a(&buf) & 0xFFFF_FFFF)
+}
 
 // Header layout: magic(u64) | update(u64) | tail(u64) | tail_seq(u64) | crc(u64)
 const HEADER_ENCODED_LEN: usize = 5 * 8;
@@ -420,6 +456,10 @@ impl<D: BlockDevice> Journal<D> {
     /// on-device header still points into it. A mark older than the
     /// current tail is a no-op: a racing checkpointer and committer can
     /// both reclaim without coordination.
+    ///
+    /// A reclaim that empties the ring also rotates the seq lineage (the
+    /// module docs explain why); a partial reclaim cannot — the live
+    /// frames beyond the mark must stay seq-continuous with the header.
     pub fn reclaim_to(&self, mark: JournalMark) -> Result<()> {
         let mut inner = self.inner.lock();
         if mark.head <= inner.tail {
@@ -429,11 +469,19 @@ impl<D: BlockDevice> Journal<D> {
             mark.head <= inner.head,
             "mark must come from this journal's own history"
         );
+        let seq = if mark.head == inner.head {
+            mark.seq + lineage_skip()
+        } else {
+            mark.seq
+        };
         let slot = 1 - inner.header_slot;
         let update = inner.header_update + 1;
-        self.write_header(slot, update, mark.head, mark.seq, true)?;
+        self.write_header(slot, update, mark.head, seq, true)?;
         inner.tail = mark.head;
-        inner.tail_seq = mark.seq;
+        inner.tail_seq = seq;
+        if mark.head == inner.head {
+            inner.next_seq = seq;
+        }
         inner.header_slot = slot;
         inner.header_update = update;
         Ok(())
@@ -442,7 +490,9 @@ impl<D: BlockDevice> Journal<D> {
     /// Reclaims the whole current log (checkpoint has made its contents
     /// redundant): equivalent to `reclaim_to(self.mark())` but atomic with
     /// respect to concurrent appends. O(1) — one header write and flush,
-    /// no zeroing pass.
+    /// no zeroing pass. The emptied ring's seq lineage is rotated (see
+    /// the module docs), so the frames just reclaimed can never realign
+    /// with a future generation's chain.
     pub fn reset(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if inner.head == inner.tail {
@@ -450,10 +500,11 @@ impl<D: BlockDevice> Journal<D> {
         }
         let slot = 1 - inner.header_slot;
         let update = inner.header_update + 1;
-        let (head, seq) = (inner.head, inner.next_seq);
+        let (head, seq) = (inner.head, inner.next_seq + lineage_skip());
         self.write_header(slot, update, head, seq, true)?;
         inner.tail = head;
         inner.tail_seq = seq;
+        inner.next_seq = seq;
         inner.header_slot = slot;
         inner.header_update = update;
         Ok(())
@@ -809,9 +860,14 @@ mod tests {
         assert!(j.recover().unwrap().is_empty(), "reset survived the crash");
         // Same frame sizes as the old txn 1: under restarting seq
         // numbering this log would end exactly where stale txn 2's
-        // Begin frame starts, with the next expected seq.
+        // Begin frame starts, with the next expected seq. The reset
+        // also rotated the lineage, so the new stream starts strictly
+        // above the seqs the stale frames carry.
         let first = j.append(9, RecordKind::Begin, b"").unwrap();
-        assert_eq!(first, 7, "seq numbering must continue across the reset");
+        assert!(
+            first > 6,
+            "seq numbering must never restart across the reset, got {first}"
+        );
         j.append(9, RecordKind::Data, b"ten-bytes!").unwrap();
         j.append(9, RecordKind::Commit, b"").unwrap();
         for journal in [&j, &Journal::new(Arc::clone(&dev), 1, 32).unwrap()] {
@@ -819,6 +875,54 @@ mod tests {
             assert_eq!(committed.len(), 1, "stale txn 2 must not resurrect");
             assert_eq!(committed[0].0, 9);
         }
+    }
+
+    #[test]
+    fn torn_frame_then_reset_never_splices_onto_the_stale_suffix() {
+        // The cross-generation splice the full-stack crash harness
+        // caught: generation A logs txn 1 and txn 2, but txn 2's Begin
+        // frame tears. Generation B's scan stops at the torn frame
+        // (txn 1 only), checkpoints (reset), appends a Begin of exactly
+        // the same size — landing byte-for-byte where txn 2's Begin sat
+        // — and crashes. Without a lineage rotation that fresh Begin
+        // would carry the same seq the torn frame did, so generation
+        // C's scan would march straight off it into txn 2's stale
+        // Data/Commit frames (CRC-valid and seq-continuous) and
+        // resurrect a fragment the checkpoint already declared dead.
+        let dev = Arc::new(MemDevice::new(64, 512));
+        {
+            let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+            for t in 1..=2u64 {
+                j.append(t, RecordKind::Begin, b"").unwrap();
+                j.append(t, RecordKind::Data, b"ten-bytes!").unwrap();
+                j.append(t, RecordKind::Commit, b"").unwrap();
+            }
+        }
+        // Tear txn 2's Begin frame: txn 1 spans 29 + 39 + 29 = 97 ring
+        // bytes, so that Begin's CRC trailer sits at ring bytes
+        // 118..126. Flip one trailer byte.
+        let ring_first_block = 1 + JOURNAL_HEADER_BLOCKS;
+        let mut block = vec![0u8; 512];
+        dev.read_block(ring_first_block, &mut block).unwrap();
+        block[118] ^= 0x5A;
+        dev.write_block(ring_first_block, &block).unwrap();
+        {
+            let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+            let committed = j.committed_payloads().unwrap();
+            assert_eq!(committed.len(), 1);
+            assert_eq!(committed[0].0, 1);
+            j.reset().unwrap();
+            j.append(9, RecordKind::Begin, b"").unwrap();
+            // Crash here, mid-transaction.
+        }
+        // Generation C must see only the lone in-flight Begin: txn 2's
+        // stale frames sit right after it on disk but belong to a dead
+        // lineage.
+        let j = Journal::new(Arc::clone(&dev), 1, 32).unwrap();
+        let recs = j.recover().unwrap();
+        assert_eq!(recs.len(), 1, "stale txn 2 frames must not splice back in");
+        assert_eq!(recs[0].txn_id, 9);
+        assert!(j.committed_payloads().unwrap().is_empty());
     }
 
     #[test]

@@ -192,6 +192,16 @@ impl ProcLock {
                 // Step 2: take the writer lock (waits out a live previous
                 // writer, heals a killed one)...
                 acquire_lockfile(&writer_lock, deadline)?;
+                // Guard-first: from this point the lockfile belongs to
+                // this ProcLock, so every exit below — the reader-drain
+                // timeout, a `live_readers` error, a panic — releases it
+                // through Drop. Without the guard, an error here leaks a
+                // writer.lock naming a *live* pid, which no later
+                // contender can ever heal.
+                let lock = ProcLock {
+                    mode,
+                    token: writer_lock,
+                };
                 // ...then wait for in-flight readers to drain. Holding
                 // the queue here is what blocks *new* readers and keeps
                 // writers from starving.
@@ -201,7 +211,6 @@ impl ProcLock {
                         break;
                     }
                     if Instant::now() >= deadline {
-                        let _ = fs::remove_file(&writer_lock);
                         return Err(StorageError::Io(format!(
                             "timed out waiting for {live} readers on {}",
                             store.display()
@@ -209,10 +218,7 @@ impl ProcLock {
                     }
                     std::thread::sleep(POLL);
                 }
-                Ok(ProcLock {
-                    mode,
-                    token: writer_lock,
-                })
+                Ok(lock)
             }
             LockMode::Shared => {
                 // Step 2: wait until no writer holds (or is stale on)
@@ -247,8 +253,12 @@ impl ProcLock {
                     .map_err(|e| {
                         StorageError::Io(format!("registering reader {}: {e}", token.display()))
                     })?;
+                // Guard-first here too: a failed identity write must
+                // remove the token via Drop, not leave an empty file for
+                // the next writer's healer to clean up.
+                let lock = ProcLock { mode, token };
                 f.write_all(format!("{pid} {start}\n").as_bytes())?;
-                Ok(ProcLock { mode, token })
+                Ok(lock)
             }
         };
         // Step 3: release the queue (QueueTicket drop) so the next
@@ -398,6 +408,50 @@ mod tests {
             waited < Duration::from_secs(5),
             "writer waited {waited:?} under reader churn"
         );
+    }
+
+    #[test]
+    fn failed_exclusive_acquire_releases_writer_lock() {
+        // Regression: an error between winning writer.lock and the guard
+        // being constructed used to leak a lockfile naming a *live* pid —
+        // unhealable, wedging the store for every later contender. Drive
+        // the `live_readers` error path by deleting the readers dir out
+        // from under a writer waiting for a reader to drain.
+        let store = scratch("errleak");
+        let dir = lock_dir(&store);
+        let reader = ProcLock::acquire(&store, LockMode::Shared).unwrap();
+        let writer_store = store.clone();
+        let writer = std::thread::spawn(move || {
+            ProcLock::acquire_timeout(&writer_store, LockMode::Exclusive, Duration::from_secs(2))
+        });
+        // Let the writer win queue.lock + writer.lock and settle into the
+        // reader-drain poll loop, then break its next `live_readers` call.
+        std::thread::sleep(Duration::from_millis(100));
+        fs::remove_dir_all(dir.join("readers")).unwrap();
+        let res = writer.join().unwrap();
+        assert!(
+            res.is_err(),
+            "the acquire must surface the readers-dir error"
+        );
+        drop(reader);
+        // The failed attempt's writer.lock must have been released: a
+        // fresh exclusive acquire succeeds instead of timing out against
+        // a leaked live-pid lockfile.
+        ProcLock::acquire_timeout(&store, LockMode::Exclusive, Duration::from_secs(2))
+            .expect("a failed exclusive acquire must not leak writer.lock");
+    }
+
+    #[test]
+    fn timed_out_exclusive_acquire_releases_writer_lock() {
+        // The reader-drain timeout path must release through the same
+        // guard (it used to rely on a manual remove_file).
+        let store = scratch("timeoutleak");
+        let reader = ProcLock::acquire(&store, LockMode::Shared).unwrap();
+        let err = ProcLock::acquire_timeout(&store, LockMode::Exclusive, Duration::from_millis(50));
+        assert!(err.is_err(), "a live reader must time the writer out");
+        drop(reader);
+        ProcLock::acquire_timeout(&store, LockMode::Exclusive, Duration::from_secs(2))
+            .expect("a timed-out exclusive acquire must not leak writer.lock");
     }
 
     #[test]
