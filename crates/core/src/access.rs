@@ -26,11 +26,13 @@ impl Hfad {
     /// Writes `data` at `offset` (POSIX-compatible semantics; also usable
     /// for appends).
     pub fn write(&self, oid: ObjectId, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_writable()?;
         Ok(self.store.write(oid, offset, data)?)
     }
 
     /// Appends `data` at the end of the object.
     pub fn append(&self, oid: ObjectId, data: &[u8]) -> Result<()> {
+        self.check_writable()?;
         Ok(self.store.append(oid, data)?)
     }
 
@@ -38,6 +40,7 @@ impl Hfad {
     /// — the paper's `insert` call, which "takes arguments identical to the
     /// write call" but splices rather than overwrites.
     pub fn insert(&self, oid: ObjectId, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_writable()?;
         Ok(self.store.insert(oid, offset, data)?)
     }
 
@@ -45,11 +48,13 @@ impl Hfad {
     /// which "takes two off_t's, an offset and length, indicating exactly
     /// which bytes to remove from the file".
     pub fn truncate_range(&self, oid: ObjectId, offset: u64, len: u64) -> Result<()> {
+        self.check_writable()?;
         Ok(self.store.truncate_range(oid, offset, len)?)
     }
 
     /// POSIX-style truncate to an absolute size.
     pub fn truncate(&self, oid: ObjectId, new_size: u64) -> Result<()> {
+        self.check_writable()?;
         Ok(self.store.truncate(oid, new_size)?)
     }
 

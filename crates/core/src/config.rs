@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use hfad_osd::{AllocatorKind, StoreConfig, DEFAULT_MAX_EXTENT_BYTES};
-use hfad_storage::GroupCommitConfig;
+use hfad_storage::{GroupCommitConfig, RetryPolicy};
 
 /// How full-text content indexing is performed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +99,15 @@ pub struct HfadConfig {
     /// device, proportionally more on a slow-fsync `FileDevice` (see
     /// [`hfad_osd::TxnStore::backpressure_patience`]).
     pub backpressure_patience_ms: u64,
+    /// Attempt budget for transient device faults (`StorageError::
+    /// TransientIo`), applied uniformly to group-commit journal flushes,
+    /// checkpoints and every engine priority class. `0` (the default)
+    /// keeps each layer's standard policy
+    /// ([`hfad_storage::RetryPolicy::standard`]: 5 attempts, exponential
+    /// backoff from 1 ms); `1` disables retries; larger values deepen the
+    /// budget — what the chaos soak uses to statistically outlast high
+    /// injected fault rates.
+    pub retry_attempts: u32,
 }
 
 impl Default for HfadConfig {
@@ -154,7 +163,18 @@ impl HfadConfig {
             write_behind: false,
             checkpoint_watermark_pct: 0,
             backpressure_patience_ms: 0,
+            retry_attempts: 0,
         }
+    }
+
+    /// The transient-fault retry policy implied by
+    /// [`retry_attempts`](Self::retry_attempts): `None` when `0` (each
+    /// layer keeps its own default).
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        (self.retry_attempts > 0).then(|| RetryPolicy {
+            max_attempts: self.retry_attempts,
+            ..RetryPolicy::standard()
+        })
     }
 
     /// Derives the OSD store configuration.
@@ -176,6 +196,7 @@ impl HfadConfig {
         GroupCommitConfig {
             max_batch: self.journal_batch,
             max_wait: Duration::from_micros(self.journal_batch_wait_us),
+            retry: self.retry_policy().unwrap_or_default(),
         }
     }
 
@@ -193,6 +214,7 @@ impl HfadConfig {
     pub fn checkpoint_config(&self) -> Option<hfad_osd::CheckpointConfig> {
         (self.checkpoint_watermark_pct > 0).then(|| hfad_osd::CheckpointConfig {
             watermark_pct: self.checkpoint_watermark_pct,
+            retry: self.retry_policy().unwrap_or_default(),
             ..Default::default()
         })
     }
@@ -322,5 +344,35 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(c.backpressure_patience(), Some(Duration::from_millis(750)));
+    }
+
+    #[test]
+    fn retry_attempts_maps_onto_every_retry_site() {
+        // 0 leaves each layer on its own default policy.
+        let c = HfadConfig {
+            retry_attempts: 0,
+            checkpoint_watermark_pct: 50,
+            ..Default::default()
+        };
+        assert_eq!(c.retry_policy(), None);
+        assert_eq!(c.group_commit_config().retry, RetryPolicy::standard());
+        assert_eq!(
+            c.checkpoint_config().unwrap().retry,
+            RetryPolicy::standard()
+        );
+
+        // A non-zero budget overrides only the attempt count, everywhere.
+        let c = HfadConfig {
+            retry_attempts: 12,
+            checkpoint_watermark_pct: 50,
+            ..Default::default()
+        };
+        let expected = RetryPolicy {
+            max_attempts: 12,
+            ..RetryPolicy::standard()
+        };
+        assert_eq!(c.retry_policy(), Some(expected));
+        assert_eq!(c.group_commit_config().retry, expected);
+        assert_eq!(c.checkpoint_config().unwrap().retry, expected);
     }
 }

@@ -17,7 +17,9 @@ use hfad_index::{
     TagValue,
 };
 use hfad_osd::{CheckpointStats, Checkpointer, ObjectId, ObjectMeta, ObjectStore, StoreStats};
-use hfad_storage::{Allocator, BlockDevice, BuddyAllocator, GroupCommitStats, MemDevice};
+use hfad_storage::{
+    Allocator, BlockDevice, BuddyAllocator, GroupCommitStats, Health, HealthState, MemDevice,
+};
 
 use crate::config::{HfadConfig, IndexingMode};
 use crate::error::{HfadError, Result};
@@ -45,6 +47,8 @@ pub struct HfadStats {
     /// Group-commit counters; `None` until a transactional store has
     /// been opened.
     pub group_commit: Option<GroupCommitStats>,
+    /// The store-wide health at snapshot time (see [`Hfad::health`]).
+    pub health: Health,
 }
 
 /// The hFAD file system.
@@ -69,6 +73,11 @@ pub struct Hfad {
     /// exactly one writer, so the handle is cached and every caller
     /// gets the same instance.
     pub(crate) txn: parking_lot::Mutex<Option<Arc<hfad_osd::TxnStore>>>,
+    /// One health machine shared by every layer of this instance: the
+    /// transactional store and checkpointer report into it, and the
+    /// non-transactional write paths gate on it (see
+    /// [`check_writable`](Self::check_writable)).
+    pub(crate) health: Arc<HealthState>,
     /// The async I/O engine, when [`HfadConfig::engine`] is on. Every
     /// background service above submits into it; the explicit [`Drop`]
     /// impl stops them all first, then calls [`Engine::shutdown`] so the
@@ -174,6 +183,11 @@ impl Hfad {
         config: HfadConfig,
         txn: Option<Arc<hfad_osd::TxnStore>>,
     ) -> Result<Self> {
+        if let (Some(policy), Some(cache)) = (config.retry_policy(), store.block_cache()) {
+            // One knob, every retry site: the cache's read-fill backoff
+            // follows the same budget as group commit and the engine.
+            cache.set_read_retry(policy);
+        }
         let engine = config.engine.then(|| {
             let raw: Arc<dyn BlockDevice> = match store.block_cache() {
                 Some(cache) => Arc::clone(cache.inner()),
@@ -182,6 +196,9 @@ impl Hfad {
             let mut engine_config = EngineConfig::default();
             if config.engine_workers > 0 {
                 engine_config.workers = config.engine_workers;
+            }
+            if let Some(policy) = config.retry_policy() {
+                engine_config.retry = [policy; 4];
             }
             Engine::with_config(raw, engine_config)
         });
@@ -258,6 +275,14 @@ impl Hfad {
         if let (Some(ts), Some(patience)) = (&txn, config.backpressure_patience()) {
             ts.set_backpressure_patience(patience);
         }
+        // Persistent opens built their transactional writer first; adopt
+        // its health machine so the whole stack shares one. Otherwise
+        // start healthy and hand the machine to the writer when
+        // `txn_store()` builds it.
+        let health = match &txn {
+            Some(ts) => ts.health_state(),
+            None => Arc::new(HealthState::new()),
+        };
         let fs = Hfad {
             store,
             registry,
@@ -267,6 +292,7 @@ impl Hfad {
             lazy,
             config,
             txn: parking_lot::Mutex::new(txn.clone()),
+            health,
             engine,
         };
         // With a pre-populated transactional slot, txn_store() will never
@@ -326,9 +352,10 @@ impl Hfad {
         if let Some(ts) = slot.as_ref() {
             return Ok(Arc::clone(ts));
         }
-        let ts = Arc::new(hfad_osd::TxnStore::with_config(
+        let ts = Arc::new(hfad_osd::TxnStore::with_config_and_health(
             Arc::clone(&self.store),
             self.config.group_commit_config(),
+            Arc::clone(&self.health),
         )?);
         if let Some(patience) = self.config.backpressure_patience() {
             ts.set_backpressure_patience(patience);
@@ -346,6 +373,26 @@ impl Hfad {
         }
         *slot = Some(Arc::clone(&ts));
         Ok(ts)
+    }
+
+    /// The instance's current health.
+    ///
+    /// The state machine is `Healthy → Degraded → ReadOnly → FailStop`,
+    /// ratcheting forward as faults accumulate: transient device errors
+    /// being retried mark the store `Degraded` (and a success restores
+    /// `Healthy`); a permanent journal or checkpoint failure — or a
+    /// transient one that outlives every retry budget — degrades it to
+    /// `ReadOnly`, where reads keep serving but writes are rejected with
+    /// [`hfad_storage::StorageError::ReadOnly`]; an acknowledged commit
+    /// that failed to apply fail-stops the instance.
+    pub fn health(&self) -> Health {
+        self.health.health()
+    }
+
+    /// Rejects the calling write path when the store is no longer
+    /// writable; the cheap happy path is one atomic load.
+    pub(crate) fn check_writable(&self) -> Result<()> {
+        Ok(self.health.check_writable()?)
     }
 
     /// The async I/O engine, when [`HfadConfig::engine`] is on.
@@ -389,6 +436,7 @@ impl Hfad {
             engine: self.engine.as_ref().map(|e| e.stats()),
             checkpoint: txn.as_ref().map(|ts| ts.checkpoint_stats()),
             group_commit: txn.as_ref().map(|ts| ts.group_commit_stats()),
+            health: self.health.health(),
         }
     }
 

@@ -67,4 +67,4 @@ pub use refine::SearchCursor;
 // so `hfad-core` is usable without importing the substrate crates.
 pub use hfad_index::{Query, Tag, TagValue};
 pub use hfad_osd::{AllocatorKind, ObjectId, ObjectMeta, Security, StoreConfig, StoreStats};
-pub use hfad_storage::{GroupCommitConfig, GroupCommitStats};
+pub use hfad_storage::{GroupCommitConfig, GroupCommitStats, Health};

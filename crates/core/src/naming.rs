@@ -26,6 +26,7 @@ impl Hfad {
 
     /// Creates an empty object with explicit metadata.
     pub fn create_with_meta(&self, tags: &[TagValue], meta: ObjectMeta) -> Result<ObjectId> {
+        self.check_writable()?;
         let oid = self.store.create_object(meta)?;
         self.add_tags(oid, tags)?;
         Ok(oid)
@@ -117,6 +118,7 @@ impl Hfad {
     /// Deletes an object: every index posting is removed, then the object
     /// and its storage are released.
     pub fn delete(&self, oid: ObjectId) -> Result<()> {
+        self.check_writable()?;
         self.registry.remove_object(oid)?;
         Ok(self.store.delete(oid)?)
     }

@@ -5,7 +5,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hfad_index::{BackgroundExecutor, SubmitError};
-use hfad_storage::BlockDevice;
+use hfad_storage::{BlockDevice, RetryPolicy};
 
 use crate::error::{EngineError, Result};
 use crate::op::{Completion, CompletionResult, CompletionState, IoOp, Priority};
@@ -59,6 +59,14 @@ pub struct EngineConfig {
     pub aging: Duration,
     /// Per-class admission control, in [`Priority::ALL`] order.
     pub classes: [ClassConfig; 4],
+    /// Per-class transient-error retry, in [`Priority::ALL`] order. A
+    /// worker re-executes a read/write/flush that failed with
+    /// [`StorageError::TransientIo`](hfad_storage::StorageError::TransientIo)
+    /// under its class's policy before surfacing the error on the
+    /// completion token. The op stays *executing* across retries, so
+    /// per-block FIFO chains and flush gates are unaffected. Opaque
+    /// jobs ([`Engine::submit_job`]) are `FnOnce` and never retried.
+    pub retry: [RetryPolicy; 4],
 }
 
 impl Default for EngineConfig {
@@ -76,6 +84,7 @@ impl Default for EngineConfig {
                 // Lazy indexing blocks its producer (bounded backlog).
                 ClassConfig::blocking(1024),
             ],
+            retry: [RetryPolicy::standard(); 4],
         }
     }
 }
@@ -322,19 +331,21 @@ impl BackgroundExecutor for ClassExecutor {
     }
 }
 
-fn execute(shared: &Shared, work: Work) -> CompletionResult {
+/// One execution attempt of a re-issuable device op (`work` must not be
+/// [`Work::Job`]).
+fn execute_device(shared: &Shared, work: &Work) -> CompletionResult {
     match work {
         Work::Read { block } => {
             let mut buf = vec![0u8; shared.device.block_size()];
             shared
                 .device
-                .read_block(block, &mut buf)
+                .read_block(*block, &mut buf)
                 .map(|_| Some(Arc::from(buf.into_boxed_slice())))
                 .map_err(EngineError::Storage)
         }
         Work::Write { block, data } => shared
             .device
-            .write_block(block, &data)
+            .write_block(*block, data)
             .map(|_| None)
             .map_err(EngineError::Storage),
         Work::Flush => shared
@@ -342,7 +353,52 @@ fn execute(shared: &Shared, work: Work) -> CompletionResult {
             .flush()
             .map(|_| None)
             .map_err(EngineError::Storage),
-        Work::Job(job) => job().map(|_| None).map_err(EngineError::Storage),
+        Work::Job(_) => unreachable!("jobs are executed once, not via execute_device"),
+    }
+}
+
+/// What one (possibly retried) execution cost, for the retire-side
+/// counters.
+struct ExecOutcome {
+    result: CompletionResult,
+    /// Re-attempts performed after transient failures.
+    retries: u64,
+    /// The op surfaced a transient error with its retry budget spent.
+    gave_up: bool,
+}
+
+/// Executes `work`, re-attempting transient device failures under the
+/// class's [`RetryPolicy`]. Jobs are `FnOnce` closures (the work is
+/// consumed by running it), so they execute exactly once — a job that
+/// wants retry semantics owns them internally.
+fn execute(shared: &Shared, work: Work, policy: RetryPolicy) -> ExecOutcome {
+    if let Work::Job(job) = work {
+        return ExecOutcome {
+            result: job().map(|_| None).map_err(EngineError::Storage),
+            retries: 0,
+            gave_up: false,
+        };
+    }
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 1;
+    let mut retries = 0;
+    loop {
+        let result = execute_device(shared, &work);
+        let transient = matches!(&result, Err(e) if e.is_transient());
+        if transient && attempt < attempts {
+            retries += 1;
+            let pause = policy.backoff(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            attempt += 1;
+            continue;
+        }
+        return ExecOutcome {
+            result,
+            retries,
+            gave_up: transient && retries > 0,
+        };
     }
 }
 
@@ -358,17 +414,24 @@ fn worker_loop(shared: &Shared) {
             drop(core);
 
             let started = Instant::now();
-            let result = execute(shared, op.work);
+            let outcome = execute(shared, op.work, shared.config.retry[class.index()]);
             let service = started.elapsed();
-            let succeeded = result.is_ok();
+            let succeeded = outcome.result.is_ok();
             // Fulfil before retiring: a flush gate must not release
             // (letting the flush token complete) until every gated
             // write's own token is already observable as done. The
             // cost is that stats lag a token's `wait()` by one lock
             // acquisition — `wait_idle()` is the quiescent point.
-            completion.fulfil(result);
+            completion.fulfil(outcome.result);
 
             core = shared.core.lock().unwrap();
+            {
+                let stats = &mut core.stats.classes[class.index()];
+                stats.retried += outcome.retries;
+                if outcome.gave_up {
+                    stats.gave_up += 1;
+                }
+            }
             core.retire(seq, class, block, was_flush, succeeded, service);
             // Completion frees admission capacity and may have released
             // chained ops or flush gates; wake submitters and siblings.

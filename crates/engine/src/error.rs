@@ -30,6 +30,15 @@ impl fmt::Display for EngineError {
     }
 }
 
+impl EngineError {
+    /// Whether this is a retryable fault: a wrapped
+    /// [`StorageError::TransientIo`]. `Shutdown` and `QueueFull` are
+    /// control-flow signals, not device faults.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Storage(e) if e.is_transient())
+    }
+}
+
 impl std::error::Error for EngineError {}
 
 impl From<StorageError> for EngineError {

@@ -11,6 +11,12 @@ pub struct ClassStats {
     pub completed: u64,
     /// Ops that executed and failed (the error is on the completion token).
     pub failed: u64,
+    /// Execution attempts re-issued after a transient device error
+    /// (several retries of one op count individually).
+    pub retried: u64,
+    /// Ops that still failed transiently after exhausting their class's
+    /// retry budget; a subset of [`failed`](Self::failed).
+    pub gave_up: u64,
     /// Ops refused at admission ([`AdmissionPolicy::Reject`] at capacity).
     ///
     /// [`AdmissionPolicy::Reject`]: crate::AdmissionPolicy::Reject
@@ -63,5 +69,15 @@ impl EngineStats {
     /// Ops refused at admission across all classes.
     pub fn total_rejected(&self) -> u64 {
         self.classes.iter().map(|c| c.rejected).sum()
+    }
+
+    /// Retried execution attempts across all classes.
+    pub fn total_retried(&self) -> u64 {
+        self.classes.iter().map(|c| c.retried).sum()
+    }
+
+    /// Ops that exhausted their retry budget across all classes.
+    pub fn total_gave_up(&self) -> u64 {
+        self.classes.iter().map(|c| c.gave_up).sum()
     }
 }

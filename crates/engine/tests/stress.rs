@@ -360,3 +360,195 @@ fn write_behind_service_keeps_dirty_pages_bounded() {
     // Written-back data reached the device without any explicit flush.
     assert!(cache.inner().counters().writes >= 168);
 }
+
+fn fast_retry(max_attempts: u32) -> hfad_storage::RetryPolicy {
+    hfad_storage::RetryPolicy {
+        max_attempts,
+        base: Duration::from_micros(50),
+        cap: Duration::from_micros(400),
+    }
+}
+
+/// Transient device faults are absorbed inside the engine: every op
+/// succeeds on its completion token, the retries are visible only in the
+/// `retried` counter, and per-block FIFO ordering survives (the chained
+/// writes to one block land in submission order even when some attempts
+/// fault).
+#[test]
+fn transient_faults_are_retried_invisibly() {
+    let device = Arc::new(FaultDevice::new(
+        MemDevice::new(64, 512),
+        FaultConfig {
+            write: OpFault::transient_every(3),
+            ..Default::default()
+        },
+    ));
+    let engine = Engine::with_config(
+        Arc::clone(&device) as Arc<dyn BlockDevice>,
+        EngineConfig {
+            workers: 2,
+            retry: [fast_retry(5); 4],
+            ..Default::default()
+        },
+    );
+    // 30 sequential writes to one block: a FIFO chain with faults inside.
+    let tokens: Vec<_> = (0..30u8)
+        .map(|i| {
+            let data: Arc<[u8]> = vec![i; 512].into();
+            engine
+                .submit(Priority::Foreground, IoOp::Write { block: 7, data })
+                .unwrap()
+        })
+        .collect();
+    for token in tokens {
+        token.wait().expect("transient faults must be absorbed");
+    }
+    engine.wait_idle();
+    let stats = engine.stats();
+    let fg = stats.class(Priority::Foreground);
+    assert_eq!(fg.failed, 0, "no caller-visible failures");
+    assert_eq!(fg.completed, 30);
+    assert!(fg.retried >= 10, "every 3rd attempt faulted: {fg:?}");
+    assert_eq!(fg.gave_up, 0);
+    // FIFO held: the block's final contents are the last write's.
+    let mut buf = vec![0u8; 512];
+    device.inner().read_block(7, &mut buf).unwrap();
+    assert!(buf.iter().all(|&b| b == 29), "last write wins: {}", buf[0]);
+    let (_, injected, _) = device.injected_errors();
+    assert_eq!(injected, stats.class(Priority::Foreground).retried);
+}
+
+/// A fault that outlives the retry budget surfaces on the token and is
+/// counted as `gave_up`; permanent faults are never retried at all.
+#[test]
+fn retry_budget_exhaustion_and_permanent_faults() {
+    // Every flush fails transiently, forever.
+    let device = Arc::new(FaultDevice::new(
+        MemDevice::new(64, 512),
+        FaultConfig {
+            flush: OpFault::transient_every(1),
+            ..Default::default()
+        },
+    ));
+    let engine = Engine::with_config(
+        Arc::clone(&device) as Arc<dyn BlockDevice>,
+        EngineConfig {
+            workers: 2,
+            retry: [fast_retry(3); 4],
+            ..Default::default()
+        },
+    );
+    let err = engine
+        .flush(Priority::Foreground)
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert!(err.is_transient(), "last transient error surfaces: {err}");
+    engine.wait_idle();
+    let fg = *engine.stats().class(Priority::Foreground);
+    assert_eq!(fg.failed, 1);
+    assert_eq!(fg.gave_up, 1);
+    assert_eq!(fg.retried, 2, "3 attempts = 2 retries");
+    drop(engine);
+
+    // Permanent faults fail fast: one attempt, no retries, no gave_up.
+    let device = Arc::new(FaultDevice::new(
+        MemDevice::new(64, 512),
+        FaultConfig {
+            write: OpFault::error_every(1),
+            ..Default::default()
+        },
+    ));
+    let engine = Engine::with_config(
+        Arc::clone(&device) as Arc<dyn BlockDevice>,
+        EngineConfig {
+            workers: 2,
+            retry: [fast_retry(5); 4],
+            ..Default::default()
+        },
+    );
+    let data: Arc<[u8]> = vec![1u8; 512].into();
+    let err = engine
+        .submit(Priority::Foreground, IoOp::Write { block: 0, data })
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert!(!err.is_transient());
+    engine.wait_idle();
+    let fg = *engine.stats().class(Priority::Foreground);
+    assert_eq!(fg.failed, 1);
+    assert_eq!(fg.retried, 0);
+    assert_eq!(fg.gave_up, 0);
+    assert_eq!(device.injected_errors().1, 1, "exactly one device attempt");
+}
+
+/// Background-service satellite: errors inside EnginePrefetcher and
+/// WriteBehind jobs do not vanish — they land in the class's `failed`
+/// counter while the services keep running.
+#[test]
+fn background_service_errors_are_counted_not_swallowed() {
+    // Write-behind over a device whose every 3rd write fails permanently:
+    // batches fail, the monitor keeps trickling, failures are counted.
+    let faulty = FaultDevice::new(
+        MemDevice::new(256, 512),
+        FaultConfig {
+            write: OpFault::error_every(3),
+            ..Default::default()
+        },
+    );
+    let cache = Arc::new(CachedDevice::new(faulty, 256));
+    let engine = mem_engine(2);
+    let mut flusher = WriteBehind::start(
+        Arc::clone(&engine),
+        Arc::clone(&cache),
+        WriteBehindConfig {
+            high_watermark: 16,
+            batch: 8,
+            interval: Duration::from_micros(200),
+        },
+    );
+    let data = vec![0x3Cu8; 512];
+    for block in 0..200 {
+        cache.write_block(block, &data).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.stats().class(Priority::WriteBehind).failed == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "write-behind failures never surfaced in stats"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    flusher.stop();
+    engine.wait_idle();
+    let wb = *engine.stats().class(Priority::WriteBehind);
+    assert!(wb.failed > 0, "writeback faults must be counted: {wb:?}");
+
+    // Read-ahead over a device whose every 5th read fails: populate jobs
+    // hit the fault and the failure is counted at the ReadAhead class.
+    let faulty = FaultDevice::new(
+        MemDevice::new(128, 512),
+        FaultConfig {
+            read: OpFault::error_every(5),
+            ..Default::default()
+        },
+    );
+    let cache = Arc::new(CachedDevice::new(faulty, 32));
+    let engine = mem_engine(2);
+    EnginePrefetcher::attach(Arc::clone(&engine), &cache, 16, 2);
+    let mut buf = vec![0u8; 512];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.stats().class(Priority::ReadAhead).failed == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "read-ahead failures never surfaced in stats"
+        );
+        // Sequential scans re-trigger prefetch; the small cache keeps
+        // evicting so populate keeps touching the faulty device.
+        for block in 0..128 {
+            let _ = cache.read_block(block, &mut buf);
+        }
+    }
+    engine.wait_idle();
+    assert!(engine.stats().class(Priority::ReadAhead).failed > 0);
+}

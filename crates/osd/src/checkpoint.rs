@@ -24,8 +24,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hfad_storage::BackgroundExecutor;
+use hfad_storage::{BackgroundExecutor, RetryPolicy};
 
+use crate::error::Result;
 use crate::txn::TxnStore;
 
 /// Watermark and cadence knobs for a [`Checkpointer`].
@@ -39,6 +40,12 @@ pub struct CheckpointConfig {
     /// Monitor poll cadence (also the latency bound on reacting to a
     /// watermark crossing when no committer signals explicitly).
     pub interval: Duration,
+    /// Retry budget for transient checkpoint failures. While the budget
+    /// lasts the store is marked [`Health::Degraded`]; a success restores
+    /// it, exhaustion (or a permanent error) degrades it to read-only.
+    ///
+    /// [`Health::Degraded`]: hfad_storage::Health::Degraded
+    pub retry: RetryPolicy,
 }
 
 impl Default for CheckpointConfig {
@@ -47,6 +54,7 @@ impl Default for CheckpointConfig {
             watermark_pct: 50,
             max_age: Duration::from_millis(250),
             interval: Duration::from_micros(500),
+            retry: RetryPolicy::standard(),
         }
     }
 }
@@ -131,29 +139,70 @@ fn monitor_loop(shared: &Shared, watermark: f64) {
         if !(requested || over_watermark || over_age) {
             continue;
         }
-        run_checkpoint(shared);
+        if !ts.health().is_writable() {
+            // Nothing left to drain into a store that rejects writes;
+            // park until detach instead of hammering the failed device.
+            continue;
+        }
+        run_checkpoint_with_retry(shared);
         last_reclaim = Instant::now();
     }
 }
 
-/// Runs one checkpoint, through the executor when one is attached, and
-/// waits for it to finish (at most one drain in flight). Errors are
-/// swallowed: a failing device surfaces on the commit path, and the
-/// stalled committers' patience timeout routes them to the inline
-/// checkpoint where the error is theirs to handle.
-fn run_checkpoint(shared: &Shared) {
+/// Runs one checkpoint, absorbing transient device faults with the
+/// configured retry budget and reporting into the store's health
+/// machine: [`Degraded`](hfad_storage::Health::Degraded) while retrying,
+/// restored on success, read-only once the budget is exhausted or the
+/// error is permanent (committers must not wait forever on reclaim that
+/// will never come — `note`: the transition also wakes space-waiters).
+fn run_checkpoint_with_retry(shared: &Shared) {
+    let ts = &shared.txn_store;
+    let policy = shared.config.retry;
+    let mut attempt = 1u32;
+    loop {
+        match run_checkpoint(shared) {
+            Ok(()) => {
+                ts.health_state().restore();
+                return;
+            }
+            Err(err) if err.is_transient() && attempt < policy.max_attempts => {
+                ts.health_state().degrade(&format!(
+                    "background checkpoint attempt {attempt} failed transiently: {err}"
+                ));
+                std::thread::sleep(policy.backoff(attempt));
+                attempt += 1;
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(err) => {
+                ts.report_checkpoint_failure(&format!(
+                    "background checkpoint failed after {attempt} attempt(s): {err}"
+                ));
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one checkpoint attempt, through the executor when one is
+/// attached, and waits for it to finish (at most one drain in flight).
+fn run_checkpoint(shared: &Shared) -> Result<()> {
     if let Some(executor) = &shared.executor {
         let ts = Arc::clone(&shared.txn_store);
-        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Result<()>>();
         let submitted = executor.submit_background(Box::new(move || {
-            let _ = ts.checkpoint_background();
-            let _ = done_tx.send(());
+            let _ = done_tx.send(ts.checkpoint_background());
         }));
         if submitted.is_ok() {
-            let _ = done_rx.recv();
-            return;
+            return match done_rx.recv() {
+                Ok(result) => result,
+                // The job was dropped unrun (executor shut down mid-job);
+                // treat it as a skipped attempt, not a device failure.
+                Err(_) => Ok(()),
+            };
         }
         // Executor full or stopped: fall through to the monitor thread.
     }
-    let _ = shared.txn_store.checkpoint_background();
+    shared.txn_store.checkpoint_background()
 }

@@ -35,6 +35,16 @@ pub enum OsdError {
     NeedsRecovery(String),
 }
 
+impl OsdError {
+    /// Whether the failure is a transient device fault worth retrying
+    /// (see [`StorageError::is_transient`]). Every OSD-level error —
+    /// missing objects, closed transactions, corruption — is
+    /// deterministic and permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, OsdError::Storage(e) if e.is_transient())
+    }
+}
+
 impl fmt::Display for OsdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -37,7 +37,8 @@ use std::time::{Duration, Instant};
 use std::sync::{Condvar, Mutex};
 
 use hfad_storage::{
-    GroupCommit, GroupCommitConfig, GroupCommitStats, Journal, RecordKind, StorageError,
+    GroupCommit, GroupCommitConfig, GroupCommitStats, Health, HealthState, Journal, RecordKind,
+    StorageError,
 };
 use parking_lot::RwLock;
 
@@ -288,6 +289,11 @@ pub struct TxnStore {
     /// background checkpointer before checkpointing inline itself.
     backpressure_patience_ns: AtomicU64,
     signals: CheckpointSignals,
+    /// The store-wide health machine: the commit path, the inline
+    /// checkpoint fallback and the attached [`crate::checkpoint::
+    /// Checkpointer`] all report into it, and the commit path gates on
+    /// it once degraded to read-only.
+    health: Arc<HealthState>,
 }
 
 impl TxnStore {
@@ -303,6 +309,17 @@ impl TxnStore {
     /// Wraps `store` with an explicit group-commit policy.
     /// `GroupCommitConfig::unbatched()` restores sync-per-commit.
     pub fn with_config(store: Arc<ObjectStore>, config: GroupCommitConfig) -> Result<Self> {
+        Self::with_config_and_health(store, config, Arc::new(HealthState::new()))
+    }
+
+    /// Like [`with_config`](Self::with_config), but reporting into a
+    /// caller-supplied health machine — the assembled stack shares one
+    /// [`HealthState`] across the store and every service above it.
+    pub fn with_config_and_health(
+        store: Arc<ObjectStore>,
+        config: GroupCommitConfig,
+        health: Arc<HealthState>,
+    ) -> Result<Self> {
         let sb = store.superblock();
         if sb.journal_blocks == 0 {
             return Err(OsdError::Corrupt(
@@ -348,7 +365,40 @@ impl TxnStore {
                 space_lock: Mutex::new(()),
                 space_cv: Condvar::new(),
             },
+            health,
         })
+    }
+
+    /// The store's current health.
+    pub fn health(&self) -> Health {
+        self.health.health()
+    }
+
+    /// The shared health machine (for services reporting in and stacks
+    /// sharing one state across layers).
+    pub fn health_state(&self) -> Arc<HealthState> {
+        Arc::clone(&self.health)
+    }
+
+    /// Ratchets the store to read-only after a permanent write-path
+    /// failure (or a transient one that outlived every retry budget):
+    /// in-memory and recovered state keep serving reads, new commits are
+    /// rejected with [`StorageError::ReadOnly`].
+    fn note_write_path_failure(&self, what: &str, err: &OsdError) {
+        if self.health.read_only(&format!("{what}: {err}")) {
+            // Stalled committers must re-check health, not wait for
+            // journal space that will never be reclaimed.
+            self.notify_space_freed();
+        }
+    }
+
+    /// Entry point for the attached [`crate::checkpoint::Checkpointer`]
+    /// to report an unrecoverable drain failure; same read-only ratchet
+    /// and space-waiter wakeup as the commit path's own failures.
+    pub(crate) fn report_checkpoint_failure(&self, reason: &str) {
+        if self.health.read_only(reason) {
+            self.notify_space_freed();
+        }
     }
 
     /// The wrapped store.
@@ -587,7 +637,7 @@ impl TxnStore {
             return Ok(());
         }
         self.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
-        self.checkpoint_locked()
+        self.checkpoint_with_retry()
     }
 
     /// Checkpoints while admitting new commits concurrently.
@@ -676,9 +726,14 @@ impl TxnStore {
         if self.signals.checkpointer_attached.load(Ordering::Acquire) {
             self.request_checkpoint();
             let deadline = Instant::now() + self.backpressure_patience();
-            let mut guard = self.signals.space_lock.lock().expect("space lock");
+            let mut guard = self
+                .signals
+                .space_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
             while journal.available_bytes() < needed
                 && self.signals.checkpointer_attached.load(Ordering::Acquire)
+                && self.health.health().is_writable()
             {
                 let Some(remaining) = deadline
                     .checked_duration_since(Instant::now())
@@ -690,13 +745,17 @@ impl TxnStore {
                     .signals
                     .space_cv
                     .wait_timeout(guard, remaining)
-                    .expect("space cv");
+                    .unwrap_or_else(|e| e.into_inner());
                 guard = next;
                 if timeout.timed_out() {
                     break;
                 }
             }
             drop(guard);
+            // A checkpointer that degraded the store while this thread
+            // waited woke it via `note_write_path_failure`; surface the
+            // typed error instead of the stop-the-world fallback.
+            self.health.check_writable().map_err(OsdError::from)?;
             if journal.available_bytes() >= needed {
                 return Ok(());
             }
@@ -708,20 +767,51 @@ impl TxnStore {
         if journal.available_bytes() >= needed {
             return Ok(());
         }
-        self.checkpoint_locked()?;
+        self.checkpoint_with_retry()?;
         self.auto_checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Runs the gate-held checkpoint, absorbing transient device faults
+    /// with the group-commit retry budget. A permanent failure (or an
+    /// exhausted budget) degrades the store to read-only: the journal
+    /// can no longer be reclaimed, so accepting further writes would
+    /// only wedge them behind a full ring.
+    fn checkpoint_with_retry(&self) -> Result<()> {
+        let policy = self.group.config().retry;
+        let mut attempt = 1u32;
+        loop {
+            match self.checkpoint_locked() {
+                Ok(()) => return Ok(()),
+                Err(err) if err.is_transient() && attempt < policy.max_attempts => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(err) => {
+                    self.note_write_path_failure("checkpoint failed", &err);
+                    return Err(err);
+                }
+            }
+        }
     }
 
     /// Flags the checkpointer monitor to fire now.
     fn request_checkpoint(&self) {
         self.signals.requested.store(true, Ordering::Release);
-        let _guard = self.signals.wake_lock.lock().expect("wake lock");
+        let _guard = self
+            .signals
+            .wake_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         self.signals.wake_cv.notify_all();
     }
 
     fn notify_space_freed(&self) {
-        let _guard = self.signals.space_lock.lock().expect("space lock");
+        let _guard = self
+            .signals
+            .space_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         self.signals.space_cv.notify_all();
     }
 
@@ -740,14 +830,22 @@ impl TxnStore {
             .checkpointer_attached
             .store(false, Ordering::Release);
         self.notify_space_freed();
-        let _guard = self.signals.wake_lock.lock().expect("wake lock");
+        let _guard = self
+            .signals
+            .wake_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         self.signals.wake_cv.notify_all();
     }
 
     /// Parks the checkpointer monitor until a committer requests a drain
     /// (or `interval` elapses — the watermark/age poll cadence).
     pub(crate) fn wait_checkpoint_signal(&self, interval: Duration) {
-        let guard = self.signals.wake_lock.lock().expect("wake lock");
+        let guard = self
+            .signals
+            .wake_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         if self.signals.requested.load(Ordering::Acquire) {
             return;
         }
@@ -755,7 +853,7 @@ impl TxnStore {
             .signals
             .wake_cv
             .wait_timeout(guard, interval)
-            .expect("wake cv");
+            .unwrap_or_else(|e| e.into_inner());
     }
 
     /// Consumes a pending drain request, if any.
@@ -902,6 +1000,9 @@ impl Transaction<'_> {
         let capacity = ts.group.journal().capacity_bytes();
         let mut stall_ns = 0u64;
         loop {
+            // A store degraded to read-only rejects the commit with the
+            // typed error before touching the journal.
+            ts.health.check_writable().map_err(OsdError::from)?;
             let gate = ts.checkpoint_gate.read();
             // Payloads are encoded per attempt so the common (no-retry)
             // path never pays a defensive clone.
@@ -913,7 +1014,17 @@ impl Transaction<'_> {
                     // acknowledged transaction's redo is its only
                     // durable record.
                     for op in &self.ops {
-                        op.apply(&ts.store)?;
+                        if let Err(e) = op.apply(&ts.store) {
+                            // The commit is durable but the in-memory
+                            // state no longer reflects it: nothing below
+                            // can be trusted until a reopen replays the
+                            // journal.
+                            ts.health.fail_stop(&format!(
+                                "acked commit {} failed to apply: {e}",
+                                self.id
+                            ));
+                            return Err(e);
+                        }
                     }
                     drop(gate);
                     ts.record_commit_stall(stall_ns);
@@ -939,7 +1050,15 @@ impl Transaction<'_> {
                     stall_ns += stalled.elapsed().as_nanos() as u64;
                     waited?;
                 }
-                Err(err) => return Err(err.into()),
+                Err(err) => {
+                    // The group-commit leader already spent its retry
+                    // budget on transient faults; whatever reaches here
+                    // is a permanent journal-write failure.
+                    drop(gate);
+                    let err: OsdError = err.into();
+                    ts.note_write_path_failure("journal write failed", &err);
+                    return Err(err);
+                }
             }
         }
     }

@@ -23,6 +23,7 @@ fn config_for(max_batch: usize) -> GroupCommitConfig {
     GroupCommitConfig {
         max_batch,
         max_wait: Duration::ZERO,
+        ..GroupCommitConfig::default()
     }
 }
 

@@ -51,13 +51,14 @@
 //! durable, best-effort for concurrent ones.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 
 use crate::device::{BlockDevice, DeviceCounters};
 use crate::error::Result;
+use crate::retry::RetryPolicy;
 use crate::shard::{resolve_shard_count, shard_index};
 
 /// Statistics for a [`CachedDevice`] (summed across shards).
@@ -77,6 +78,9 @@ pub struct CacheStats {
     /// Foreground hits served by a frame that read-ahead installed (each
     /// prefetched frame counts at most once — its first foreground hit).
     pub prefetch_hits: u64,
+    /// Device reads re-issued after a transient fault (miss fills and
+    /// read-ahead populates; see [`CachedDevice::set_read_retry`]).
+    pub retried: u64,
 }
 
 impl CacheStats {
@@ -97,6 +101,7 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.prefetched += other.prefetched;
         self.prefetch_hits += other.prefetch_hits;
+        self.retried += other.retried;
     }
 }
 
@@ -265,6 +270,14 @@ pub struct CachedDevice<D: BlockDevice> {
     /// [`dirty_blocks`](Self::dirty_blocks) O(1), so a persistent store
     /// can poll it on every commit to decide when to checkpoint.
     dirty_count: AtomicUsize,
+    /// Backoff for transient device-read faults on miss fills and
+    /// read-ahead populates. The cache is the choke point for foreground
+    /// device reads, so this is the retry layer for every read path that
+    /// has none of its own.
+    read_retry: parking_lot::RwLock<RetryPolicy>,
+    /// Device reads re-issued after a transient fault (see
+    /// [`CacheStats::retried`]).
+    read_retries: AtomicU64,
 }
 
 impl<D: BlockDevice> CachedDevice<D> {
@@ -312,6 +325,8 @@ impl<D: BlockDevice> CachedDevice<D> {
             read_ahead: parking_lot::RwLock::new(None),
             retain_dirty: AtomicBool::new(false),
             dirty_count: AtomicUsize::new(0),
+            read_retry: parking_lot::RwLock::new(RetryPolicy::standard()),
+            read_retries: AtomicU64::new(0),
         }
     }
 
@@ -335,6 +350,29 @@ impl<D: BlockDevice> CachedDevice<D> {
     /// Whether retain-dirty mode is active.
     pub fn retain_dirty(&self) -> bool {
         self.retain_dirty.load(Ordering::Acquire)
+    }
+
+    /// Replaces the transient-fault retry policy for device reads
+    /// (defaults to [`RetryPolicy::standard`]). Applies to miss fills and
+    /// read-ahead populates; takes effect on the next device read.
+    pub fn set_read_retry(&self, policy: RetryPolicy) {
+        *self.read_retry.write() = policy;
+    }
+
+    /// Reads `block` from the underlying device, absorbing transient
+    /// faults under the configured [`RetryPolicy`]. Every foreground read
+    /// that misses the cache funnels through here, making this the retry
+    /// layer for callers (object reads, B-tree descents, journal replay)
+    /// that have none of their own — permanent errors still surface on
+    /// the first attempt.
+    fn read_device(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+        let policy = *self.read_retry.read();
+        policy.run(
+            || self.inner.read_block(block, buf),
+            |_| {
+                self.read_retries.fetch_add(1, Ordering::Relaxed);
+            },
+        )
     }
 
     /// Snapshot of every dirty frame as `(block, data)`, sorted by block
@@ -467,7 +505,7 @@ impl<D: BlockDevice> CachedDevice<D> {
         };
 
         let mut buf = vec![0u8; self.block_size()];
-        let read = self.inner.read_block(block, &mut buf);
+        let read = self.read_device(block, &mut buf);
         let mut guard = shard.lock();
         let mut install = Ok(());
         let mut installed = false;
@@ -574,6 +612,7 @@ impl<D: BlockDevice> CachedDevice<D> {
         for shard in self.shards.iter() {
             total.add(&shard.lock().stats);
         }
+        total.retried = self.read_retries.load(Ordering::Relaxed);
         total
     }
 
@@ -723,7 +762,7 @@ impl<D: BlockDevice> BlockDevice for CachedDevice<D> {
             guard.loading.insert(block, Arc::clone(&flight));
             drop(guard);
 
-            let read = self.inner.read_block(block, buf);
+            let read = self.read_device(block, buf);
             let mut guard = shard.lock();
             let mut install = Ok(());
             let superseded = flight.superseded.load(std::sync::atomic::Ordering::Relaxed);
@@ -1061,6 +1100,97 @@ mod tests {
         // bad buffer length.
         assert!(dev.read_block(1, &mut [0u8; 4]).is_err());
         assert_eq!(dev.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn miss_fill_retries_transient_read_faults() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        /// A device whose first `fail` reads fail transiently.
+        struct FlakyReadDevice {
+            inner: MemDevice,
+            remaining: AtomicU32,
+            transient: bool,
+        }
+        impl BlockDevice for FlakyReadDevice {
+            fn block_size(&self) -> usize {
+                self.inner.block_size()
+            }
+            fn block_count(&self) -> u64 {
+                self.inner.block_count()
+            }
+            fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<()> {
+                let left = self.remaining.load(Ordering::SeqCst);
+                if left > 0 {
+                    self.remaining.store(left - 1, Ordering::SeqCst);
+                    return Err(if self.transient {
+                        crate::error::StorageError::TransientIo("flaky read".into())
+                    } else {
+                        crate::error::StorageError::Io("dead read".into())
+                    });
+                }
+                self.inner.read_block(block, buf)
+            }
+            fn write_block(&self, block: u64, buf: &[u8]) -> Result<()> {
+                self.inner.write_block(block, buf)
+            }
+            fn flush(&self) -> Result<()> {
+                self.inner.flush()
+            }
+            fn counters(&self) -> DeviceCounters {
+                self.inner.counters()
+            }
+        }
+        fn flaky(fail: u32, transient: bool) -> CachedDevice<FlakyReadDevice> {
+            let inner = MemDevice::new(64, 128);
+            inner.write_block(5, &[0xABu8; 128]).unwrap();
+            CachedDevice::new(
+                FlakyReadDevice {
+                    inner,
+                    remaining: AtomicU32::new(fail),
+                    transient,
+                },
+                8,
+            )
+        }
+
+        // Three transient faults are absorbed by the default five-attempt
+        // policy; the caller sees clean bytes and the retries are counted.
+        let dev = flaky(3, true);
+        let mut out = vec![0u8; 128];
+        dev.read_block(5, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0xAB));
+        assert_eq!(dev.cache_stats().retried, 3);
+
+        // Exhaustion surfaces the transient error to the caller.
+        let dev = flaky(99, true);
+        assert!(matches!(
+            dev.read_block(5, &mut out),
+            Err(crate::error::StorageError::TransientIo(_))
+        ));
+
+        // Permanent faults fail on the first attempt, no retries.
+        let dev = flaky(1, false);
+        assert!(matches!(
+            dev.read_block(5, &mut out),
+            Err(crate::error::StorageError::Io(_))
+        ));
+        assert_eq!(dev.cache_stats().retried, 0);
+
+        // `RetryPolicy::none()` opts out: one transient fault surfaces.
+        let dev = flaky(1, true);
+        dev.set_read_retry(RetryPolicy::none());
+        assert!(matches!(
+            dev.read_block(5, &mut out),
+            Err(crate::error::StorageError::TransientIo(_))
+        ));
+        // The `populate` fill path retries through the same helper.
+        let dev = flaky(2, true);
+        assert!(dev.populate(5).unwrap());
+        assert_eq!(dev.cache_stats().retried, 2);
+        dev.read_block(5, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0xAB));
+        assert_eq!(dev.cache_stats().hits, 1);
     }
 
     #[test]

@@ -343,6 +343,17 @@ pub struct OpFault {
     /// count is per class and starts at 1, so `error_every = 1` fails every
     /// operation and `error_every = 3` fails the 3rd, 6th, 9th, …
     pub error_every: u64,
+    /// When non-zero, each operation of this class *independently* fails
+    /// with probability `error_ppm / 1_000_000`, drawn from the device's
+    /// internal deterministic PRNG (seedable via
+    /// [`FaultDevice::with_seed`]). Composes with `error_every`: either
+    /// trigger injects. This is the chaos-soak shape — randomised fault
+    /// arrival instead of a fixed cadence.
+    pub error_ppm: u32,
+    /// Whether injected errors (from `error_every` or `error_ppm`) are
+    /// reported as [`StorageError::TransientIo`] — a fault a retry may
+    /// outlast — instead of the permanent [`StorageError::Io`].
+    pub transient: bool,
     /// When non-zero, every `torn_every`-th **write** tears: only the
     /// first [`torn_bytes`](Self::torn_bytes) bytes of the buffer land on
     /// the wrapped device while the rest of the block keeps its previous
@@ -376,10 +387,39 @@ impl OpFault {
         }
     }
 
-    /// A fault that fails every `n`-th operation.
+    /// A fault that fails every `n`-th operation (permanently).
     pub fn error_every(n: u64) -> Self {
         OpFault {
             error_every: n,
+            ..Default::default()
+        }
+    }
+
+    /// A transient fault that fails every `n`-th operation with
+    /// [`StorageError::TransientIo`].
+    pub fn transient_every(n: u64) -> Self {
+        OpFault {
+            error_every: n,
+            transient: true,
+            ..Default::default()
+        }
+    }
+
+    /// A transient fault that fails each operation independently with
+    /// probability `ppm / 1_000_000`.
+    pub fn transient_ppm(ppm: u32) -> Self {
+        OpFault {
+            error_ppm: ppm,
+            transient: true,
+            ..Default::default()
+        }
+    }
+
+    /// A permanent fault that fails each operation independently with
+    /// probability `ppm / 1_000_000`.
+    pub fn error_ppm(ppm: u32) -> Self {
+        OpFault {
+            error_ppm: ppm,
             ..Default::default()
         }
     }
@@ -420,9 +460,19 @@ pub struct FaultConfig {
 /// is touched, so a failed operation has no side effects — which is what
 /// lets the async-engine tests assert that a faulted submission surfaces
 /// on its completion token while the device state stays explainable.
+///
+/// The configuration is runtime-mutable
+/// ([`set_config`](Self::set_config)): a chaos harness can run a healthy
+/// or transiently-flaky phase, then flip the same live device to
+/// permanent write failure mid-run to drive read-only degradation.
+/// Probabilistic injection (`error_ppm`) draws from an internal
+/// deterministic splitmix64 counter, seedable via
+/// [`with_seed`](Self::with_seed), so randomized trials stay
+/// reproducible.
 pub struct FaultDevice<D: BlockDevice> {
     inner: D,
-    config: FaultConfig,
+    config: parking_lot::RwLock<FaultConfig>,
+    rng: AtomicU64,
     gates: [parking_lot::Mutex<()>; 3],
     attempts: [AtomicU64; 3],
     injected: [AtomicU64; 3],
@@ -441,15 +491,44 @@ enum FaultClass {
 impl<D: BlockDevice> FaultDevice<D> {
     /// Wraps `inner` with the given per-class faults.
     pub fn new(inner: D, config: FaultConfig) -> Self {
+        FaultDevice::with_seed(inner, config, 0x5EED_F417)
+    }
+
+    /// Like [`new`](Self::new) but with an explicit seed for the PRNG
+    /// behind probabilistic (`error_ppm`) injection.
+    pub fn with_seed(inner: D, config: FaultConfig, seed: u64) -> Self {
         FaultDevice {
             inner,
-            config,
+            config: parking_lot::RwLock::new(config),
+            rng: AtomicU64::new(seed),
             gates: Default::default(),
             attempts: Default::default(),
             injected: Default::default(),
             torn_attempts: AtomicU64::new(0),
             torn_injected: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the fault configuration on the live device. Operations
+    /// already past their fault check complete under the old config;
+    /// everything submitted after this call sees the new one.
+    pub fn set_config(&self, config: FaultConfig) {
+        *self.config.write() = config;
+    }
+
+    /// One draw in `[0, 1_000_000)` from the internal splitmix64
+    /// sequence. An atomic counter stepped by the golden-gamma keeps
+    /// concurrent draws independent without a lock (and without pulling
+    /// a rand dependency into the storage crate).
+    fn roll_ppm(&self) -> u32 {
+        let mut x = self
+            .rng
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % 1_000_000) as u32
     }
 
     /// Convenience: every read takes `delay` (reads overlap, as queued
@@ -491,7 +570,7 @@ impl<D: BlockDevice> FaultDevice<D> {
     /// contents. Returns `Some(result)` when the write was torn (and thus
     /// already handled), `None` when it should proceed normally.
     fn apply_torn_write(&self, block: u64, buf: &[u8]) -> Option<Result<()>> {
-        let fault = &self.config.write;
+        let fault = self.config.read().write.clone();
         if fault.torn_every == 0 {
             return None;
         }
@@ -533,17 +612,25 @@ impl<D: BlockDevice> FaultDevice<D> {
     /// injected failure. Holds the class gate across the delay when the
     /// class is serialised.
     fn apply(&self, class: FaultClass, op_name: &str) -> Result<()> {
+        let config = self.config.read();
         let fault = match class {
-            FaultClass::Read => &self.config.read,
-            FaultClass::Write => &self.config.write,
-            FaultClass::Flush => &self.config.flush,
-        };
+            FaultClass::Read => &config.read,
+            FaultClass::Write => &config.write,
+            FaultClass::Flush => &config.flush,
+        }
+        .clone();
+        drop(config);
         let attempt = self.attempts[class as usize].fetch_add(1, Ordering::Relaxed) + 1;
-        if fault.error_every > 0 && attempt.is_multiple_of(fault.error_every) {
+        let cadence_hit = fault.error_every > 0 && attempt.is_multiple_of(fault.error_every);
+        let random_hit = fault.error_ppm > 0 && self.roll_ppm() < fault.error_ppm;
+        if cadence_hit || random_hit {
             self.injected[class as usize].fetch_add(1, Ordering::Relaxed);
-            return Err(StorageError::Io(format!(
-                "injected {op_name} fault (attempt {attempt})"
-            )));
+            let msg = format!("injected {op_name} fault (attempt {attempt})");
+            return Err(if fault.transient {
+                StorageError::TransientIo(msg)
+            } else {
+                StorageError::Io(msg)
+            });
         }
         if !fault.delay.is_zero() {
             if fault.serialize {
@@ -798,6 +885,80 @@ mod tests {
         assert!(dev.write_block(3, &data).is_ok());
         assert!(dev.write_block(3, &data).is_err());
         assert_eq!(dev.injected_errors(), (0, 2, 0));
+    }
+
+    #[test]
+    fn fault_device_transient_errors_are_classified() {
+        let dev = FaultDevice::new(
+            MemDevice::new(8, 128),
+            FaultConfig {
+                write: OpFault::transient_every(1),
+                ..Default::default()
+            },
+        );
+        let err = dev.write_block(0, &[0u8; 128]).unwrap_err();
+        assert!(matches!(err, StorageError::TransientIo(_)));
+        assert!(err.is_transient());
+        assert_eq!(dev.injected_errors(), (0, 1, 0));
+    }
+
+    #[test]
+    fn fault_device_ppm_rates_are_seeded_and_proportional() {
+        // ppm = 1_000_000 fails every draw; ppm = 0 never fires.
+        let always = FaultDevice::new(
+            MemDevice::new(8, 128),
+            FaultConfig {
+                read: OpFault::transient_ppm(1_000_000),
+                ..Default::default()
+            },
+        );
+        let mut buf = vec![0u8; 128];
+        for _ in 0..8 {
+            assert!(always.read_block(0, &mut buf).unwrap_err().is_transient());
+        }
+        // A mid-range rate injects roughly proportionally, and the same
+        // seed reproduces the same arrival sequence.
+        let trial = |seed| {
+            let dev = FaultDevice::with_seed(
+                MemDevice::new(8, 128),
+                FaultConfig {
+                    read: OpFault::transient_ppm(250_000),
+                    ..Default::default()
+                },
+                seed,
+            );
+            let mut failures = Vec::new();
+            let mut buf = vec![0u8; 128];
+            for i in 0..400 {
+                if dev.read_block(0, &mut buf).is_err() {
+                    failures.push(i);
+                }
+            }
+            failures
+        };
+        let a = trial(7);
+        let b = trial(7);
+        assert_eq!(a, b, "same seed, same fault arrivals");
+        assert!(
+            (40..=160).contains(&a.len()),
+            "250k ppm over 400 draws should land near 100 failures, got {}",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn fault_device_config_is_runtime_mutable() {
+        let dev = FaultDevice::new(MemDevice::new(8, 128), FaultConfig::default());
+        let data = vec![0x5Au8; 128];
+        dev.write_block(0, &data).unwrap();
+        dev.set_config(FaultConfig {
+            write: OpFault::error_every(1),
+            ..Default::default()
+        });
+        let err = dev.write_block(1, &data).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        dev.set_config(FaultConfig::default());
+        dev.write_block(1, &data).unwrap();
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub enum StorageError {
     Corrupt(String),
     /// An underlying I/O error (file-backed devices only).
     Io(String),
+    /// An I/O error the device reported as *transient*: the same
+    /// operation, retried after a short delay, may well succeed (bus
+    /// resets, momentary controller timeouts, injected soft faults).
+    /// Retry layers treat this class — and only this class — as
+    /// retryable; everything else is permanent and fails fast.
+    TransientIo(String),
+    /// The store has degraded to read-only and rejected a write. Reads
+    /// keep serving; the reason records what pushed it over.
+    ReadOnly(String),
     /// The journal region is full and cannot accept the record.
     JournalFull {
         /// Bytes the record needs.
@@ -47,6 +56,19 @@ pub enum StorageError {
         /// Bytes available before wrap.
         available: usize,
     },
+}
+
+impl StorageError {
+    /// Whether a bounded-backoff retry of the failed operation is
+    /// worthwhile. Only [`TransientIo`](Self::TransientIo) qualifies:
+    /// every other variant is either deterministic (range/length/space
+    /// violations), permanent device damage, or a typed control-flow
+    /// signal ([`JournalFull`](Self::JournalFull) backpressure,
+    /// [`ReadOnly`](Self::ReadOnly) degradation) that retrying cannot
+    /// clear.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::TransientIo(_))
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -74,6 +96,10 @@ impl fmt::Display for StorageError {
             StorageError::ZeroAllocation => write!(f, "zero-length allocation requested"),
             StorageError::Corrupt(msg) => write!(f, "corrupt on-disk structure: {msg}"),
             StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StorageError::TransientIo(msg) => write!(f, "transient I/O error: {msg}"),
+            StorageError::ReadOnly(reason) => {
+                write!(f, "store is read-only: {reason}")
+            }
             StorageError::JournalFull { needed, available } => {
                 write!(
                     f,
@@ -124,6 +150,32 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
         let e: StorageError = io.into();
         assert!(matches!(e, StorageError::Io(_)));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(StorageError::TransientIo("blip".into()).is_transient());
+        for permanent in [
+            StorageError::Io("dead".into()),
+            StorageError::Corrupt("bad crc".into()),
+            StorageError::ReadOnly("journal failed".into()),
+            StorageError::JournalFull {
+                needed: 8,
+                available: 0,
+            },
+            StorageError::ZeroAllocation,
+        ] {
+            assert!(!permanent.is_transient(), "{permanent} must be permanent");
+        }
+    }
+
+    #[test]
+    fn display_new_variants() {
+        let e = StorageError::TransientIo("controller timeout".into());
+        assert!(e.to_string().contains("transient"));
+        let e = StorageError::ReadOnly("checkpoint gave up".into());
+        assert!(e.to_string().contains("read-only"));
+        assert!(e.to_string().contains("checkpoint gave up"));
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 use crate::device::BlockDevice;
 use crate::error::{Result, StorageError};
 use crate::journal::{Journal, TxnFrames};
+use crate::retry::RetryPolicy;
 
 /// Batching knobs for [`GroupCommit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,12 @@ pub struct GroupCommitConfig {
     /// means "flush whatever is queued right now"; batches then form only
     /// from committers that arrived while a previous flush was in flight.
     pub max_wait: Duration,
+    /// How the leader rides out a *transient* append/flush failure: the
+    /// journal rolls the whole batch back on failure, so re-appending
+    /// cannot duplicate frames, and the leader retries the batch under
+    /// this policy before failing its committers. Permanent errors fail
+    /// the batch immediately.
+    pub retry: RetryPolicy,
 }
 
 impl Default for GroupCommitConfig {
@@ -54,6 +61,7 @@ impl Default for GroupCommitConfig {
         GroupCommitConfig {
             max_batch: 64,
             max_wait: Duration::ZERO,
+            retry: RetryPolicy::standard(),
         }
     }
 }
@@ -64,6 +72,7 @@ impl GroupCommitConfig {
         GroupCommitConfig {
             max_batch: 0,
             max_wait: Duration::ZERO,
+            retry: RetryPolicy::standard(),
         }
     }
 
@@ -73,6 +82,7 @@ impl GroupCommitConfig {
         GroupCommitConfig {
             max_batch,
             max_wait,
+            retry: RetryPolicy::standard(),
         }
     }
 }
@@ -91,6 +101,11 @@ pub struct GroupCommitStats {
     pub max_batch: u64,
     /// Commits rejected with [`StorageError::JournalFull`].
     pub journal_full: u64,
+    /// Batch append/flush attempts re-issued after a transient failure.
+    pub retried: u64,
+    /// Batches that exhausted their retry budget on transient failures
+    /// and surfaced the error to their committers.
+    pub gave_up: u64,
 }
 
 struct PendingCommit {
@@ -116,6 +131,39 @@ pub struct GroupCommit<D: BlockDevice> {
     flushes: AtomicU64,
     max_batch_seen: AtomicU64,
     journal_full: AtomicU64,
+    retried: AtomicU64,
+    gave_up: AtomicU64,
+}
+
+/// Re-opens the queue if the leader unwinds mid-batch: drained tickets
+/// get an error result (their durability is unknown — the panic may
+/// have interrupted the rollback, so success must not be assumed) and
+/// the leadership flag clears so parked followers elect a new leader
+/// instead of waiting forever. Disarmed on the normal path.
+struct LeaderGuard<'a, D: BlockDevice> {
+    gc: &'a GroupCommit<D>,
+    tickets: Vec<u64>,
+    armed: bool,
+}
+
+impl<D: BlockDevice> Drop for LeaderGuard<'_, D> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut state = self.gc.state.lock().unwrap_or_else(|e| e.into_inner());
+        for ticket in self.tickets.drain(..) {
+            state.results.insert(
+                ticket,
+                Err(StorageError::Io(
+                    "group-commit leader panicked mid-batch; commit state unknown".into(),
+                )),
+            );
+        }
+        state.leader_active = false;
+        drop(state);
+        self.gc.wakeup.notify_all();
+    }
 }
 
 impl<D: BlockDevice> GroupCommit<D> {
@@ -136,6 +184,8 @@ impl<D: BlockDevice> GroupCommit<D> {
             flushes: AtomicU64::new(0),
             max_batch_seen: AtomicU64::new(0),
             journal_full: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
         }
     }
 
@@ -157,6 +207,8 @@ impl<D: BlockDevice> GroupCommit<D> {
             flushes: self.flushes.load(Ordering::Relaxed),
             max_batch: self.max_batch_seen.load(Ordering::Relaxed),
             journal_full: self.journal_full.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            gave_up: self.gave_up.load(Ordering::Relaxed),
         }
     }
 
@@ -182,13 +234,41 @@ impl<D: BlockDevice> GroupCommit<D> {
     /// `Journal::append_txn_batch` performs the contiguous write and the
     /// single flush atomically with respect to the log: on a write or
     /// flush failure it rolls the batch back, so a transaction reported
-    /// failed here can never surface as durable later.
+    /// failed here can never surface as durable later. That rollback is
+    /// also what makes the transient-failure retry below safe: the
+    /// batch's extent is destroyed before re-appending, so a retried
+    /// batch cannot duplicate or resurrect frames. The leader retries
+    /// only batch-wide *transient* wipeouts (per-txn `JournalFull`
+    /// rejections keep their own error and are never retried here —
+    /// backpressure is the caller's protocol).
     fn flush_batch(&self, txns: &[TxnFrames]) -> Vec<Result<u64>> {
-        let results = match self.journal.append_txn_batch(txns) {
-            Ok(per_txn) => per_txn,
-            // Even the rollback failed: nothing in the batch is known
-            // durable, fail every committer.
-            Err(e) => vec![Err(e); txns.len()],
+        let retry = self.config.retry;
+        let attempts = retry.max_attempts.max(1);
+        let mut attempt = 1;
+        let results = loop {
+            let results = match self.journal.append_txn_batch(txns) {
+                Ok(per_txn) => per_txn,
+                // Even the rollback failed: nothing in the batch is known
+                // durable, fail every committer.
+                Err(e) => vec![Err(e); txns.len()],
+            };
+            let transient_wipeout = results.iter().all(|r| r.is_err())
+                && results
+                    .iter()
+                    .any(|r| matches!(r, Err(StorageError::TransientIo(_))));
+            if !transient_wipeout {
+                break results;
+            }
+            if attempt >= attempts {
+                self.gave_up.fetch_add(1, Ordering::Relaxed);
+                break results;
+            }
+            self.retried.fetch_add(1, Ordering::Relaxed);
+            let pause = retry.backoff(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+            attempt += 1;
         };
         if results.iter().any(|r| r.is_ok()) {
             // At least one transaction was made durable, which took
@@ -253,7 +333,21 @@ impl<D: BlockDevice> GroupCommit<D> {
                 .unzip();
             drop(state);
 
+            // The drained tickets now exist only on this stack: if the
+            // batch write panics (a panicking device, an assertion in
+            // the journal), the guard publishes error results for them
+            // and hands leadership off, so parked followers neither
+            // wait on a leader that no longer exists nor lose their
+            // tickets.
+            let mut guard = LeaderGuard {
+                gc: self,
+                tickets,
+                armed: true,
+            };
             let results = self.flush_batch(&txns);
+            guard.armed = false;
+            let tickets = std::mem::take(&mut guard.tickets);
+            drop(guard);
 
             state = self.state.lock().unwrap_or_else(|e| e.into_inner());
             for (ticket, result) in tickets.into_iter().zip(results) {
@@ -310,6 +404,123 @@ mod tests {
         fn counters(&self) -> DeviceCounters {
             self.inner.counters()
         }
+    }
+
+    /// A device whose flush fails transiently for the first `failures`
+    /// calls, then succeeds — the fault shape the leader's retry is for.
+    struct TransientFlushDevice {
+        inner: MemDevice,
+        failures: AtomicU64,
+    }
+
+    impl BlockDevice for TransientFlushDevice {
+        fn block_size(&self) -> usize {
+            self.inner.block_size()
+        }
+        fn block_count(&self) -> u64 {
+            self.inner.block_count()
+        }
+        fn read_block(&self, block: u64, buf: &mut [u8]) -> crate::error::Result<()> {
+            self.inner.read_block(block, buf)
+        }
+        fn write_block(&self, block: u64, buf: &[u8]) -> crate::error::Result<()> {
+            self.inner.write_block(block, buf)
+        }
+        fn flush(&self) -> crate::error::Result<()> {
+            let remaining = self.failures.load(Ordering::Relaxed);
+            if remaining > 0 {
+                self.failures.store(remaining - 1, Ordering::Relaxed);
+                return Err(StorageError::TransientIo("injected flush blip".into()));
+            }
+            self.inner.flush()
+        }
+        fn counters(&self) -> DeviceCounters {
+            self.inner.counters()
+        }
+    }
+
+    fn transient_group(
+        failures: u64,
+        retry: RetryPolicy,
+    ) -> (
+        Arc<TransientFlushDevice>,
+        GroupCommit<Arc<TransientFlushDevice>>,
+    ) {
+        let dev = Arc::new(TransientFlushDevice {
+            inner: MemDevice::new(128, 512),
+            failures: AtomicU64::new(failures),
+        });
+        let journal = Journal::new(Arc::clone(&dev), 1, 64).unwrap();
+        let config = GroupCommitConfig {
+            retry,
+            ..GroupCommitConfig::default()
+        };
+        (dev, GroupCommit::new(journal, config))
+    }
+
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base: Duration::from_micros(50),
+            cap: Duration::from_micros(400),
+        }
+    }
+
+    #[test]
+    fn leader_retries_transient_flush_failures() {
+        let (_dev, gc) = transient_group(2, fast_retry(5));
+        let seq = gc.commit(1, vec![b"kept".to_vec()]).unwrap();
+        assert!(seq > 0);
+        let stats = gc.stats();
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.retried, 2, "two blips absorbed");
+        assert_eq!(stats.gave_up, 0);
+        // The journal holds exactly one copy of the transaction: the
+        // rolled-back attempts left nothing behind.
+        let committed = gc.journal().committed_payloads().unwrap();
+        assert_eq!(committed, vec![(1, vec![b"kept".to_vec()])]);
+    }
+
+    #[test]
+    fn leader_gives_up_after_retry_budget() {
+        let (dev, gc) = transient_group(u64::MAX, fast_retry(3));
+        let err = gc.commit(1, vec![b"lost".to_vec()]).unwrap_err();
+        assert!(err.is_transient(), "last transient error surfaces: {err}");
+        let stats = gc.stats();
+        assert_eq!(stats.commits, 0);
+        assert_eq!(stats.retried, 2);
+        assert_eq!(stats.gave_up, 1);
+        // The device heals; the failed txn must not resurrect.
+        dev.failures.store(0, Ordering::Relaxed);
+        gc.commit(2, vec![b"kept".to_vec()]).unwrap();
+        let ids: Vec<u64> = gc
+            .journal()
+            .committed_payloads()
+            .unwrap()
+            .iter()
+            .map(|(t, _)| *t)
+            .collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn permanent_failures_are_not_retried() {
+        let dev = Arc::new(FlakyFlushDevice {
+            inner: MemDevice::new(128, 512),
+            failing: AtomicBool::new(true),
+        });
+        let gc = GroupCommit::new(
+            Journal::new(Arc::clone(&dev), 1, 64).unwrap(),
+            GroupCommitConfig {
+                retry: fast_retry(5),
+                ..GroupCommitConfig::default()
+            },
+        );
+        let err = gc.commit(1, vec![b"lost".to_vec()]).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        let stats = gc.stats();
+        assert_eq!(stats.retried, 0);
+        assert_eq!(stats.gave_up, 0);
     }
 
     #[test]

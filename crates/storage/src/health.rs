@@ -1,0 +1,248 @@
+//! Store-wide health state machine.
+//!
+//! Every fault-tolerance layer in the stack reports into one shared
+//! [`HealthState`]: `Healthy → Degraded → ReadOnly → FailStop`.
+//! Severity only ratchets forward — a store that has degraded to
+//! read-only never silently resumes accepting writes — with one
+//! deliberate exception: `Degraded` is a *recoverable* state (a
+//! background service is retrying), so a subsequent success may restore
+//! `Healthy`.
+//!
+//! The levels mean:
+//!
+//! * **Healthy** — full service.
+//! * **Degraded** — full service, but a background component is
+//!   currently absorbing faults (e.g. the checkpointer is in its retry
+//!   countdown). Informational; writes still accepted.
+//! * **ReadOnly** — a write-path component failed permanently (journal
+//!   append, checkpoint install). New writes are rejected with
+//!   [`StorageError::ReadOnly`]; reads keep serving every acked commit.
+//! * **FailStop** — an invariant the read path depends on may be
+//!   violated (e.g. an fsync-acked commit could not be applied).
+//!   Nothing should trust the in-memory state; reopen-and-recover is
+//!   the only way forward.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::error::{Result, StorageError};
+
+/// A snapshot of the store's health, in increasing order of severity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// Full service.
+    Healthy,
+    /// Full service, but a background component is riding out faults.
+    Degraded(String),
+    /// Writes rejected; reads keep serving.
+    ReadOnly(String),
+    /// In-memory state can no longer be trusted; reopen to recover.
+    FailStop(String),
+}
+
+impl Health {
+    /// Severity rank used for the forward-only ratchet.
+    fn rank(&self) -> u8 {
+        match self {
+            Health::Healthy => 0,
+            Health::Degraded(_) => 1,
+            Health::ReadOnly(_) => 2,
+            Health::FailStop(_) => 3,
+        }
+    }
+
+    /// Whether writes are still accepted in this state.
+    pub fn is_writable(&self) -> bool {
+        self.rank() <= 1
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Health::Healthy => write!(f, "healthy"),
+            Health::Degraded(r) => write!(f, "degraded: {r}"),
+            Health::ReadOnly(r) => write!(f, "read-only: {r}"),
+            Health::FailStop(r) => write!(f, "fail-stop: {r}"),
+        }
+    }
+}
+
+const HEALTHY: u8 = 0;
+const DEGRADED: u8 = 1;
+const READ_ONLY: u8 = 2;
+const FAIL_STOP: u8 = 3;
+
+/// The shared, thread-safe health cell. One instance is created per
+/// store and cloned (via `Arc`) into every component that can observe
+/// or report faults. The severity rank lives in an atomic so the
+/// write-path check ([`check_writable`](Self::check_writable)) is a
+/// single relaxed load on the happy path.
+#[derive(Debug, Default)]
+pub struct HealthState {
+    rank: AtomicU8,
+    reason: Mutex<String>,
+}
+
+impl HealthState {
+    /// A fresh, healthy state.
+    pub fn new() -> Self {
+        HealthState::default()
+    }
+
+    /// The current health snapshot.
+    pub fn health(&self) -> Health {
+        // Read the reason first: a concurrent ratchet-up may swap both
+        // fields between our two loads, but re-checking the rank after
+        // taking the reason lock keeps them consistent.
+        let reason = self
+            .reason
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        match self.rank.load(Ordering::Acquire) {
+            HEALTHY => Health::Healthy,
+            DEGRADED => Health::Degraded(reason),
+            READ_ONLY => Health::ReadOnly(reason),
+            _ => Health::FailStop(reason),
+        }
+    }
+
+    /// Cheap write-path gate: `Ok` while writes are accepted, a typed
+    /// [`StorageError::ReadOnly`] once the store has degraded past
+    /// `Degraded`.
+    pub fn check_writable(&self) -> Result<()> {
+        if self.rank.load(Ordering::Acquire) <= DEGRADED {
+            Ok(())
+        } else {
+            let reason = self
+                .reason
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            Err(StorageError::ReadOnly(reason))
+        }
+    }
+
+    /// Ratchets severity to at least `rank`, recording `reason` if the
+    /// level actually changed. Returns whether this call performed the
+    /// transition (so exactly one reporter logs/acts on it).
+    fn ratchet(&self, rank: u8, reason: &str) -> bool {
+        let mut guard = self.reason.lock().unwrap_or_else(|e| e.into_inner());
+        if self.rank.load(Ordering::Acquire) >= rank {
+            return false;
+        }
+        *guard = reason.to_string();
+        self.rank.store(rank, Ordering::Release);
+        true
+    }
+
+    /// Reports a component riding out faults. No-op unless currently
+    /// `Healthy`.
+    pub fn degrade(&self, reason: &str) -> bool {
+        self.ratchet(DEGRADED, reason)
+    }
+
+    /// Clears a `Degraded` state back to `Healthy` (the component's
+    /// retries succeeded). `ReadOnly` and `FailStop` are permanent and
+    /// unaffected. Returns whether a restore happened.
+    pub fn restore(&self) -> bool {
+        let mut guard = self.reason.lock().unwrap_or_else(|e| e.into_inner());
+        if self.rank.load(Ordering::Acquire) != DEGRADED {
+            return false;
+        }
+        guard.clear();
+        self.rank.store(HEALTHY, Ordering::Release);
+        true
+    }
+
+    /// Degrades the store to read-only: a write-path component failed
+    /// permanently. Writes are rejected from this point on.
+    pub fn read_only(&self, reason: &str) -> bool {
+        self.ratchet(READ_ONLY, reason)
+    }
+
+    /// Declares the in-memory state untrustworthy.
+    pub fn fail_stop(&self, reason: &str) -> bool {
+        self.ratchet(FAIL_STOP, reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_healthy_and_writable() {
+        let h = HealthState::new();
+        assert_eq!(h.health(), Health::Healthy);
+        assert!(h.check_writable().is_ok());
+        assert!(h.health().is_writable());
+    }
+
+    #[test]
+    fn degrade_and_restore_round_trip() {
+        let h = HealthState::new();
+        assert!(h.degrade("checkpoint retrying"));
+        assert_eq!(h.health(), Health::Degraded("checkpoint retrying".into()));
+        assert!(h.check_writable().is_ok(), "degraded still accepts writes");
+        assert!(!h.degrade("again"), "already degraded");
+        assert!(h.restore());
+        assert_eq!(h.health(), Health::Healthy);
+        assert!(!h.restore(), "already healthy");
+    }
+
+    #[test]
+    fn read_only_rejects_writes_and_is_sticky() {
+        let h = HealthState::new();
+        assert!(h.read_only("journal append failed"));
+        match h.check_writable() {
+            Err(StorageError::ReadOnly(reason)) => {
+                assert!(reason.contains("journal append failed"))
+            }
+            other => panic!("expected ReadOnly, got {other:?}"),
+        }
+        assert!(!h.health().is_writable());
+        // Severity never moves backwards past Degraded.
+        assert!(!h.restore());
+        assert!(!h.degrade("lesser"));
+        assert_eq!(h.health(), Health::ReadOnly("journal append failed".into()));
+    }
+
+    #[test]
+    fn fail_stop_outranks_everything() {
+        let h = HealthState::new();
+        assert!(h.fail_stop("acked commit unapplied"));
+        assert!(!h.read_only("later"), "cannot lower severity");
+        assert!(matches!(h.health(), Health::FailStop(_)));
+        assert!(matches!(h.check_writable(), Err(StorageError::ReadOnly(_))));
+    }
+
+    #[test]
+    fn transition_reported_once_across_threads() {
+        let h = Arc::new(HealthState::new());
+        let winners: usize = (0..8)
+            .map(|i| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || h.read_only(&format!("thread {i}")) as usize)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .sum();
+        assert_eq!(winners, 1, "exactly one thread performs the transition");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Health::Healthy.to_string(), "healthy");
+        assert!(Health::Degraded("x".into()).to_string().contains("x"));
+        assert!(Health::ReadOnly("y".into())
+            .to_string()
+            .starts_with("read-only"));
+        assert!(Health::FailStop("z".into())
+            .to_string()
+            .starts_with("fail-stop"));
+    }
+}

@@ -29,6 +29,13 @@
 //!   and the journal checkpointer.
 //! * [`group_commit`] — the batched commit pipeline over the journal:
 //!   concurrent committers share one contiguous append and one flush.
+//! * [`retry`] — [`retry::RetryPolicy`], bounded exponential backoff
+//!   for transient device errors, shared by the engine's completion
+//!   retry, the group-commit leader and the background checkpointer.
+//! * [`health`] — the store-wide health state machine
+//!   (`Healthy → Degraded → ReadOnly → FailStop`) every layer reports
+//!   into; read-only degradation rejects writes with a typed error
+//!   while reads keep serving.
 //! * [`doublewrite`] — torn-page protection for persistent checkpoints:
 //!   page images are staged and fsynced in a scratch region before being
 //!   installed in place, so a crash mid-install is always recoverable.
@@ -50,9 +57,11 @@ pub mod doublewrite;
 pub mod error;
 pub mod extent;
 pub mod group_commit;
+pub mod health;
 pub mod journal;
 pub mod layout;
 pub mod proclock;
+pub mod retry;
 pub mod shard;
 
 pub use alloc::{AllocStats, Allocator, AllocatorSnapshot};
@@ -68,11 +77,13 @@ pub use doublewrite::Doublewrite;
 pub use error::{Result, StorageError};
 pub use extent::Extent;
 pub use group_commit::{GroupCommit, GroupCommitConfig, GroupCommitStats};
+pub use health::{Health, HealthState};
 pub use journal::{
     Journal, JournalMark, JournalRecord, RecordKind, TxnFrames, JOURNAL_HEADER_BLOCKS,
 };
 pub use layout::{fnv1a, Superblock, FORMAT_VERSION, SUPERBLOCK_MAGIC};
 pub use proclock::{LockMode, ProcLock, DEFAULT_LOCK_TIMEOUT};
+pub use retry::RetryPolicy;
 pub use shard::{resolve_shard_count, shard_index, MAX_SHARDS};
 
 #[cfg(test)]

@@ -13,12 +13,16 @@
 //! 3. **Batch bound** — no batch ever exceeds `max_batch`, and the flush
 //!    count never exceeds the batch count (one sync per batch).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use proptest::prelude::*;
 
-use hfad_storage::{GroupCommit, GroupCommitConfig, Journal, MemDevice, RecordKind};
+use hfad_storage::{
+    BlockDevice, DeviceCounters, GroupCommit, GroupCommitConfig, Journal, MemDevice, RecordKind,
+    StorageError,
+};
 
 fn payloads_for(thread: usize, i: usize) -> Vec<Vec<u8>> {
     // 1..=3 payloads, contents derived from (thread, i) so any mix-up
@@ -45,6 +49,7 @@ proptest! {
             GroupCommitConfig {
                 max_batch,
                 max_wait: Duration::from_micros(wait_us),
+                ..GroupCommitConfig::default()
             },
         ));
 
@@ -131,8 +136,155 @@ proptest! {
         let batched = run(GroupCommitConfig {
             max_batch,
             max_wait: Duration::ZERO,
+            ..GroupCommitConfig::default()
         });
         prop_assert_eq!(baseline.0, batched.0);
         prop_assert_eq!(baseline.1, batched.1);
     }
+}
+
+/// Write-path modes for [`ScriptedDevice`], flipped by the test driver.
+const PASS: u8 = 0;
+const BLOCK: u8 = 1;
+const PANIC_ONCE: u8 = 2;
+
+/// A device whose `write_block` behaviour is scripted: pass through,
+/// block until released, or panic exactly once. Used to stage a leader
+/// mid-batch and then blow it up deterministically.
+struct ScriptedDevice {
+    inner: MemDevice,
+    mode: AtomicU8,
+    released: Mutex<bool>,
+    release_cv: Condvar,
+}
+
+impl ScriptedDevice {
+    fn new() -> Self {
+        ScriptedDevice {
+            inner: MemDevice::new(128, 512),
+            mode: AtomicU8::new(PASS),
+            released: Mutex::new(false),
+            release_cv: Condvar::new(),
+        }
+    }
+
+    fn set_mode(&self, mode: u8) {
+        self.mode.store(mode, Ordering::SeqCst);
+    }
+
+    fn release(&self) {
+        *self.released.lock().unwrap() = true;
+        self.release_cv.notify_all();
+    }
+}
+
+impl BlockDevice for ScriptedDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+    fn read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.inner.read_block(block, buf)
+    }
+    fn write_block(&self, block: u64, buf: &[u8]) -> Result<(), StorageError> {
+        match self.mode.load(Ordering::SeqCst) {
+            BLOCK => {
+                let mut released = self.released.lock().unwrap();
+                while !*released {
+                    released = self.release_cv.wait(released).unwrap();
+                }
+            }
+            PANIC_ONCE => {
+                self.mode.store(PASS, Ordering::SeqCst);
+                panic!("injected device panic mid-batch");
+            }
+            _ => {}
+        }
+        self.inner.write_block(block, buf)
+    }
+    fn flush(&self) -> Result<(), StorageError> {
+        self.inner.flush()
+    }
+    fn counters(&self) -> DeviceCounters {
+        self.inner.counters()
+    }
+}
+
+/// Regression test for the leader-panic hazard: a committer that panics
+/// while elected leader must neither strand parked followers (they were
+/// waiting on `leader_active` to clear) nor swallow the tickets it had
+/// already drained into its batch. Staging: a blocked leader L holds
+/// the pipeline while A and B enqueue behind it; when L is released the
+/// next leader drains both A and B into one batch and the device panics
+/// under it. Both threads must return promptly — one by propagating the
+/// panic, the other with a result — and the pipeline must keep
+/// committing afterwards.
+#[test]
+fn leader_panic_does_not_strand_followers() {
+    let device = Arc::new(ScriptedDevice::new());
+    let journal = Journal::new(Arc::clone(&device), 1, 64).unwrap();
+    let gc = Arc::new(GroupCommit::new(
+        journal,
+        GroupCommitConfig {
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+            ..GroupCommitConfig::default()
+        },
+    ));
+
+    // L becomes leader and blocks inside its device write.
+    device.set_mode(BLOCK);
+    let l = {
+        let gc = Arc::clone(&gc);
+        std::thread::spawn(move || gc.commit(100, vec![b"leader-L".to_vec()]))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A and B enqueue behind the active leader and park.
+    let spawn_committer = |txn_id: u64| {
+        let gc = Arc::clone(&gc);
+        std::thread::spawn(move || gc.commit(txn_id, vec![format!("txn-{txn_id}").into_bytes()]))
+    };
+    let a = spawn_committer(1);
+    let b = spawn_committer(2);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Arm the panic, then let L finish (L checked the mode on entry, so
+    // it passes through). Whichever of A/B is elected next drains both
+    // tickets and panics in the batch write.
+    device.set_mode(PANIC_ONCE);
+    device.release();
+
+    let l_seq = l.join().expect("L must not panic").expect("L commits");
+    assert!(l_seq > 0);
+
+    let a_out = a.join();
+    let b_out = b.join();
+    let panics = [&a_out, &b_out].iter().filter(|r| r.is_err()).count();
+    assert!(
+        panics <= 1,
+        "at most the elected leader propagates the panic"
+    );
+    // The non-panicking committer(s) returned instead of hanging; a
+    // drained batch-mate sees the leader-panic error, a still-pending
+    // one re-leads and (the panic being consumed) may even succeed.
+    for out in [a_out, b_out].into_iter().flatten() {
+        if let Err(e) = out {
+            assert!(
+                e.to_string().contains("panicked"),
+                "unexpected follower error: {e}"
+            );
+        }
+    }
+
+    // Leadership was handed back: the pipeline still commits.
+    let seq = gc
+        .commit(3, vec![b"after-the-panic".to_vec()])
+        .expect("pipeline survives a leader panic");
+    assert!(seq > 0);
+    let committed = gc.journal().committed_payloads().unwrap();
+    assert!(committed.iter().any(|(id, _)| *id == 100));
+    assert!(committed.iter().any(|(id, _)| *id == 3));
 }

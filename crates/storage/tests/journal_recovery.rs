@@ -40,6 +40,7 @@ fn rig(max_batch: usize) -> Rig {
             GroupCommitConfig {
                 max_batch,
                 max_wait: Duration::ZERO,
+                ..GroupCommitConfig::default()
             },
         ),
     }
